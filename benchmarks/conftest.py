@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper at the
+``quick`` experiment scale: it runs the corresponding experiment exactly once
+under ``pytest-benchmark`` timing (rounds=1), prints the rows/series the paper
+reports next to the paper's reference numbers, and asserts the qualitative
+shape (who wins, by roughly what factor, where the crossovers are).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def quick_scale() -> ExperimentScale:
+    return ExperimentScale.quick()
+
+
+@pytest.fixture(scope="session")
+def bench_output_dir(tmp_path_factory):
+    """Directory where the benchmark runs drop their CSV/PNG artifacts."""
+    return tmp_path_factory.mktemp("bench_artifacts")

@@ -1,0 +1,42 @@
+"""Ablation benchmark: the four position-encoding variants of Fig. 3.
+
+This goes beyond the paper's tables: it quantifies the design progression the
+paper motivates qualitatively (uniform -> Manhattan -> decay -> block decay)
+plus the fully random codebook, all on the same DSB2018-like sample image.
+
+Shape checks: the structured Manhattan-family encodings beat the random
+codebook decisively, and the full block-decay encoding is at least as good as
+the plain Manhattan encoding.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_encoding_ablation
+
+
+def test_encoding_variants_quick_scale(benchmark, quick_scale, bench_output_dir):
+    result = run_once(
+        benchmark,
+        run_encoding_ablation,
+        quick_scale,
+        output_dir=bench_output_dir / "ablation_encodings",
+    )
+
+    print()
+    print(result.to_table().to_markdown())
+
+    scores = result.scores
+    # The decayed Manhattan encodings beat the random codebook by a wide
+    # margin (the design progression of Section III pays off).
+    for variant in ("decay", "block_decay"):
+        assert scores[variant] > scores["random"] + 0.2, variant
+    # The alpha decay is essential: without it (plain Manhattan, alpha = 1)
+    # the position term over-weights the color term and quality drops — this
+    # is exactly why the paper introduces alpha in Eq. 5.
+    assert scores["decay"] > scores["manhattan"]
+    # Adding the beta blocks keeps (or improves) the decayed encoding.
+    assert scores["block_decay"] >= scores["decay"] - 0.05
+    # The paper's chosen variant is a sensible operating point.
+    assert scores["block_decay"] > 0.6

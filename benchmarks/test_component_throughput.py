@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the SegHDC pipeline stages.
+
+These are not tied to a specific paper table; they time the individual
+components (position encoding, color encoding, pixel binding, one K-Means
+assignment round, and an end-to-end segmentation) so regressions in the hot
+paths show up directly.  Multiple rounds are used because each call is fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_dataset
+from repro.hdc import HypervectorSpace
+from repro.seghdc import (
+    HDKMeans,
+    ManhattanColorEncoder,
+    PixelHVProducer,
+    SegHDC,
+    SegHDCConfig,
+    make_position_encoder,
+)
+
+_HEIGHT, _WIDTH, _DIM = 96, 112, 800
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return make_dataset("dsb2018", num_images=1, image_shape=(_HEIGHT, _WIDTH), seed=0)[0]
+
+
+@pytest.fixture(scope="module")
+def pixel_hvs(sample):
+    space = HypervectorSpace(_DIM, seed=0)
+    position = make_position_encoder("block_decay", space, _HEIGHT, _WIDTH, alpha=0.2, beta=9)
+    color = ManhattanColorEncoder(space, 3)
+    return PixelHVProducer(position, color).produce_image(sample.image.pixels)
+
+
+def test_bench_position_encoding(benchmark):
+    def encode():
+        space = HypervectorSpace(_DIM, seed=0)
+        encoder = make_position_encoder("block_decay", space, _HEIGHT, _WIDTH, alpha=0.2, beta=9)
+        return encoder.encode_grid()
+
+    grid = benchmark(encode)
+    assert grid.shape == (_HEIGHT, _WIDTH, _DIM)
+
+
+def test_bench_color_encoding(benchmark, sample):
+    space = HypervectorSpace(_DIM, seed=0)
+    encoder = ManhattanColorEncoder(space, 3)
+    encoded = benchmark(encoder.encode_image, sample.image.pixels)
+    assert encoded.shape == (_HEIGHT, _WIDTH, _DIM)
+
+
+def test_bench_pixel_binding(benchmark, sample):
+    space = HypervectorSpace(_DIM, seed=0)
+    position = make_position_encoder("block_decay", space, _HEIGHT, _WIDTH, alpha=0.2, beta=9)
+    color = ManhattanColorEncoder(space, 3)
+    producer = PixelHVProducer(position, color)
+    hvs = benchmark(producer.produce_image, sample.image.pixels)
+    assert hvs.shape == (_HEIGHT * _WIDTH, _DIM)
+
+
+def test_bench_kmeans_round(benchmark, sample, pixel_hvs):
+    intensities = sample.image.grayscale().astype(np.float64)
+
+    def one_round():
+        return HDKMeans(2, num_iterations=1).fit(pixel_hvs, intensities)
+
+    result = benchmark(one_round)
+    assert result.labels.shape == (_HEIGHT * _WIDTH,)
+
+
+def test_bench_end_to_end_segmentation(benchmark, sample):
+    config = SegHDCConfig(
+        dimension=_DIM, num_clusters=2, num_iterations=3, alpha=0.2, beta=9, seed=0
+    )
+    result = benchmark.pedantic(
+        SegHDC(config).segment, args=(sample.image,), rounds=3, iterations=1
+    )
+    assert result.labels.shape == (_HEIGHT, _WIDTH)

@@ -1,0 +1,48 @@
+"""Benchmark: Figure 6 — qualitative masks on one sample per dataset.
+
+Paper reference (per-image IoU in Fig. 6):
+
+    BBBC005 sample: baseline 0.6995, SegHDC 0.9559
+    DSB2018 sample: baseline 0.7612, SegHDC 0.8259
+    MoNuSeg sample: baseline 0.3496, SegHDC 0.5299
+
+Shape check: SegHDC's per-image IoU is at least as good as the baseline's on
+every sample, and the rendered four-panel strips are written to disk.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_figure6
+
+_PAPER_FIGURE6 = {
+    "bbbc005": {"baseline": 0.6995, "seghdc": 0.9559},
+    "dsb2018": {"baseline": 0.7612, "seghdc": 0.8259},
+    "monuseg": {"baseline": 0.3496, "seghdc": 0.5299},
+}
+
+
+def test_figure6_quick_scale(benchmark, quick_scale, bench_output_dir):
+    result = run_once(
+        benchmark, run_figure6, quick_scale, output_dir=bench_output_dir / "figure6"
+    )
+
+    print()
+    for panel in result.panels:
+        reference = _PAPER_FIGURE6[panel.dataset]
+        print(
+            f"{panel.dataset:9s} baseline IoU {panel.baseline_iou:.4f} "
+            f"(paper {reference['baseline']:.4f})   "
+            f"SegHDC IoU {panel.seghdc_iou:.4f} (paper {reference['seghdc']:.4f})   "
+            f"panel: {panel.panel_path}"
+        )
+
+    for panel in result.panels:
+        assert panel.seghdc_iou >= panel.baseline_iou - 0.05, panel.dataset
+        assert panel.seghdc_iou > 0.4, panel.dataset
+        assert panel.panel_path is not None and panel.panel_path.exists()
+    # SegHDC's qualitative advantage is largest on the easy fluorescence data.
+    bbbc = result.panel("bbbc005")
+    monuseg = result.panel("monuseg")
+    assert bbbc.seghdc_iou > monuseg.seghdc_iou

@@ -1,0 +1,59 @@
+"""Benchmark: Figure 7 — IoU and Pi latency vs. iterations and vs. dimension.
+
+Paper reference:
+
+* Fig. 7(a): d = 10000, iterations 1..10 — latency grows from ~20 s to over
+  300 s roughly linearly; the mask is already good after ~4 iterations.
+* Fig. 7(b): 10 iterations, dimensions 200..1000 — latency grows mildly
+  (~90 s to ~110 s); IoU is usable across the whole range with ~800 best.
+
+Shape checks: modelled Pi latency is monotone in both sweeps with the right
+magnitudes of growth; IoU saturates (does not keep improving) after the first
+few iterations; IoU stays usable across the dimension sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_figure7
+
+
+def test_figure7_quick_scale(benchmark, quick_scale, bench_output_dir):
+    result = run_once(
+        benchmark, run_figure7, quick_scale, output_dir=bench_output_dir / "figure7"
+    )
+
+    iteration_table, dimension_table = result.to_tables()
+    print()
+    print(iteration_table.to_markdown())
+    print()
+    print(dimension_table.to_markdown())
+
+    # --- Fig. 7(a) shape: latency grows roughly linearly with iterations
+    # (the paper goes from ~20 s at 1 iteration to > 300 s at 10; the
+    # analytical Pi model reproduces the slope up to a constant factor).
+    latencies = [point.pi_seconds for point in result.iteration_sweep]
+    iterations = [point.value for point in result.iteration_sweep]
+    assert latencies == sorted(latencies)
+    growth = latencies[-1] / latencies[0]
+    span = iterations[-1] / iterations[0]
+    assert growth > 0.4 * span  # roughly linear, not flat
+    assert growth > 3.0  # an order-of-magnitude style increase, like the paper
+    # Quality saturates: the best IoU is reached within the first few
+    # iterations and the final IoU is within 0.05 of it.
+    ious = [point.iou for point in result.iteration_sweep]
+    assert max(ious) - ious[-1] < 0.05
+    assert ious[-1] > 0.6
+
+    # --- Fig. 7(b) shape: latency grows with dimension but far less than
+    # proportionally (paper: ~90 s -> ~110 s over a 5x dimension range), and
+    # mid/high dimensions deliver usable quality with ~800 a good choice.
+    dim_latencies = [point.pi_seconds for point in result.dimension_sweep]
+    dimensions = [point.value for point in result.dimension_sweep]
+    assert dim_latencies == sorted(dim_latencies)
+    assert dim_latencies[-1] / dim_latencies[0] < dimensions[-1] / dimensions[0]
+    dim_ious = {point.value: point.iou for point in result.dimension_sweep}
+    assert max(dim_ious.values()) > 0.7
+    usable = [iou for dimension, iou in dim_ious.items() if dimension >= 400]
+    assert usable and min(usable) > 0.5

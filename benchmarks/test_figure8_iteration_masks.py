@@ -1,0 +1,45 @@
+"""Benchmark: Figure 8 — prediction masks during the first K-Means iterations.
+
+Paper reference: on the DSB2018 sample image, after one iteration "almost all
+pixels are assigned to the same label"; from the second iteration onwards the
+mask is close to the ground truth and later iterations change little.
+
+Shape checks: the first iteration's largest cluster swallows most of the
+image; IoU improves substantially from iteration 1 to the best iteration; the
+final iterations agree with each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_figure8
+
+
+def test_figure8_quick_scale(benchmark, quick_scale, bench_output_dir):
+    result = run_once(
+        benchmark,
+        run_figure8,
+        quick_scale,
+        iterations=4,
+        output_dir=bench_output_dir / "figure8",
+    )
+
+    print()
+    print(result.to_table().to_markdown())
+    print(
+        "largest cluster after iteration 1: "
+        f"{result.dominant_cluster_fraction_first_iteration:.2%} of pixels"
+    )
+
+    assert len(result.masks) == 4
+    # Iteration 1 is dominated by a single cluster (paper: "almost all pixels
+    # assigned to the same label").
+    assert result.dominant_cluster_fraction_first_iteration > 0.6
+    # Later iterations improve on the first and then stabilise.
+    assert max(result.iou_per_iteration[1:]) >= result.iou_per_iteration[0]
+    assert result.iou_per_iteration[-1] > 0.6
+    last_two_agree = np.mean(result.masks[-1] == result.masks[-2])
+    assert last_two_agree > 0.95
+    assert result.panel_path is not None and result.panel_path.exists()

@@ -1,0 +1,45 @@
+"""Benchmark: Table I — mean IoU of BL / RPos / RColor / SegHDC.
+
+Paper reference (Table I):
+
+    BBBC005   BL 0.7490   RPos 0.0361   RColor 0.1016   SegHDC 0.9414
+    DSB2018   BL 0.6281   RPos 0.1172   RColor 0.2352   SegHDC 0.8038
+    MoNuSeg   BL 0.5088   RPos 0.1959   RColor 0.3832   SegHDC 0.5509
+
+Shape checks: SegHDC beats the CNN baseline on every dataset; both random
+codebook ablations collapse far below SegHDC; MoNuSeg stays the hardest
+dataset for SegHDC.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+from repro.experiments.table1 import PAPER_TABLE1
+
+
+def test_table1_quick_scale(benchmark, quick_scale, bench_output_dir):
+    result = run_once(
+        benchmark, run_table1, quick_scale, output_dir=bench_output_dir / "table1"
+    )
+
+    print()
+    print(result.to_table().to_markdown())
+    print()
+    print("paper Table I reference:")
+    for dataset, row in PAPER_TABLE1.items():
+        print(
+            f"  {dataset:9s} BL {row['baseline']:.4f}  RPos {row['rpos']:.4f}  "
+            f"RColor {row['rcolor']:.4f}  SegHDC {row['seghdc']:.4f}"
+        )
+
+    for dataset, row in result.scores.items():
+        # SegHDC wins against the CNN baseline on every dataset.
+        assert row["seghdc"] > row["baseline"], dataset
+        # The random-codebook ablations collapse well below SegHDC.
+        assert row["seghdc"] > row["rpos"] + 0.2, dataset
+        assert row["seghdc"] > row["rcolor"] + 0.2, dataset
+    # The per-dataset difficulty ordering of the paper is preserved.
+    assert result.scores["bbbc005"]["seghdc"] > result.scores["monuseg"]["seghdc"]
+    assert result.scores["dsb2018"]["seghdc"] > result.scores["monuseg"]["seghdc"]

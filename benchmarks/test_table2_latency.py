@@ -1,0 +1,55 @@
+"""Benchmark: Table II — IoU and Raspberry Pi latency per image.
+
+Paper reference (Table II):
+
+    DSB2018 image 256x320x3: baseline IoU 0.7612 / 11453 s,
+                             SegHDC  IoU 0.8275 / 35.8 s  (319.9x speed-up)
+    BBBC005 image 520x696x1: baseline out-of-memory,
+                             SegHDC  IoU 0.9587 / 178.31 s
+
+Shape checks: the modelled Pi speed-up of SegHDC over the baseline is in the
+hundreds; the baseline exceeds the 4 GB Pi on the 520x696 image while SegHDC
+fits; the larger image costs SegHDC more time than the smaller one.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+from repro.experiments.table2 import PAPER_TABLE2
+
+
+def test_table2_quick_scale(benchmark, quick_scale, bench_output_dir):
+    result = run_once(
+        benchmark, run_table2, quick_scale, output_dir=bench_output_dir / "table2"
+    )
+
+    print()
+    print(result.to_table().to_markdown())
+    print()
+    print("paper Table II reference:")
+    for dataset, row in PAPER_TABLE2.items():
+        baseline = (
+            "OOM" if row["baseline_latency_s"] is None else f"{row['baseline_latency_s']:.1f}s"
+        )
+        print(
+            f"  {dataset:9s} SegHDC IoU {row['seghdc_iou']:.4f} / "
+            f"{row['seghdc_latency_s']:.1f}s   baseline {baseline}"
+        )
+
+    dsb = result.row("dsb2018")
+    bbbc = result.row("bbbc005")
+    # SegHDC is hundreds of times faster than the baseline on the Pi model.
+    assert dsb.modelled_speedup is not None and dsb.modelled_speedup > 100
+    # The baseline cannot fit the 520x696 image into 4 GB; SegHDC can.
+    assert bbbc.baseline_oom_on_pi
+    assert not dsb.baseline_oom_on_pi
+    # The larger, higher-dimension BBBC005 row is slower for SegHDC too.
+    assert bbbc.seghdc_pi_seconds > dsb.seghdc_pi_seconds
+    # SegHDC latency stays in the sub-10-minute regime the paper reports.
+    assert dsb.seghdc_pi_seconds < 120
+    assert bbbc.seghdc_pi_seconds < 600
+    # Measured IoU on the synthetic stand-ins is high for both rows.
+    assert dsb.seghdc_iou > 0.6
+    assert bbbc.seghdc_iou > 0.7

@@ -1,0 +1,26 @@
+"""SegHDC reproduction: on-device unsupervised image segmentation with HDC.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.hdc` — hyperdimensional-computing substrate
+* :mod:`repro.imaging` — pure-numpy imaging utilities
+* :mod:`repro.datasets` — synthetic BBBC005 / DSB2018 / MoNuSeg generators
+* :mod:`repro.seghdc` — the SegHDC pipeline (the paper's contribution)
+* :mod:`repro.baseline` — the CNN-based unsupervised segmentation baseline
+* :mod:`repro.metrics` — IoU and cluster-matching metrics
+* :mod:`repro.device` — edge-device (Raspberry Pi) latency and memory model
+* :mod:`repro.experiments` — one module per paper table/figure
+"""
+
+from repro.seghdc import SegHDC, SegHDCConfig, SegmentationResult
+from repro.metrics import best_foreground_iou
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SegHDC",
+    "SegHDCConfig",
+    "SegmentationResult",
+    "best_foreground_iou",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""CNN-based unsupervised segmentation baseline (Kim et al., TIP 2020).
+
+The paper compares SegHDC against "Unsupervised learning of image
+segmentation based on differentiable feature clustering" by Kim, Kanezaki and
+Tanaka.  That method trains a small CNN *per image*: the network's channel-wise
+argmax provides pseudo-labels, and the loss is the cross-entropy between the
+responses and those pseudo-labels plus a spatial-continuity term; after a few
+hundred SGD steps the argmax map is the segmentation.
+
+No deep-learning framework is available offline, so this package implements
+the required substrate from scratch on numpy: tensors with explicit
+forward/backward layers (3x3 convolution via im2col, batch normalisation,
+ReLU, 1x1 classification head), the two losses, and SGD with momentum.
+Gradient correctness is validated against numerical differentiation in the
+test-suite.
+"""
+
+from repro.baseline.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Layer,
+    ReLU,
+    Sequential,
+)
+from repro.baseline.losses import (
+    softmax,
+    softmax_cross_entropy,
+    spatial_continuity_loss,
+)
+from repro.baseline.optim import SGD, Adam
+from repro.baseline.model import KimSegmentationNet
+from repro.baseline.segmenter import CNNBaselineConfig, CNNUnsupervisedSegmenter
+
+__all__ = [
+    "Adam",
+    "BatchNorm2d",
+    "CNNBaselineConfig",
+    "CNNUnsupervisedSegmenter",
+    "Conv2d",
+    "KimSegmentationNet",
+    "Layer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "softmax",
+    "softmax_cross_entropy",
+    "spatial_continuity_loss",
+]

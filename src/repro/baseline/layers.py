@@ -1,0 +1,247 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Each layer caches what its backward pass needs during ``forward`` and exposes
+``parameters()`` / ``gradients()`` as parallel lists so the optimisers can
+update them in lock-step.  Only the pieces the Kim et al. baseline needs are
+implemented: 2-D convolution (any kernel size, stride 1), batch normalisation,
+and ReLU, plus a ``Sequential`` container.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.baseline.tensorops import col2im, conv_output_shape, im2col
+
+__all__ = ["BatchNorm2d", "Conv2d", "Layer", "ReLU", "Sequential"]
+
+
+class Layer(ABC):
+    """Base class: forward, backward, and parameter access."""
+
+    training: bool = True
+
+    @abstractmethod
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the layer output and cache intermediates for backward."""
+
+    @abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)`` and fill param grads."""
+
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (same order as :meth:`gradients`)."""
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradient arrays matching :meth:`parameters`."""
+        return []
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+
+class Conv2d(Layer):
+    """2-D convolution (stride 1) with He-initialised weights and a bias."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size))
+        self.bias = np.zeros(out_channels, dtype=np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = int(kernel_size)
+        self.padding = int(padding)
+        self._cols: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(inputs, dtype=np.float64)
+        if arr.ndim != 4 or arr.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (n, {self.in_channels}, h, w) input, got {arr.shape}"
+            )
+        n, _, h, w = arr.shape
+        out_h, out_w = conv_output_shape(h, w, self.kernel_size, 1, self.padding)
+        cols = im2col(arr, self.kernel_size, stride=1, padding=self.padding)
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+        out = cols @ weight_matrix.T + self.bias[None, :]
+        self._cols = cols
+        self._input_shape = arr.shape
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad_output, dtype=np.float64)
+        n, _, out_h, out_w = grad.shape
+        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+        self.grad_weight = (grad_matrix.T @ self._cols).reshape(self.weight.shape)
+        self.grad_bias = grad_matrix.sum(axis=0)
+        grad_cols = grad_matrix @ weight_matrix
+        return col2im(
+            grad_cols,
+            self._input_shape,
+            self.kernel_size,
+            stride=1,
+            padding=self.padding,
+        )
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalisation with learned scale and shift."""
+
+    def __init__(self, num_channels: int, *, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        if num_channels <= 0:
+            raise ValueError(f"num_channels must be positive, got {num_channels}")
+        self.num_channels = int(num_channels)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = np.ones(num_channels, dtype=np.float64)
+        self.beta = np.zeros(num_channels, dtype=np.float64)
+        self.grad_gamma = np.zeros_like(self.gamma)
+        self.grad_beta = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(num_channels, dtype=np.float64)
+        self.running_var = np.ones(num_channels, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(inputs, dtype=np.float64)
+        if arr.ndim != 4 or arr.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected (n, {self.num_channels}, h, w) input, got {arr.shape}"
+            )
+        if self.training:
+            mean = arr.mean(axis=(0, 2, 3))
+            var = arr.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (arr - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = self.gamma[None, :, None, None] * normalized + self.beta[None, :, None, None]
+        self._cache = (normalized, inv_std, arr.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std, shape = self._cache
+        grad = np.asarray(grad_output, dtype=np.float64)
+        n, _, h, w = shape
+        count = n * h * w
+        self.grad_gamma = (grad * normalized).sum(axis=(0, 2, 3))
+        self.grad_beta = grad.sum(axis=(0, 2, 3))
+        # Standard batch-norm backward over the (batch, spatial) axes.
+        grad_normalized = grad * self.gamma[None, :, None, None]
+        sum_grad = grad_normalized.sum(axis=(0, 2, 3), keepdims=True)
+        sum_grad_norm = (grad_normalized * normalized).sum(axis=(0, 2, 3), keepdims=True)
+        grad_input = (
+            grad_normalized - sum_grad / count - normalized * sum_grad_norm / count
+        ) * inv_std[None, :, None, None]
+        return grad_input
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_gamma, self.grad_beta]
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(inputs, dtype=np.float64)
+        self._mask = arr > 0
+        return arr * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * self._mask
+
+
+class Sequential(Layer):
+    """Run layers in order; backward runs them in reverse."""
+
+    def __init__(self, *layers: Layer) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = inputs
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        params: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend(layer.gradients())
+        return grads
+
+    def train(self) -> None:
+        for layer in self.layers:
+            layer.train()
+        self.training = True
+
+    def eval(self) -> None:
+        for layer in self.layers:
+            layer.eval()
+        self.training = False

@@ -1,0 +1,93 @@
+"""Losses of the Kim et al. (2020) unsupervised segmentation objective.
+
+The method minimises, per image,
+
+    L = CE(responses, argmax(responses))  +  mu * L_continuity(responses)
+
+where the cross-entropy term sharpens the network's own argmax pseudo-labels
+(feature similarity) and the continuity term penalises the L1 difference
+between vertically and horizontally adjacent response vectors (spatial
+continuity).  Both functions here return the scalar loss *and* the gradient
+with respect to the response map so the segmenter can backpropagate without a
+general autograd engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy", "spatial_continuity_loss"]
+
+
+def softmax(logits: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    arr = np.asarray(logits, dtype=np.float64)
+    shifted = arr - arr.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy between NCHW ``logits`` and integer ``targets``.
+
+    ``targets`` has shape ``(n, h, w)`` with values in ``[0, channels)``.
+    Returns ``(loss, dL/dlogits)``.
+    """
+    arr = np.asarray(logits, dtype=np.float64)
+    if arr.ndim != 4:
+        raise ValueError(f"logits must be NCHW, got shape {arr.shape}")
+    tgt = np.asarray(targets)
+    if tgt.shape != (arr.shape[0], arr.shape[2], arr.shape[3]):
+        raise ValueError(
+            f"targets shape {tgt.shape} does not match logits spatial shape "
+            f"{(arr.shape[0], arr.shape[2], arr.shape[3])}"
+        )
+    num_classes = arr.shape[1]
+    if tgt.min() < 0 or tgt.max() >= num_classes:
+        raise ValueError("target labels out of range")
+    probabilities = softmax(arr, axis=1)
+    n, _, h, w = arr.shape
+    count = n * h * w
+    batch_idx, row_idx, col_idx = np.meshgrid(
+        np.arange(n), np.arange(h), np.arange(w), indexing="ij"
+    )
+    picked = probabilities[batch_idx, tgt, row_idx, col_idx]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    grad = probabilities.copy()
+    grad[batch_idx, tgt, row_idx, col_idx] -= 1.0
+    grad /= count
+    return loss, grad
+
+
+def spatial_continuity_loss(responses: np.ndarray) -> tuple[float, np.ndarray]:
+    """L1 difference of vertically and horizontally adjacent response vectors.
+
+    ``responses`` is the NCHW response map.  Returns ``(loss, dL/dresponses)``
+    where the loss is the mean absolute difference over both spatial
+    directions, matching the continuity prior of Kim et al. (2020).
+    """
+    arr = np.asarray(responses, dtype=np.float64)
+    if arr.ndim != 4:
+        raise ValueError(f"responses must be NCHW, got shape {arr.shape}")
+    grad = np.zeros_like(arr)
+    total = 0.0
+    count = 0
+    # Vertical neighbours.
+    diff_v = arr[:, :, 1:, :] - arr[:, :, :-1, :]
+    total += float(np.abs(diff_v).sum())
+    count += diff_v.size
+    sign_v = np.sign(diff_v)
+    grad[:, :, 1:, :] += sign_v
+    grad[:, :, :-1, :] -= sign_v
+    # Horizontal neighbours.
+    diff_h = arr[:, :, :, 1:] - arr[:, :, :, :-1]
+    total += float(np.abs(diff_h).sum())
+    count += diff_h.size
+    sign_h = np.sign(diff_h)
+    grad[:, :, :, 1:] += sign_h
+    grad[:, :, :, :-1] -= sign_h
+    if count == 0:
+        return 0.0, grad
+    return total / count, grad / count

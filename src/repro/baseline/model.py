@@ -1,0 +1,86 @@
+"""The Kim et al. (2020) segmentation network.
+
+The architecture is deliberately small: ``num_layers`` blocks of
+(3x3 convolution, ReLU, batch norm) with ``num_features`` channels, followed
+by a 1x1 convolution to ``num_features`` response channels and a final batch
+norm.  The channel-wise argmax of the response map is the segmentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.layers import BatchNorm2d, Conv2d, ReLU, Sequential
+
+__all__ = ["KimSegmentationNet"]
+
+
+class KimSegmentationNet:
+    """Per-image unsupervised segmentation CNN.
+
+    Parameters mirror the reference implementation's defaults (scaled down by
+    the caller when needed): ``num_features = 100`` channels and
+    ``num_layers = 2`` intermediate blocks.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        *,
+        num_features: int = 100,
+        num_layers: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if in_channels <= 0:
+            raise ValueError(f"in_channels must be positive, got {in_channels}")
+        if num_features < 2:
+            raise ValueError(f"num_features must be at least 2, got {num_features}")
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be at least 1, got {num_layers}")
+        rng = np.random.default_rng(seed)
+        self.in_channels = int(in_channels)
+        self.num_features = int(num_features)
+        self.num_layers = int(num_layers)
+        layers = [
+            Conv2d(in_channels, num_features, 3, padding=1, rng=rng),
+            ReLU(),
+            BatchNorm2d(num_features),
+        ]
+        for _ in range(num_layers - 1):
+            layers.extend(
+                [
+                    Conv2d(num_features, num_features, 3, padding=1, rng=rng),
+                    ReLU(),
+                    BatchNorm2d(num_features),
+                ]
+            )
+        layers.extend(
+            [
+                Conv2d(num_features, num_features, 1, padding=0, rng=rng),
+                BatchNorm2d(num_features),
+            ]
+        )
+        self.network = Sequential(*layers)
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Response map of shape ``(n, num_features, h, w)``."""
+        return self.network.forward(images)
+
+    def backward(self, grad_responses: np.ndarray) -> np.ndarray:
+        """Backpropagate the loss gradient through the whole network."""
+        return self.network.backward(grad_responses)
+
+    def parameters(self) -> list[np.ndarray]:
+        return self.network.parameters()
+
+    def gradients(self) -> list[np.ndarray]:
+        return self.network.gradients()
+
+    def predict_labels(self, images: np.ndarray) -> np.ndarray:
+        """Channel-wise argmax of the response map, shape ``(n, h, w)``."""
+        responses = self.forward(images)
+        return np.argmax(responses, axis=1)
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars (used by the device memory model)."""
+        return int(sum(param.size for param in self.parameters()))

@@ -1,0 +1,96 @@
+"""Optimisers for the numpy CNN substrate.
+
+Kim et al. (2020) train with plain SGD (learning rate 0.1, momentum 0.9);
+Adam is provided as well because it is the common drop-in alternative and is
+exercised by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        *,
+        learning_rate: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.parameters = parameters
+        self.learning_rate = float(learning_rate)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(param) for param in parameters]
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Update every parameter in place from the matching gradient list."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"got {len(gradients)} gradients for {len(self.parameters)} parameters"
+            )
+        for param, grad, velocity in zip(self.parameters, gradients, self._velocity):
+            update = grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param
+            velocity *= self.momentum
+            velocity += update
+            param -= self.learning_rate * velocity
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        *,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.parameters = parameters
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(param) for param in parameters]
+        self._second_moment = [np.zeros_like(param) for param in parameters]
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Update every parameter in place from the matching gradient list."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"got {len(gradients)} gradients for {len(self.parameters)} parameters"
+            )
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, grad, first, second in zip(
+            self.parameters, gradients, self._first_moment, self._second_moment
+        ):
+            first *= self.beta1
+            first += (1.0 - self.beta1) * grad
+            second *= self.beta2
+            second += (1.0 - self.beta2) * np.square(grad)
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            param -= self.learning_rate * corrected_first / (
+                np.sqrt(corrected_second) + self.eps
+            )

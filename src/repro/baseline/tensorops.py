@@ -1,0 +1,87 @@
+"""Low-level tensor operations for the numpy CNN substrate.
+
+Convolutions are implemented with im2col / col2im so the forward and backward
+passes reduce to matrix multiplications, which keeps the per-image training
+loop of the baseline tractable in pure numpy.
+
+Array layout convention: feature maps are ``(batch, channels, height, width)``
+(NCHW) float64 arrays; convolution weights are ``(out_channels, in_channels,
+kernel, kernel)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["im2col", "col2im", "conv_output_shape"]
+
+
+def conv_output_shape(
+    height: int, width: int, kernel: int, stride: int, padding: int
+) -> tuple[int, int]:
+    """Spatial output shape of a convolution."""
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution collapses the input: {(height, width)} with "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold image patches into columns.
+
+    Input ``(n, c, h, w)`` becomes ``(n * out_h * out_w, c * kernel * kernel)``
+    where each row is the receptive field of one output pixel.
+    """
+    arr = np.asarray(images, dtype=np.float64)
+    if arr.ndim != 4:
+        raise ValueError(f"expected NCHW input, got shape {arr.shape}")
+    n, c, h, w = arr.shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    if padding:
+        arr = np.pad(
+            arr,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=np.float64)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = arr[:, :, ky:y_max:stride, kx:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold columns back into images, accumulating overlapping contributions.
+
+    This is the adjoint of :func:`im2col` and is what the convolution backward
+    pass uses to compute the gradient with respect to its input.
+    """
+    n, c, h, w = input_shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    cols = np.asarray(cols, dtype=np.float64).reshape(
+        n, out_h, out_w, c, kernel, kernel
+    )
+    cols = cols.transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=np.float64)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro.cli <experiment>`` or ``seghdc``.
+
+Examples::
+
+    seghdc list
+    seghdc table1 --scale quick --output-dir results/
+    seghdc figure7 --scale paper --output-dir results/
+    seghdc segment --dataset dsb2018 --output-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.datasets import available_datasets, make_dataset
+from repro.experiments import (
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments.records import ExperimentScale
+from repro.metrics import best_foreground_iou
+from repro.seghdc import SegHDC, SegHDCConfig
+from repro.viz import ascii_mask, mask_to_grayscale, save_panel
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="seghdc",
+        description="SegHDC reproduction: experiments and one-off segmentation runs.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments and datasets")
+
+    for name in available_experiments():
+        experiment_parser = subparsers.add_parser(name, help=f"run the {name} experiment")
+        experiment_parser.add_argument(
+            "--scale", default="quick", choices=("quick", "paper"), help="experiment scale"
+        )
+        experiment_parser.add_argument(
+            "--output-dir", default=None, help="directory for CSV/PNG artifacts"
+        )
+
+    segment_parser = subparsers.add_parser(
+        "segment", help="segment one synthetic sample with SegHDC"
+    )
+    segment_parser.add_argument(
+        "--dataset", default="dsb2018", choices=available_datasets()
+    )
+    segment_parser.add_argument("--index", type=int, default=0)
+    segment_parser.add_argument("--dimension", type=int, default=2000)
+    segment_parser.add_argument("--iterations", type=int, default=5)
+    segment_parser.add_argument("--height", type=int, default=128)
+    segment_parser.add_argument("--width", type=int, default=160)
+    segment_parser.add_argument("--output-dir", default=None)
+    return parser
+
+
+def _run_segment(args: argparse.Namespace) -> int:
+    dataset = make_dataset(
+        args.dataset,
+        num_images=args.index + 1,
+        image_shape=(args.height, args.width),
+        seed=0,
+    )
+    sample = dataset[args.index]
+    config = SegHDCConfig.paper_defaults(args.dataset).with_overrides(
+        dimension=args.dimension,
+        num_iterations=args.iterations,
+        beta=max(1, 26 * min(args.height, args.width) // 1000 + 1),
+    )
+    result = SegHDC(config).segment(sample.image)
+    iou = best_foreground_iou(result.labels, sample.mask)
+    print(f"dataset={args.dataset} image={sample.image.name}")
+    print(f"IoU={iou:.4f}  host latency={result.elapsed_seconds:.2f}s")
+    print(ascii_mask(result.labels))
+    if args.output_dir:
+        path = save_panel(
+            Path(args.output_dir) / f"segment_{sample.image.name}.png",
+            [sample.image.pixels, mask_to_grayscale(sample.mask), mask_to_grayscale(result.labels)],
+        )
+        print(f"panel written to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print("experiments:", ", ".join(available_experiments()))
+        print("datasets:", ", ".join(available_datasets()))
+        return 0
+    if args.command == "segment":
+        return _run_segment(args)
+    scale = ExperimentScale.from_name(args.scale)
+    result = run_experiment(args.command, scale=scale, output_dir=args.output_dir)
+    if hasattr(result, "to_table"):
+        print(result.to_table().to_markdown())
+    elif hasattr(result, "to_tables"):
+        for table in result.to_tables():
+            print(table.to_markdown())
+            print()
+    else:
+        print(result)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Synthetic segmentation datasets.
+
+The paper evaluates on BBBC005, DSB2018, and MoNuSeg.  Those images cannot be
+downloaded in this environment, so this package provides deterministic
+synthetic generators that mimic each dataset's geometry and photometry
+(image size, channel count, nuclei density/size/contrast, background, noise)
+and produce exact ground-truth masks.  The segmentation algorithms only ever
+see pixel positions and intensities, so these generators exercise the same
+code paths as the real data.
+"""
+
+from repro.datasets.base import SegmentationSample, SyntheticNucleiDataset
+from repro.datasets.bbbc005 import BBBC005Synthetic
+from repro.datasets.dsb2018 import DSB2018Synthetic
+from repro.datasets.monuseg import MoNuSegSynthetic
+from repro.datasets.registry import available_datasets, make_dataset
+
+__all__ = [
+    "BBBC005Synthetic",
+    "DSB2018Synthetic",
+    "MoNuSegSynthetic",
+    "SegmentationSample",
+    "SyntheticNucleiDataset",
+    "available_datasets",
+    "make_dataset",
+]

@@ -1,0 +1,40 @@
+"""Dataset registry: build datasets by name.
+
+The experiment harness refers to datasets by the paper's names ("bbbc005",
+"dsb2018", "monuseg"); this registry maps those names to generator classes and
+lets callers override the generator keyword arguments (image size, number of
+images, seed) without importing the concrete classes.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import SyntheticNucleiDataset
+from repro.datasets.bbbc005 import BBBC005Synthetic
+from repro.datasets.dsb2018 import DSB2018Synthetic
+from repro.datasets.monuseg import MoNuSegSynthetic
+
+__all__ = ["available_datasets", "make_dataset"]
+
+_REGISTRY: dict[str, type[SyntheticNucleiDataset]] = {
+    BBBC005Synthetic.name: BBBC005Synthetic,
+    DSB2018Synthetic.name: DSB2018Synthetic,
+    MoNuSegSynthetic.name: MoNuSegSynthetic,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names of the datasets the registry can build."""
+    return sorted(_REGISTRY)
+
+
+def make_dataset(name: str, **kwargs) -> SyntheticNucleiDataset:
+    """Instantiate a dataset by name, forwarding keyword arguments.
+
+    Raises ``KeyError`` with the list of known names when the name is unknown.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    return _REGISTRY[key](**kwargs)

@@ -1,0 +1,140 @@
+"""Analytical operation / memory cost models.
+
+Both models take the workload description (image size, hyper-parameters) and
+return a :class:`WorkloadCost` with three numbers: floating-point (or integer)
+operations performed, bytes moved through memory, and the peak working set in
+bytes.  The executor turns these into latency with a roofline-style rule and
+into an OOM verdict by comparing the working set against the device's usable
+memory.
+
+The counts are first-principles estimates of what the respective reference
+implementations actually allocate and execute, documented inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorkloadCost", "cnn_baseline_cost", "seghdc_cost"]
+
+_FLOAT_BYTES = 4  # both PyTorch and the numpy pipeline run in float32
+_HV_BYTES = 1  # binary hypervectors are stored as uint8
+# Rows per float32 chunk during the K-Means assignment; matches the default
+# chunk size of repro.seghdc.clusterer.HDKMeans so the modelled peak memory
+# reflects what the implementation actually allocates.
+_ASSIGNMENT_CHUNK_ROWS = 8192
+
+
+@dataclass(frozen=True)
+class WorkloadCost:
+    """Operation count, traffic, and peak working set of one run."""
+
+    operations: float
+    bytes_moved: float
+    peak_memory_bytes: float
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.operations < 0 or self.bytes_moved < 0 or self.peak_memory_bytes < 0:
+            raise ValueError("cost components must be non-negative")
+
+
+def seghdc_cost(
+    height: int,
+    width: int,
+    *,
+    dimension: int,
+    num_clusters: int,
+    num_iterations: int,
+    channels: int = 3,
+) -> WorkloadCost:
+    """Cost of one SegHDC run.
+
+    * Encoding: one XOR per hypervector element to bind rows with columns and
+      one more to bind the position HV with the color HV -> ``2 * N * d``
+      element operations, plus the level-table construction (negligible).
+    * Clustering, per iteration: the cosine-distance assignment is a
+      ``(N, d) x (d, k)`` product (``2 * N * d * k`` operations) plus the
+      norms (``2 * N * d``), and the centroid update re-reads the member HVs
+      once more (``N * d``).
+    * Memory: the pixel-HV matrix (``N * d`` bytes as uint8) dominates; the
+      float32 chunk used during the assignment adds one chunk of
+      ``chunk * d * 4`` bytes.
+    """
+    if height <= 0 or width <= 0:
+        raise ValueError("image dimensions must be positive")
+    num_pixels = height * width
+    encode_ops = 2.0 * num_pixels * dimension
+    assign_ops = (2.0 * num_pixels * dimension * num_clusters) + 2.0 * num_pixels * dimension
+    update_ops = 1.0 * num_pixels * dimension
+    operations = encode_ops + num_iterations * (assign_ops + update_ops)
+
+    hv_matrix_bytes = num_pixels * dimension * _HV_BYTES
+    # Every iteration streams the HV matrix for the assignment and again for
+    # the centroid update.
+    bytes_moved = hv_matrix_bytes * (1 + 2 * num_iterations)
+    chunk_rows = min(num_pixels, _ASSIGNMENT_CHUNK_ROWS)
+    peak_memory = (
+        2.0 * hv_matrix_bytes  # position grid + bound pixel grid during encode
+        + chunk_rows * dimension * _FLOAT_BYTES  # float32 assignment chunk
+        + num_pixels * (_FLOAT_BYTES + 4)  # intensities + labels
+    )
+    del channels  # channel count does not change the asymptotic HDC cost
+    return WorkloadCost(
+        operations=operations,
+        bytes_moved=bytes_moved,
+        peak_memory_bytes=peak_memory,
+        kind="hdc",
+    )
+
+
+def cnn_baseline_cost(
+    height: int,
+    width: int,
+    *,
+    channels: int = 3,
+    num_features: int = 100,
+    num_layers: int = 2,
+    iterations: int = 1000,
+    kernel_size: int = 3,
+) -> WorkloadCost:
+    """Cost of one CNN-baseline (Kim et al.) self-training run.
+
+    * Arithmetic per training iteration: each 3x3 convolution costs
+      ``2 * N * C_in * C_out * k^2`` FLOPs forward; the backward pass costs
+      roughly twice the forward (gradients w.r.t. weights and inputs), so each
+      conv contributes ``~6x`` its forward MACs per iteration.  Batch norm,
+      ReLU and the losses are linear in ``N * C`` and are included with a
+      small constant.
+    * Peak memory: the activations of every layer (input, conv outputs, batch
+      norm outputs) must be retained for the backward pass, each
+      ``N * num_features`` float32; their gradients double that; and the
+      im2col-style workspace of the widest 3x3 convolution adds
+      ``N * num_features * k^2`` float32.  This is what exhausts a 4 GB
+      Raspberry Pi for a 520 x 696 image.
+    """
+    if height <= 0 or width <= 0:
+        raise ValueError("image dimensions must be positive")
+    num_pixels = height * width
+    conv_forward = 2.0 * num_pixels * channels * num_features * kernel_size**2
+    for _ in range(num_layers - 1):
+        conv_forward += 2.0 * num_pixels * num_features * num_features * kernel_size**2
+    conv_forward += 2.0 * num_pixels * num_features * num_features  # 1x1 head
+    elementwise = 10.0 * num_pixels * num_features * (num_layers + 1)
+    per_iteration = 3.0 * conv_forward + elementwise  # forward + ~2x backward
+    operations = per_iteration * iterations
+
+    activation_bytes = num_pixels * num_features * _FLOAT_BYTES
+    # Retained for backward: per conv block the input, conv output, ReLU mask
+    # and BN output (~4 tensors), plus the head block (~3 tensors), plus
+    # gradients of the same size while backprop runs.
+    retained_tensors = 4 * num_layers + 3
+    col_buffer = num_pixels * num_features * kernel_size**2 * _FLOAT_BYTES
+    peak_memory = 2.0 * retained_tensors * activation_bytes + col_buffer
+    bytes_moved = iterations * (retained_tensors * activation_bytes * 3 + col_buffer)
+    return WorkloadCost(
+        operations=operations,
+        bytes_moved=bytes_moved,
+        peak_memory_bytes=peak_memory,
+        kind="tensor",
+    )

@@ -1,0 +1,73 @@
+"""Per-image energy estimation for edge deployments.
+
+The paper motivates HDC partly through its energy efficiency; this module
+turns the latency estimates of :class:`repro.device.EdgeDeviceSimulator` into
+energy figures using a simple two-state power model: the device draws
+``idle_power_watts`` continuously and an extra ``active_power_watts`` while
+the workload is running, so
+
+    energy = (idle + active) * latency.
+
+Default power figures are typical measured values for a Raspberry Pi 4
+(idle ~2.7 W, fully loaded ~6.4 W, i.e. ~3.7 W of active power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.executor import EdgeRunEstimate
+
+__all__ = ["EnergyModel", "EnergyEstimate", "RASPBERRY_PI_4_ENERGY"]
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy figures for one run."""
+
+    device: str
+    latency_seconds: float
+    average_power_watts: float
+    energy_joules: float
+
+    @property
+    def energy_watt_hours(self) -> float:
+        return self.energy_joules / 3600.0
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Two-state (idle + active) power model of a device."""
+
+    idle_power_watts: float
+    active_power_watts: float
+
+    def __post_init__(self) -> None:
+        if self.idle_power_watts < 0 or self.active_power_watts < 0:
+            raise ValueError("power figures must be non-negative")
+
+    @property
+    def busy_power_watts(self) -> float:
+        return self.idle_power_watts + self.active_power_watts
+
+    def estimate(self, run: EdgeRunEstimate) -> EnergyEstimate:
+        """Energy for a latency estimate produced by the device simulator."""
+        energy = self.busy_power_watts * run.latency_seconds
+        return EnergyEstimate(
+            device=run.device,
+            latency_seconds=run.latency_seconds,
+            average_power_watts=self.busy_power_watts,
+            energy_joules=energy,
+        )
+
+    def compare(self, fast: EdgeRunEstimate, slow: EdgeRunEstimate) -> float:
+        """Energy ratio slow/fast — how many times more energy the slow run uses."""
+        fast_energy = self.estimate(fast).energy_joules
+        slow_energy = self.estimate(slow).energy_joules
+        if fast_energy == 0.0:
+            raise ZeroDivisionError("fast run has zero energy")
+        return slow_energy / fast_energy
+
+
+#: Typical Raspberry Pi 4 Model B power draw (idle vs. CPU-loaded).
+RASPBERRY_PI_4_ENERGY = EnergyModel(idle_power_watts=2.7, active_power_watts=3.7)

@@ -1,0 +1,22 @@
+"""Exceptions raised by the edge-device simulator."""
+
+from __future__ import annotations
+
+__all__ = ["DeviceOutOfMemoryError"]
+
+
+class DeviceOutOfMemoryError(MemoryError):
+    """The estimated working set does not fit in the device's usable memory.
+
+    Mirrors the ``x`` (out of memory) entries of Table II: the CNN baseline
+    cannot process the 520 x 696 BBBC005 image on a 4 GB Raspberry Pi.
+    """
+
+    def __init__(self, required_bytes: int, available_bytes: int, device: str) -> None:
+        self.required_bytes = int(required_bytes)
+        self.available_bytes = int(available_bytes)
+        self.device = device
+        super().__init__(
+            f"workload needs {required_bytes / 1e9:.2f} GB but {device} has only "
+            f"{available_bytes / 1e9:.2f} GB usable memory"
+        )

@@ -1,0 +1,50 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every experiment accepts an :class:`ExperimentScale` so the same code path can
+run at ``quick`` scale (minutes, used by the pytest benchmarks and CI) or at
+``paper`` scale (paper-sized images and hypervector dimensions).  Each run
+returns a result object with the rows/series the paper reports and can emit
+CSV / markdown / PNG artifacts into an output directory.
+"""
+
+from repro.experiments.records import (
+    ExperimentScale,
+    ExperimentTable,
+    TableRow,
+    format_markdown_table,
+    write_csv,
+)
+from repro.experiments.runner import run_experiment, available_experiments
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.ablations import (
+    AblationResult,
+    run_encoding_ablation,
+    run_hyperparameter_ablation,
+)
+
+__all__ = [
+    "AblationResult",
+    "ExperimentScale",
+    "ExperimentTable",
+    "Figure6Result",
+    "Figure7Result",
+    "Figure8Result",
+    "Table1Result",
+    "Table2Result",
+    "TableRow",
+    "available_experiments",
+    "format_markdown_table",
+    "run_encoding_ablation",
+    "run_experiment",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_hyperparameter_ablation",
+    "run_table1",
+    "run_table2",
+    "write_csv",
+]

@@ -1,0 +1,126 @@
+"""Extension ablations: encoding variants and hyper-parameter sweeps.
+
+These go beyond the paper's tables and quantify the design decisions the
+paper motivates qualitatively in Section III:
+
+* **Encoding ablation** — IoU of the four position-encoding variants of
+  Fig. 3 (uniform, Manhattan, decay, block-decay) plus the fully random
+  codebook, on the same image.  The expectation is that block-decay (the
+  full SegHDC) is best and that uniform / random collapse.
+* **Hyper-parameter ablation** — IoU as a function of ``alpha``, ``beta``,
+  and ``gamma`` around the paper's operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.datasets import make_dataset
+from repro.experiments.records import ExperimentScale, ExperimentTable
+from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta
+from repro.metrics import best_foreground_iou
+from repro.seghdc import SegHDC, SegHDCConfig
+
+__all__ = ["AblationResult", "run_encoding_ablation", "run_hyperparameter_ablation"]
+
+_ENCODING_VARIANTS = ("uniform", "manhattan", "decay", "block_decay", "random")
+
+
+@dataclass
+class AblationResult:
+    """IoU per ablation setting."""
+
+    name: str
+    scale: str
+    scores: dict[str, float] = field(default_factory=dict)
+
+    def to_table(self) -> ExperimentTable:
+        table = ExperimentTable(
+            title=f"{self.name} (scale={self.scale})", columns=["iou"]
+        )
+        for setting, iou in self.scores.items():
+            table.add_row(setting, iou=iou)
+        return table
+
+    def best_setting(self) -> str:
+        if not self.scores:
+            raise ValueError("no ablation scores recorded")
+        return max(self.scores, key=self.scores.get)
+
+
+def _sample_and_config(scale: ExperimentScale, dataset_name: str = "dsb2018"):
+    paper_shape = DATASET_PAPER_SHAPES[dataset_name]
+    shape = scale.scaled_shape(paper_shape)
+    dataset = make_dataset(dataset_name, num_images=1, image_shape=shape, seed=scale.seed)
+    sample = dataset[0]
+    config = SegHDCConfig.paper_defaults(dataset_name).with_overrides(
+        dimension=scale.seghdc_dimension,
+        num_iterations=scale.seghdc_iterations,
+        seed=scale.seed,
+    )
+    config = _adapt_beta(config, shape, paper_shape)
+    return sample, config
+
+
+def run_encoding_ablation(
+    scale: ExperimentScale | str = "quick",
+    *,
+    dataset: str = "dsb2018",
+    output_dir: str | Path | None = None,
+) -> AblationResult:
+    """IoU of every position-encoding variant of Fig. 3 on one sample image."""
+    if isinstance(scale, str):
+        scale = ExperimentScale.from_name(scale)
+    sample, base_config = _sample_and_config(scale, dataset)
+    result = AblationResult(name="encoding ablation", scale=scale.name)
+    for variant in _ENCODING_VARIANTS:
+        config = base_config.with_overrides(position_encoding=variant)
+        labels = SegHDC(config).segment(sample.image).labels
+        result.scores[variant] = best_foreground_iou(labels, sample.mask)
+    if output_dir is not None:
+        result.to_table().to_csv(Path(output_dir) / "ablation_encodings.csv")
+    return result
+
+
+def run_hyperparameter_ablation(
+    scale: ExperimentScale | str = "quick",
+    *,
+    dataset: str = "dsb2018",
+    alphas: tuple[float, ...] = (0.1, 0.2, 0.5, 1.0),
+    betas: tuple[int, ...] = (1, 4, 13, 26),
+    gammas: tuple[int, ...] = (1, 2, 4),
+    output_dir: str | Path | None = None,
+) -> AblationResult:
+    """IoU as a function of alpha, beta, and gamma around the paper's setting.
+
+    Beta values are interpreted at the paper's image scale and rescaled to
+    the experiment's image size the same way the Table I harness does.
+    """
+    if isinstance(scale, str):
+        scale = ExperimentScale.from_name(scale)
+    sample, base_config = _sample_and_config(scale, dataset)
+    paper_shape = DATASET_PAPER_SHAPES[dataset]
+    shape = scale.scaled_shape(paper_shape)
+    result = AblationResult(name="hyper-parameter ablation", scale=scale.name)
+    for alpha in alphas:
+        config = base_config.with_overrides(alpha=float(alpha))
+        labels = SegHDC(config).segment(sample.image).labels
+        result.scores[f"alpha={alpha}"] = best_foreground_iou(labels, sample.mask)
+    for beta in betas:
+        paper_config = SegHDCConfig.paper_defaults(dataset).with_overrides(
+            dimension=base_config.dimension,
+            num_iterations=base_config.num_iterations,
+            beta=int(beta),
+            seed=base_config.seed,
+        )
+        config = _adapt_beta(paper_config, shape, paper_shape)
+        labels = SegHDC(config).segment(sample.image).labels
+        result.scores[f"beta={beta}"] = best_foreground_iou(labels, sample.mask)
+    for gamma in gammas:
+        config = base_config.with_overrides(gamma=int(gamma))
+        labels = SegHDC(config).segment(sample.image).labels
+        result.scores[f"gamma={gamma}"] = best_foreground_iou(labels, sample.mask)
+    if output_dir is not None:
+        result.to_table().to_csv(Path(output_dir) / "ablation_hyperparameters.csv")
+    return result

@@ -1,0 +1,144 @@
+"""Figure 7: IoU and Raspberry Pi latency vs. iterations and vs. HV dimension.
+
+Figure 7(a) sweeps the number of K-Means iterations from 1 to 10 on the
+DSB2018 sample image with d = 10000: IoU jumps after 2 iterations, saturates
+by ~4 iterations, while the Pi latency grows roughly linearly from ~20 s to
+over 300 s.  Figure 7(b) sweeps the HV dimension from 200 to 1000 with 10
+iterations: IoU is fairly stable while latency grows mildly (~90 s to ~110 s).
+
+The reproduction measures IoU on the synthetic DSB2018 stand-in (image size
+and the swept dimension capped by the experiment scale) and reports both the
+host wall-clock and the modelled Raspberry Pi latency for each sweep point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.datasets import make_dataset
+from repro.device import EdgeDeviceSimulator, RASPBERRY_PI_4
+from repro.experiments.records import ExperimentScale, ExperimentTable
+from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta
+from repro.metrics import best_foreground_iou
+from repro.seghdc import SegHDC, SegHDCConfig
+
+__all__ = ["Figure7Point", "Figure7Result", "run_figure7"]
+
+_PAPER_SWEEP_DIMENSION = 10_000  # Fig. 7(a) uses d = 10000
+_PAPER_SWEEP_ITERATIONS = 10  # Fig. 7(b) uses 10 iterations
+
+
+@dataclass
+class Figure7Point:
+    """One sweep point: the swept value, the IoU, and the two latencies."""
+
+    value: int
+    iou: float
+    host_seconds: float
+    pi_seconds: float
+
+
+@dataclass
+class Figure7Result:
+    scale: str
+    iteration_sweep: list[Figure7Point] = field(default_factory=list)
+    dimension_sweep: list[Figure7Point] = field(default_factory=list)
+
+    def to_tables(self) -> tuple[ExperimentTable, ExperimentTable]:
+        iteration_table = ExperimentTable(
+            title=f"Figure 7a (scale={self.scale})",
+            columns=["iou", "host_seconds", "pi_seconds"],
+        )
+        for point in self.iteration_sweep:
+            iteration_table.add_row(
+                f"iterations={point.value}",
+                iou=point.iou,
+                host_seconds=point.host_seconds,
+                pi_seconds=point.pi_seconds,
+            )
+        dimension_table = ExperimentTable(
+            title=f"Figure 7b (scale={self.scale})",
+            columns=["iou", "host_seconds", "pi_seconds"],
+        )
+        for point in self.dimension_sweep:
+            dimension_table.add_row(
+                f"dimension={point.value}",
+                iou=point.iou,
+                host_seconds=point.host_seconds,
+                pi_seconds=point.pi_seconds,
+            )
+        return iteration_table, dimension_table
+
+
+def run_figure7(
+    scale: ExperimentScale | str = "quick",
+    *,
+    output_dir: str | Path | None = None,
+) -> Figure7Result:
+    """Reproduce both sweeps of Figure 7 on a DSB2018-like sample image."""
+    if isinstance(scale, str):
+        scale = ExperimentScale.from_name(scale)
+    simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+    paper_shape = DATASET_PAPER_SHAPES["dsb2018"]
+    shape = scale.scaled_shape(paper_shape)
+    dataset = make_dataset("dsb2018", num_images=1, image_shape=shape, seed=scale.seed)
+    sample = dataset[0]
+    base_config = SegHDCConfig.paper_defaults("dsb2018").with_overrides(seed=scale.seed)
+    base_config = _adapt_beta(base_config, shape, paper_shape)
+    result = Figure7Result(scale=scale.name)
+
+    # --- Figure 7(a): iteration sweep at (capped) d = 10000.
+    sweep_dimension = min(_PAPER_SWEEP_DIMENSION, scale.seghdc_dimension * 2)
+    for iterations in scale.sweep_iterations:
+        config = base_config.with_overrides(
+            dimension=sweep_dimension, num_iterations=int(iterations)
+        )
+        run = SegHDC(config).segment(sample.image)
+        pi = simulator.estimate_seghdc(
+            paper_shape[0],
+            paper_shape[1],
+            dimension=_PAPER_SWEEP_DIMENSION,
+            num_clusters=config.num_clusters,
+            num_iterations=int(iterations),
+        )
+        result.iteration_sweep.append(
+            Figure7Point(
+                value=int(iterations),
+                iou=best_foreground_iou(run.labels, sample.mask),
+                host_seconds=run.elapsed_seconds,
+                pi_seconds=pi.latency_seconds,
+            )
+        )
+
+    # --- Figure 7(b): dimension sweep at 10 iterations.
+    sweep_iterations = min(_PAPER_SWEEP_ITERATIONS, max(scale.sweep_iterations))
+    for dimension in scale.sweep_dimensions:
+        config = base_config.with_overrides(
+            dimension=int(dimension), num_iterations=sweep_iterations
+        )
+        run = SegHDC(config).segment(sample.image)
+        pi = simulator.estimate_seghdc(
+            paper_shape[0],
+            paper_shape[1],
+            dimension=int(dimension),
+            num_clusters=config.num_clusters,
+            num_iterations=_PAPER_SWEEP_ITERATIONS,
+        )
+        result.dimension_sweep.append(
+            Figure7Point(
+                value=int(dimension),
+                iou=best_foreground_iou(run.labels, sample.mask),
+                host_seconds=run.elapsed_seconds,
+                pi_seconds=pi.latency_seconds,
+            )
+        )
+    if output_dir is not None:
+        iteration_table, dimension_table = result.to_tables()
+        output_dir = Path(output_dir)
+        iteration_table.to_csv(output_dir / "figure7a.csv")
+        dimension_table.to_csv(output_dir / "figure7b.csv")
+        (output_dir / "figure7.md").write_text(
+            iteration_table.to_markdown() + "\n\n" + dimension_table.to_markdown() + "\n"
+        )
+    return result

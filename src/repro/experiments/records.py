@@ -1,0 +1,151 @@
+"""Shared result records and emitters for the experiment harness."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ExperimentScale",
+    "ExperimentTable",
+    "TableRow",
+    "format_markdown_table",
+    "write_csv",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for runtime.
+
+    ``quick`` keeps every experiment in the minutes range on a laptop by
+    shrinking images, hypervector dimensions and the baseline's training
+    budget; ``paper`` uses the paper's sizes (256x320 / 520x696 images,
+    d = 10000, 1000 baseline iterations) and can take hours in pure numpy.
+    The *relative* behaviour (who wins, by roughly what factor) is preserved
+    across scales, which is what the reproduction is judged on.
+    """
+
+    name: str
+    images_per_dataset: int
+    image_scale: float
+    seghdc_dimension: int
+    seghdc_iterations: int
+    baseline_features: int
+    baseline_layers: int
+    baseline_iterations: int
+    sweep_iterations: tuple[int, ...]
+    sweep_dimensions: tuple[int, ...]
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        return cls(
+            name="quick",
+            images_per_dataset=2,
+            image_scale=0.35,
+            seghdc_dimension=1000,
+            seghdc_iterations=5,
+            baseline_features=24,
+            baseline_layers=2,
+            baseline_iterations=15,
+            sweep_iterations=(1, 2, 3, 4, 6, 8, 10),
+            sweep_dimensions=(200, 400, 600, 800, 1000),
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls(
+            name="paper",
+            images_per_dataset=25,
+            image_scale=1.0,
+            seghdc_dimension=10_000,
+            seghdc_iterations=10,
+            baseline_features=100,
+            baseline_layers=2,
+            baseline_iterations=1000,
+            sweep_iterations=tuple(range(1, 11)),
+            sweep_dimensions=(200, 400, 600, 800, 1000),
+        )
+
+    @classmethod
+    def from_name(cls, name: str) -> "ExperimentScale":
+        key = name.lower()
+        if key == "quick":
+            return cls.quick()
+        if key == "paper":
+            return cls.paper()
+        raise KeyError(f"unknown scale {name!r}; expected 'quick' or 'paper'")
+
+    def scaled_shape(self, shape: tuple[int, int]) -> tuple[int, int]:
+        """Scale a paper-sized image shape by ``image_scale`` (minimum 32 px)."""
+        return (
+            max(32, int(round(shape[0] * self.image_scale))),
+            max(32, int(round(shape[1] * self.image_scale))),
+        )
+
+
+@dataclass
+class TableRow:
+    """One row of an experiment table: a label plus named numeric cells."""
+
+    label: str
+    values: dict[str, float | str] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentTable:
+    """A titled collection of rows with a fixed column order."""
+
+    title: str
+    columns: list[str]
+    rows: list[TableRow] = field(default_factory=list)
+
+    def add_row(self, label: str, **values: float | str) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; table has {self.columns}")
+        self.rows.append(TableRow(label=label, values=dict(values)))
+
+    def to_markdown(self) -> str:
+        return format_markdown_table(self)
+
+    def to_csv(self, path: str | Path) -> Path:
+        return write_csv(self, path)
+
+
+def _format_cell(value: float | str | None) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_markdown_table(table: ExperimentTable) -> str:
+    """Render an :class:`ExperimentTable` as GitHub-flavoured markdown."""
+    header = "| " + " | ".join([table.title] + table.columns) + " |"
+    divider = "|" + "---|" * (len(table.columns) + 1)
+    lines = [header, divider]
+    for row in table.rows:
+        cells = [row.label] + [
+            _format_cell(row.values.get(column)) for column in table.columns
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def write_csv(table: ExperimentTable, path: str | Path) -> Path:
+    """Write an :class:`ExperimentTable` to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([table.title] + table.columns)
+        for row in table.rows:
+            writer.writerow(
+                [row.label]
+                + [_format_cell(row.values.get(column)) for column in table.columns]
+            )
+    return path

@@ -1,0 +1,45 @@
+"""Experiment dispatch used by the CLI and the benchmark harness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.ablations import run_encoding_ablation, run_hyperparameter_ablation
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.records import ExperimentScale
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = ["available_experiments", "run_experiment"]
+
+_EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "figure6": run_figure6,
+    "figure7": run_figure7,
+    "figure8": run_figure8,
+    "ablation-encodings": run_encoding_ablation,
+    "ablation-hyperparameters": run_hyperparameter_ablation,
+}
+
+
+def available_experiments() -> list[str]:
+    """Names accepted by :func:`run_experiment` (and the CLI)."""
+    return sorted(_EXPERIMENTS)
+
+
+def run_experiment(
+    name: str,
+    *,
+    scale: ExperimentScale | str = "quick",
+    output_dir: str | Path | None = None,
+):
+    """Run one experiment by name and return its result object."""
+    key = name.lower()
+    if key not in _EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
+        )
+    return _EXPERIMENTS[key](scale, output_dir=output_dir)

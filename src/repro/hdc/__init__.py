@@ -1,0 +1,49 @@
+"""Hyperdimensional computing (HDC) substrate.
+
+This package provides the binary-hypervector primitives that the SegHDC
+framework is built on: random hypervector generation, XOR binding, bundling
+(element-wise summation), the distance metrics used by the paper (Hamming,
+normalized Hamming, cosine, Manhattan), flip-based level encoders, and item
+memories.
+
+The representation is deliberately simple: a binary hypervector is a 1-D
+``numpy.ndarray`` of dtype ``uint8`` holding only 0/1 values.  Bundled
+(integer-valued) hypervectors are ``int64`` arrays.
+"""
+
+from repro.hdc.hypervector import (
+    HypervectorSpace,
+    bind,
+    bundle,
+    flip_prefix,
+    flip_range,
+    random_hv,
+    validate_binary_hv,
+)
+from repro.hdc.distances import (
+    cosine_distance,
+    cosine_similarity,
+    hamming_distance,
+    manhattan_distance,
+    normalized_hamming,
+)
+from repro.hdc.encoding import LevelEncoder, PrefixFlipEncoder
+from repro.hdc.item_memory import ItemMemory
+
+__all__ = [
+    "HypervectorSpace",
+    "ItemMemory",
+    "LevelEncoder",
+    "PrefixFlipEncoder",
+    "bind",
+    "bundle",
+    "cosine_distance",
+    "cosine_similarity",
+    "flip_prefix",
+    "flip_range",
+    "hamming_distance",
+    "manhattan_distance",
+    "normalized_hamming",
+    "random_hv",
+    "validate_binary_hv",
+]

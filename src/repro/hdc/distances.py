@@ -1,0 +1,67 @@
+"""Distance metrics for hypervectors.
+
+The paper uses three notions of distance:
+
+* **Hamming distance** between binary HVs — the number of differing elements.
+  For binary vectors it equals the Manhattan (L1) distance, which is why the
+  flip-based encoders can realise Manhattan geometry in HV space.
+* **Normalized Hamming distance** — Hamming distance divided by the dimension;
+  two random HVs are pseudo-orthogonal when it is close to 0.5.
+* **Cosine distance** — used by the clusterer, because bundled centroids are
+  integer-valued and their length must not influence the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cosine_distance",
+    "cosine_similarity",
+    "hamming_distance",
+    "manhattan_distance",
+    "normalized_hamming",
+]
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where the two binary HVs differ."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def normalized_hamming(a: np.ndarray, b: np.ndarray) -> float:
+    """Hamming distance divided by the dimension (in [0, 1])."""
+    a = np.asarray(a)
+    if a.size == 0:
+        raise ValueError("cannot compute normalized Hamming distance of empty HVs")
+    return hamming_distance(a, b) / a.size
+
+
+def manhattan_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """L1 distance between two vectors (equals Hamming for binary HVs)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).sum())
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine of the angle between two vectors; 0.0 if either has zero norm."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / norm)
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine distance ``1 - cos(a, b)`` as defined in Eq. 7 of the paper."""
+    return 1.0 - cosine_similarity(a, b)

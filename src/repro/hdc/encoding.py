@@ -1,0 +1,144 @@
+"""Flip-based level encoders.
+
+The paper's position and color encoders are both instances of the same
+primitive: start from one random base hypervector and derive level ``i`` by
+flipping the first ``i * unit`` elements of a designated region.  Because the
+flips are cumulative prefixes, the Hamming distance between levels ``i`` and
+``j`` equals ``|i - j| * unit`` (until the region saturates), which realizes a
+Manhattan / L1 geometry in hypervector space.
+
+Two classes are provided:
+
+* :class:`PrefixFlipEncoder` — the exact primitive above, parameterised by
+  the flip unit, the region of the HV that may be flipped, and the number of
+  levels.
+* :class:`LevelEncoder` — a convenience wrapper that derives the flip unit
+  from the number of levels (``unit = floor(region / levels)``), matching the
+  paper's ``uc = floor(d / 256)`` color quantisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.hypervector import validate_binary_hv
+
+__all__ = ["PrefixFlipEncoder", "LevelEncoder"]
+
+
+class PrefixFlipEncoder:
+    """Derive level hypervectors from a base HV by cumulative prefix flips.
+
+    Parameters
+    ----------
+    base:
+        The level-0 binary hypervector.
+    unit:
+        Number of elements flipped per level step.
+    num_levels:
+        Number of distinct levels the encoder must support (level indices
+        ``0 .. num_levels - 1``).
+    region_start, region_stop:
+        Half-open interval of the HV inside which flips are applied.  Flips
+        that would run past ``region_stop`` are clipped (the encoding
+        saturates), mirroring the paper's behaviour when ``alpha < 1`` leaves
+        part of the HV untouched.
+    """
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        *,
+        unit: int,
+        num_levels: int,
+        region_start: int = 0,
+        region_stop: int | None = None,
+    ) -> None:
+        self.base = validate_binary_hv(base, name="base")
+        if unit < 0:
+            raise ValueError(f"unit must be non-negative, got {unit}")
+        if num_levels <= 0:
+            raise ValueError(f"num_levels must be positive, got {num_levels}")
+        dimension = self.base.size
+        if region_stop is None:
+            region_stop = dimension
+        if not (0 <= region_start <= region_stop <= dimension):
+            raise ValueError(
+                f"invalid region [{region_start}, {region_stop}) "
+                f"for dimension {dimension}"
+            )
+        self.unit = int(unit)
+        self.num_levels = int(num_levels)
+        self.region_start = int(region_start)
+        self.region_stop = int(region_stop)
+
+    @property
+    def dimension(self) -> int:
+        return self.base.size
+
+    @property
+    def region_size(self) -> int:
+        return self.region_stop - self.region_start
+
+    def flip_count(self, level: int) -> int:
+        """Number of elements that level ``level`` flips relative to the base."""
+        self._check_level(level)
+        return min(level * self.unit, self.region_size)
+
+    def encode(self, level: int) -> np.ndarray:
+        """Hypervector for ``level`` (a fresh array; the base is never mutated)."""
+        self._check_level(level)
+        out = self.base.copy()
+        count = self.flip_count(level)
+        if count:
+            out[self.region_start : self.region_start + count] ^= 1
+        return out
+
+    def encode_all(self) -> np.ndarray:
+        """All level HVs stacked into a ``(num_levels, d)`` array."""
+        return np.stack([self.encode(level) for level in range(self.num_levels)])
+
+    def expected_distance(self, level_a: int, level_b: int) -> int:
+        """Hamming distance the flip-prefix construction guarantees.
+
+        This is ``|flip_count(a) - flip_count(b)|`` because the flipped sets
+        are nested prefixes of the same region.
+        """
+        return abs(self.flip_count(level_a) - self.flip_count(level_b))
+
+    def _check_level(self, level: int) -> None:
+        if not (0 <= level < self.num_levels):
+            raise ValueError(
+                f"level {level} out of range [0, {self.num_levels})"
+            )
+
+
+class LevelEncoder(PrefixFlipEncoder):
+    """Level encoder whose flip unit is derived from the number of levels.
+
+    Matches the paper's color quantisation: with ``num_levels = 256`` and a
+    region of ``d`` elements, the flip unit is ``uc = floor(d / 256)`` so the
+    largest distance (level 0 vs. 255) is ``255 * uc``.
+    """
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        *,
+        num_levels: int,
+        region_start: int = 0,
+        region_stop: int | None = None,
+    ) -> None:
+        base = validate_binary_hv(base, name="base")
+        stop = base.size if region_stop is None else region_stop
+        region = stop - region_start
+        if num_levels <= 0:
+            raise ValueError(f"num_levels must be positive, got {num_levels}")
+        unit = region // num_levels
+        super().__init__(
+            base,
+            unit=unit,
+            num_levels=num_levels,
+            region_start=region_start,
+            region_stop=region_stop,
+        )

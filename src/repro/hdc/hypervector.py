@@ -1,0 +1,146 @@
+"""Binary hypervector primitives.
+
+A binary hypervector (HV) is represented as a 1-D ``numpy.ndarray`` with dtype
+``uint8`` containing only the values 0 and 1.  All functions in this module
+are pure: they never mutate their inputs and always return new arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HypervectorSpace",
+    "bind",
+    "bundle",
+    "flip_prefix",
+    "flip_range",
+    "random_hv",
+    "validate_binary_hv",
+]
+
+
+def validate_binary_hv(hv: np.ndarray, *, name: str = "hv") -> np.ndarray:
+    """Check that ``hv`` is a 1-D binary array and return it as ``uint8``.
+
+    Raises ``ValueError`` if the array is not one dimensional or contains
+    values other than 0/1.
+    """
+    arr = np.asarray(hv)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 values")
+    return arr.astype(np.uint8, copy=False)
+
+
+def random_hv(dimension: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a random binary hypervector with ~50% ones.
+
+    Random HVs of high dimension are pseudo-orthogonal: their normalized
+    Hamming distance concentrates around 0.5 (Lemma 1 of the paper).
+    """
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    return rng.integers(0, 2, size=dimension, dtype=np.uint8)
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Associate two binary HVs with element-wise XOR.
+
+    XOR is the binding operator used throughout SegHDC because it preserves
+    Hamming distance: flipping ``m`` elements of either operand flips exactly
+    ``m`` elements of the result.
+    """
+    a = validate_binary_hv(a, name="a")
+    b = validate_binary_hv(b, name="b")
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return np.bitwise_xor(a, b)
+
+
+def bundle(hvs: np.ndarray) -> np.ndarray:
+    """Bundle a stack of binary HVs by element-wise summation.
+
+    ``hvs`` is a 2-D array of shape ``(n, d)``.  The result is the ``int64``
+    element-wise sum, which SegHDC uses as the (non-binary) cluster centroid;
+    cosine distance is insensitive to the resulting vector length.
+    """
+    arr = np.asarray(hvs)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D stack of HVs, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("cannot bundle an empty stack of HVs")
+    return arr.astype(np.int64, copy=False).sum(axis=0)
+
+
+def flip_range(hv: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Return a copy of ``hv`` with elements in ``[start, stop)`` flipped."""
+    hv = validate_binary_hv(hv)
+    if start < 0 or stop > hv.size or start > stop:
+        raise ValueError(
+            f"invalid flip range [{start}, {stop}) for dimension {hv.size}"
+        )
+    out = hv.copy()
+    out[start:stop] ^= 1
+    return out
+
+
+def flip_prefix(hv: np.ndarray, count: int, *, offset: int = 0) -> np.ndarray:
+    """Return a copy of ``hv`` with the ``count`` elements after ``offset`` flipped.
+
+    This is the primitive behind the paper's level encoders: level ``i`` of a
+    flip-prefix code differs from the base HV exactly in its first ``i * unit``
+    positions, so the Hamming distance between two levels is proportional to
+    their level difference (a Manhattan / L1 relationship).
+    """
+    hv = validate_binary_hv(hv)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    stop = min(offset + count, hv.size)
+    return flip_range(hv, offset, stop)
+
+
+class HypervectorSpace:
+    """A seeded factory for hypervectors of a fixed dimension.
+
+    The space owns a ``numpy.random.Generator`` so that every HV drawn from it
+    is reproducible given the seed.  It is the single entry point the rest of
+    the code base uses to create base/random hypervectors.
+    """
+
+    def __init__(self, dimension: int, *, seed: int | None = 0) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = int(dimension)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def random(self) -> np.ndarray:
+        """Draw one random binary HV."""
+        return random_hv(self.dimension, self._rng)
+
+    def random_batch(self, count: int) -> np.ndarray:
+        """Draw ``count`` random binary HVs as a ``(count, d)`` array."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self._rng.integers(0, 2, size=(count, self.dimension), dtype=np.uint8)
+
+    def zeros(self) -> np.ndarray:
+        """An all-zero HV (identity element of XOR binding)."""
+        return np.zeros(self.dimension, dtype=np.uint8)
+
+    def subspace(self, dimension: int) -> "HypervectorSpace":
+        """A new space of a different dimension sharing this space's RNG stream.
+
+        Used by the 3-channel color encoder, which allocates ``d/3`` dimensions
+        per channel.
+        """
+        child = HypervectorSpace(dimension, seed=None)
+        child._rng = self._rng
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HypervectorSpace(dimension={self.dimension}, seed={self.seed})"

@@ -1,0 +1,93 @@
+"""Item memory: an associative store of named hypervectors.
+
+Classic HDC systems keep a dictionary from symbols to hypervectors and answer
+queries by returning the stored symbol whose HV is nearest to a query HV.
+SegHDC itself does not need an associative memory for segmentation, but the
+ablation encoders (RPos / RColor) and the test-suite use it as the canonical
+"random codebook" the paper compares against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+import numpy as np
+
+from repro.hdc.distances import cosine_distance, hamming_distance
+from repro.hdc.hypervector import HypervectorSpace, validate_binary_hv
+
+__all__ = ["ItemMemory"]
+
+
+class ItemMemory:
+    """A mapping from hashable keys to binary hypervectors.
+
+    Keys that have never been seen are assigned a fresh random HV on first
+    access (``get_or_create``), which is how classical HDC builds random
+    codebooks for categorical symbols.
+    """
+
+    def __init__(self, space: HypervectorSpace) -> None:
+        self.space = space
+        self._store: dict[Hashable, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._store)
+
+    def add(self, key: Hashable, hv: np.ndarray) -> None:
+        """Store ``hv`` under ``key``; raises if the key already exists."""
+        if key in self._store:
+            raise KeyError(f"key {key!r} already present in item memory")
+        hv = validate_binary_hv(hv)
+        if hv.size != self.space.dimension:
+            raise ValueError(
+                f"hypervector dimension {hv.size} does not match "
+                f"space dimension {self.space.dimension}"
+            )
+        self._store[key] = hv.copy()
+
+    def get(self, key: Hashable) -> np.ndarray:
+        """Return the HV stored under ``key`` (KeyError if absent)."""
+        return self._store[key]
+
+    def get_or_create(self, key: Hashable) -> np.ndarray:
+        """Return the HV for ``key``, drawing a fresh random HV if unseen."""
+        if key not in self._store:
+            self._store[key] = self.space.random()
+        return self._store[key]
+
+    def nearest(self, query: np.ndarray, *, metric: str = "hamming") -> Hashable:
+        """Key of the stored HV nearest to ``query``.
+
+        ``metric`` is either ``"hamming"`` or ``"cosine"``.  Raises
+        ``LookupError`` if the memory is empty.
+        """
+        if not self._store:
+            raise LookupError("item memory is empty")
+        if metric == "hamming":
+            measure = hamming_distance
+        elif metric == "cosine":
+            measure = cosine_distance
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        best_key = None
+        best_distance = None
+        for key, hv in self._store.items():
+            distance = measure(query, hv)
+            if best_distance is None or distance < best_distance:
+                best_key = key
+                best_distance = distance
+        return best_key
+
+    def as_matrix(self) -> tuple[list[Hashable], np.ndarray]:
+        """All keys and their HVs stacked into a ``(n, d)`` array."""
+        keys = list(self._store)
+        if not keys:
+            return keys, np.empty((0, self.space.dimension), dtype=np.uint8)
+        return keys, np.stack([self._store[key] for key in keys])

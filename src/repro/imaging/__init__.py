@@ -1,0 +1,54 @@
+"""Pure-numpy imaging substrate.
+
+Neither PIL nor OpenCV is assumed to be available, so this package provides
+the small set of image operations the reproduction needs: an image container,
+color-space conversion, resizing, Gaussian blur, noise injection, shape
+rasterisation (for the synthetic datasets), and PGM/PNG file I/O implemented
+with only the standard library (``zlib`` + ``struct``).
+"""
+
+from repro.imaging.image import (
+    Image,
+    ensure_uint8,
+    to_float,
+    to_grayscale,
+    to_rgb,
+)
+from repro.imaging.draw import draw_ellipse, draw_rectangle, fill_polygon
+from repro.imaging.filters import (
+    add_gaussian_noise,
+    add_poisson_noise,
+    box_blur,
+    gaussian_blur,
+    gaussian_kernel_1d,
+)
+from repro.imaging.transform import (
+    normalize_to_unit,
+    pad_to,
+    rescale_intensity,
+    resize_nearest,
+)
+from repro.imaging.io import read_pgm, write_pgm, write_png
+
+__all__ = [
+    "Image",
+    "add_gaussian_noise",
+    "add_poisson_noise",
+    "box_blur",
+    "draw_ellipse",
+    "draw_rectangle",
+    "ensure_uint8",
+    "fill_polygon",
+    "gaussian_blur",
+    "gaussian_kernel_1d",
+    "normalize_to_unit",
+    "pad_to",
+    "read_pgm",
+    "rescale_intensity",
+    "resize_nearest",
+    "to_float",
+    "to_grayscale",
+    "to_rgb",
+    "write_pgm",
+    "write_png",
+]

@@ -1,0 +1,87 @@
+"""Separable blurs and noise models for the synthetic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "add_gaussian_noise",
+    "add_poisson_noise",
+    "box_blur",
+    "gaussian_blur",
+    "gaussian_kernel_1d",
+]
+
+
+def gaussian_kernel_1d(sigma: float, *, truncate: float = 3.0) -> np.ndarray:
+    """A normalised 1-D Gaussian kernel with radius ``truncate * sigma``."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    radius = max(1, int(truncate * sigma + 0.5))
+    offsets = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-0.5 * (offsets / sigma) ** 2)
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Gaussian blur applied per channel; ``sigma <= 0`` is a no-op copy."""
+    arr = np.asarray(image, dtype=np.float64)
+    if sigma <= 0:
+        return arr.copy()
+    if arr.ndim == 2:
+        return ndimage.gaussian_filter(arr, sigma=sigma, mode="nearest")
+    if arr.ndim == 3:
+        out = np.empty_like(arr)
+        for channel in range(arr.shape[2]):
+            out[:, :, channel] = ndimage.gaussian_filter(
+                arr[:, :, channel], sigma=sigma, mode="nearest"
+            )
+        return out
+    raise ValueError(f"unsupported image shape {arr.shape}")
+
+
+def box_blur(image: np.ndarray, size: int) -> np.ndarray:
+    """Uniform (box) blur with an odd window ``size``; size <= 1 is a copy."""
+    arr = np.asarray(image, dtype=np.float64)
+    if size <= 1:
+        return arr.copy()
+    if size % 2 == 0:
+        raise ValueError(f"box blur size must be odd, got {size}")
+    if arr.ndim == 2:
+        return ndimage.uniform_filter(arr, size=size, mode="nearest")
+    if arr.ndim == 3:
+        out = np.empty_like(arr)
+        for channel in range(arr.shape[2]):
+            out[:, :, channel] = ndimage.uniform_filter(
+                arr[:, :, channel], size=size, mode="nearest"
+            )
+        return out
+    raise ValueError(f"unsupported image shape {arr.shape}")
+
+
+def add_gaussian_noise(
+    image: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Additive zero-mean Gaussian noise (sensor read noise)."""
+    arr = np.asarray(image, dtype=np.float64)
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if sigma == 0:
+        return arr.copy()
+    return arr + rng.normal(0.0, sigma, size=arr.shape)
+
+
+def add_poisson_noise(
+    image: np.ndarray, rng: np.random.Generator, *, scale: float = 1.0
+) -> np.ndarray:
+    """Poisson (shot) noise: each pixel becomes a Poisson draw around its value.
+
+    ``scale`` controls the photon count per intensity unit: larger scales mean
+    less relative noise.  Negative pixel values are clipped to zero before the
+    draw.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    arr = np.clip(np.asarray(image, dtype=np.float64), 0.0, None)
+    return rng.poisson(arr * scale).astype(np.float64) / scale

@@ -1,0 +1,95 @@
+"""Minimal PGM / PNG file I/O implemented with the standard library only.
+
+PNG writing is enough to emit the qualitative figures (Fig. 6 and Fig. 8):
+8-bit grayscale or RGB, no interlacing, one zlib-compressed IDAT chunk.
+PGM (binary P5) is used as a trivially parseable interchange format in tests.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.imaging.image import ensure_uint8
+
+__all__ = ["read_pgm", "write_pgm", "write_png"]
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _png_chunk(chunk_type: bytes, payload: bytes) -> bytes:
+    crc = zlib.crc32(chunk_type + payload) & 0xFFFFFFFF
+    return struct.pack(">I", len(payload)) + chunk_type + payload + struct.pack(">I", crc)
+
+
+def write_png(path: str | Path, pixels: np.ndarray) -> Path:
+    """Write an 8-bit grayscale or RGB PNG and return the path written."""
+    arr = ensure_uint8(pixels)
+    if arr.ndim == 2:
+        color_type = 0  # grayscale
+        arr = arr[:, :, None]
+    elif arr.ndim == 3 and arr.shape[2] == 1:
+        color_type = 0
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        color_type = 2  # truecolor
+    else:
+        raise ValueError(f"unsupported image shape {np.asarray(pixels).shape}")
+    height, width, _ = arr.shape
+    header = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    # Each scanline is prefixed with filter type 0 (None).
+    raw = b"".join(b"\x00" + arr[row].tobytes() for row in range(height))
+    payload = (
+        _PNG_SIGNATURE
+        + _png_chunk(b"IHDR", header)
+        + _png_chunk(b"IDAT", zlib.compress(raw, level=6))
+        + _png_chunk(b"IEND", b"")
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(payload)
+    return path
+
+
+def write_pgm(path: str | Path, pixels: np.ndarray) -> Path:
+    """Write a binary (P5) PGM file from a 2-D uint8 array."""
+    arr = ensure_uint8(pixels)
+    if arr.ndim == 3 and arr.shape[2] == 1:
+        arr = arr[:, :, 0]
+    if arr.ndim != 2:
+        raise ValueError(f"PGM requires a single-channel image, got shape {arr.shape}")
+    height, width = arr.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(header + arr.tobytes())
+    return path
+
+
+def read_pgm(path: str | Path) -> np.ndarray:
+    """Read a binary (P5) PGM file into a 2-D uint8 array."""
+    data = Path(path).read_bytes()
+    # Parse the three whitespace-separated header tokens after the magic.
+    if not data.startswith(b"P5"):
+        raise ValueError(f"{path} is not a binary PGM (P5) file")
+    tokens: list[bytes] = []
+    pos = 2
+    while len(tokens) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(data) and data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        tokens.append(data[start:pos])
+    width, height, max_value = (int(token) for token in tokens)
+    if max_value > 255:
+        raise ValueError("only 8-bit PGM files are supported")
+    pos += 1  # single whitespace after the header
+    pixels = np.frombuffer(data, dtype=np.uint8, count=width * height, offset=pos)
+    return pixels.reshape(height, width).copy()

@@ -1,0 +1,59 @@
+"""Geometric and intensity transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize_to_unit", "pad_to", "rescale_intensity", "resize_nearest"]
+
+
+def resize_nearest(image: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Nearest-neighbour resize to ``(height, width)``.
+
+    Works for both 2-D and 3-D (channel-last) arrays and for label masks,
+    which is why nearest-neighbour is used instead of an interpolating resize.
+    """
+    arr = np.asarray(image)
+    new_h, new_w = int(shape[0]), int(shape[1])
+    if new_h <= 0 or new_w <= 0:
+        raise ValueError(f"target shape must be positive, got {shape}")
+    src_h, src_w = arr.shape[:2]
+    row_idx = np.minimum((np.arange(new_h) * src_h / new_h).astype(int), src_h - 1)
+    col_idx = np.minimum((np.arange(new_w) * src_w / new_w).astype(int), src_w - 1)
+    return arr[row_idx][:, col_idx]
+
+
+def pad_to(
+    image: np.ndarray, shape: tuple[int, int], *, value: float = 0.0
+) -> np.ndarray:
+    """Pad an image on the bottom/right to reach ``(height, width)``."""
+    arr = np.asarray(image)
+    target_h, target_w = int(shape[0]), int(shape[1])
+    src_h, src_w = arr.shape[:2]
+    if target_h < src_h or target_w < src_w:
+        raise ValueError(
+            f"target shape {shape} smaller than source {(src_h, src_w)}"
+        )
+    pad_spec = [(0, target_h - src_h), (0, target_w - src_w)]
+    pad_spec += [(0, 0)] * (arr.ndim - 2)
+    return np.pad(arr, pad_spec, mode="constant", constant_values=value)
+
+
+def rescale_intensity(
+    image: np.ndarray, *, out_min: float = 0.0, out_max: float = 255.0
+) -> np.ndarray:
+    """Linearly rescale intensities so the min/max map to ``out_min``/``out_max``.
+
+    A constant image maps everywhere to ``out_min``.
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    lo = arr.min()
+    hi = arr.max()
+    if hi == lo:
+        return np.full_like(arr, out_min)
+    return (arr - lo) / (hi - lo) * (out_max - out_min) + out_min
+
+
+def normalize_to_unit(image: np.ndarray) -> np.ndarray:
+    """Rescale intensities to the [0, 1] range."""
+    return rescale_intensity(image, out_min=0.0, out_max=1.0)

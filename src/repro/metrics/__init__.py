@@ -1,0 +1,42 @@
+"""Segmentation evaluation metrics.
+
+Because unsupervised segmentation produces arbitrary cluster indices, every
+score first matches clusters to ground-truth classes (Hungarian assignment /
+best-over-permutations) and then computes the usual overlap metrics:
+Intersection-over-Union (the paper's metric), Dice, and pixel accuracy.
+"""
+
+from repro.metrics.iou import (
+    binary_iou,
+    confusion_matrix,
+    dice_score,
+    pixel_accuracy,
+)
+from repro.metrics.matching import (
+    best_foreground_iou,
+    match_clusters_to_classes,
+    relabel_to_ground_truth,
+)
+from repro.metrics.aggregate import DatasetScore, evaluate_dataset
+from repro.metrics.instances import (
+    InstanceMatchResult,
+    average_precision,
+    match_instances,
+    object_f1,
+)
+
+__all__ = [
+    "DatasetScore",
+    "InstanceMatchResult",
+    "average_precision",
+    "best_foreground_iou",
+    "binary_iou",
+    "confusion_matrix",
+    "dice_score",
+    "evaluate_dataset",
+    "match_clusters_to_classes",
+    "match_instances",
+    "object_f1",
+    "pixel_accuracy",
+    "relabel_to_ground_truth",
+]

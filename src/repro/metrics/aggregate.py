@@ -1,0 +1,68 @@
+"""Dataset-level aggregation of per-image scores."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import SegmentationSample
+from repro.metrics.matching import best_foreground_iou
+
+__all__ = ["DatasetScore", "evaluate_dataset"]
+
+
+@dataclass
+class DatasetScore:
+    """Mean/min/max/std of per-image IoU scores over a dataset."""
+
+    per_image: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.per_image)) if self.per_image else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.per_image)) if self.per_image else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.per_image)) if self.per_image else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.per_image)) if self.per_image else 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.per_image)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "mean_iou": self.mean,
+            "std_iou": self.std,
+            "min_iou": self.minimum,
+            "max_iou": self.maximum,
+            "num_images": float(self.count),
+        }
+
+
+def evaluate_dataset(
+    segment: Callable[[SegmentationSample], np.ndarray],
+    samples: Iterable[SegmentationSample],
+    *,
+    score: Callable[[np.ndarray, np.ndarray], float] = best_foreground_iou,
+) -> DatasetScore:
+    """Run ``segment`` over ``samples`` and aggregate the per-image scores.
+
+    ``segment`` receives a sample and returns the predicted label map;
+    ``score`` compares the prediction against the ground-truth mask (default:
+    permutation-robust foreground IoU, the paper's metric).
+    """
+    result = DatasetScore()
+    for sample in samples:
+        prediction = segment(sample)
+        result.per_image.append(float(score(prediction, sample.mask)))
+    return result

@@ -1,0 +1,69 @@
+"""Overlap metrics for binary (and small-multiclass) segmentation masks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["binary_iou", "confusion_matrix", "dice_score", "pixel_accuracy"]
+
+
+def _validate_pair(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(prediction)
+    tgt = np.asarray(target)
+    if pred.shape != tgt.shape:
+        raise ValueError(
+            f"prediction shape {pred.shape} does not match target shape {tgt.shape}"
+        )
+    if pred.size == 0:
+        raise ValueError("cannot score empty masks")
+    return pred, tgt
+
+
+def binary_iou(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Intersection-over-Union of the foreground (non-zero) regions.
+
+    If both masks have an empty foreground the IoU is defined as 1.0 (perfect
+    agreement about "nothing there"); if exactly one is empty it is 0.0.
+    """
+    pred, tgt = _validate_pair(prediction, target)
+    pred_fg = pred != 0
+    tgt_fg = tgt != 0
+    intersection = np.count_nonzero(pred_fg & tgt_fg)
+    union = np.count_nonzero(pred_fg | tgt_fg)
+    if union == 0:
+        return 1.0
+    return float(intersection / union)
+
+
+def dice_score(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Dice coefficient of the foreground regions (1.0 when both are empty)."""
+    pred, tgt = _validate_pair(prediction, target)
+    pred_fg = pred != 0
+    tgt_fg = tgt != 0
+    intersection = np.count_nonzero(pred_fg & tgt_fg)
+    total = np.count_nonzero(pred_fg) + np.count_nonzero(tgt_fg)
+    if total == 0:
+        return 1.0
+    return float(2.0 * intersection / total)
+
+
+def pixel_accuracy(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Fraction of pixels whose (already aligned) labels agree."""
+    pred, tgt = _validate_pair(prediction, target)
+    return float(np.count_nonzero(pred == tgt) / pred.size)
+
+
+def confusion_matrix(
+    prediction: np.ndarray, target: np.ndarray, *, num_pred: int, num_target: int
+) -> np.ndarray:
+    """Counts of pixels falling into each (prediction label, target label) cell."""
+    pred, tgt = _validate_pair(prediction, target)
+    pred_flat = pred.reshape(-1).astype(np.int64)
+    tgt_flat = tgt.reshape(-1).astype(np.int64)
+    if pred_flat.min() < 0 or pred_flat.max() >= num_pred:
+        raise ValueError("prediction labels out of range")
+    if tgt_flat.min() < 0 or tgt_flat.max() >= num_target:
+        raise ValueError("target labels out of range")
+    matrix = np.zeros((num_pred, num_target), dtype=np.int64)
+    np.add.at(matrix, (pred_flat, tgt_flat), 1)
+    return matrix

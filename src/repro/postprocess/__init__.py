@@ -1,0 +1,31 @@
+"""Mask post-processing.
+
+Nuclei segmentation consumers usually want *instances*, not just a binary
+foreground mask, and unsupervised label maps benefit from light cleanup.
+This package provides the standard post-processing steps on top of the raw
+SegHDC / baseline output:
+
+* connected-component labelling of the foreground (instance extraction),
+* removal of spurious small objects and hole filling,
+* majority (mode) smoothing of label maps.
+"""
+
+from repro.postprocess.components import (
+    connected_components,
+    extract_instances,
+    instance_sizes,
+)
+from repro.postprocess.cleanup import (
+    fill_holes,
+    majority_smooth,
+    remove_small_objects,
+)
+
+__all__ = [
+    "connected_components",
+    "extract_instances",
+    "fill_holes",
+    "instance_sizes",
+    "majority_smooth",
+    "remove_small_objects",
+]

@@ -1,0 +1,65 @@
+"""Label-map cleanup: small-object removal, hole filling, majority smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.postprocess.components import connected_components, instance_sizes
+
+__all__ = ["fill_holes", "majority_smooth", "remove_small_objects"]
+
+
+def remove_small_objects(
+    mask: np.ndarray, min_size: int, *, connectivity: int = 8
+) -> np.ndarray:
+    """Zero out connected foreground components smaller than ``min_size`` pixels."""
+    if min_size < 0:
+        raise ValueError(f"min_size must be non-negative, got {min_size}")
+    arr = np.asarray(mask)
+    if min_size == 0:
+        return (arr != 0).astype(np.uint8)
+    instance_map = connected_components(arr, connectivity=connectivity)
+    sizes = instance_sizes(instance_map)
+    keep = {label for label, size in sizes.items() if size >= min_size}
+    return np.isin(instance_map, list(keep)).astype(np.uint8)
+
+
+def fill_holes(mask: np.ndarray) -> np.ndarray:
+    """Fill enclosed background holes inside foreground objects."""
+    arr = np.asarray(mask)
+    if arr.ndim != 2:
+        raise ValueError(f"mask must be 2-D, got shape {arr.shape}")
+    filled = ndimage.binary_fill_holes(arr != 0)
+    return filled.astype(np.uint8)
+
+
+def majority_smooth(labels: np.ndarray, *, size: int = 3, iterations: int = 1) -> np.ndarray:
+    """Replace every pixel's label by the majority label in its neighbourhood.
+
+    Works on arbitrary small-integer label maps (not just binary masks);
+    useful for removing the salt-and-pepper speckle that per-pixel clustering
+    sometimes produces.  ``size`` is the square window side (odd).
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 2:
+        raise ValueError(f"labels must be 2-D, got shape {arr.shape}")
+    if size < 1 or size % 2 == 0:
+        raise ValueError(f"size must be a positive odd number, got {size}")
+    if iterations < 0:
+        raise ValueError(f"iterations must be non-negative, got {iterations}")
+    current = arr.copy()
+    unique_labels = np.unique(arr)
+    for _ in range(iterations):
+        # Count votes for each label with a uniform box filter and take the
+        # argmax; ties resolve to the smaller label, which is deterministic.
+        votes = np.stack(
+            [
+                ndimage.uniform_filter(
+                    (current == label).astype(np.float64), size=size, mode="nearest"
+                )
+                for label in unique_labels
+            ]
+        )
+        current = unique_labels[np.argmax(votes, axis=0)]
+    return current.astype(arr.dtype)

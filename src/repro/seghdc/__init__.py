@@ -1,0 +1,38 @@
+"""SegHDC: hyperdimensional-computing based unsupervised image segmentation.
+
+This is the paper's primary contribution: the four-component pipeline of
+position encoder, color encoder, pixel-HV producer, and HD K-Means clusterer.
+The public entry point is :class:`SegHDC` configured by :class:`SegHDCConfig`.
+"""
+
+from repro.seghdc.config import SegHDCConfig
+from repro.seghdc.position_encoder import (
+    BlockDecayPositionEncoder,
+    RandomPositionEncoder,
+    UniformPositionEncoder,
+    make_position_encoder,
+)
+from repro.seghdc.color_encoder import (
+    ManhattanColorEncoder,
+    RandomColorEncoder,
+    make_color_encoder,
+)
+from repro.seghdc.pixel_producer import PixelHVProducer
+from repro.seghdc.clusterer import HDKMeans, ClusteringResult
+from repro.seghdc.pipeline import SegHDC, SegmentationResult
+
+__all__ = [
+    "BlockDecayPositionEncoder",
+    "ClusteringResult",
+    "HDKMeans",
+    "ManhattanColorEncoder",
+    "PixelHVProducer",
+    "RandomColorEncoder",
+    "RandomPositionEncoder",
+    "SegHDC",
+    "SegHDCConfig",
+    "SegmentationResult",
+    "UniformPositionEncoder",
+    "make_color_encoder",
+    "make_position_encoder",
+]

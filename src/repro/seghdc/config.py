@@ -1,0 +1,110 @@
+"""Configuration for the SegHDC pipeline.
+
+The defaults follow Section IV-A of the paper: clustering runs for 10
+iterations, ``alpha = 0.2`` and ``gamma = 1``, ``beta = 21`` on BBBC005 and
+``beta = 26`` on DSB2018 / MoNuSeg, two clusters for the fluorescence
+datasets and three for MoNuSeg, and a hypervector dimension of 10,000 (the
+latency experiments in Table II use 800 / 2000 dimensions instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["SegHDCConfig"]
+
+_POSITION_VARIANTS = ("uniform", "manhattan", "decay", "block_decay", "random")
+_COLOR_VARIANTS = ("manhattan", "random")
+
+
+@dataclass(frozen=True)
+class SegHDCConfig:
+    """Hyper-parameters of the SegHDC pipeline.
+
+    Attributes
+    ----------
+    dimension:
+        Hypervector dimension ``d``.
+    num_clusters:
+        ``k`` of the HD K-Means clusterer (2 for BBBC005/DSB2018, 3 for MoNuSeg).
+    num_iterations:
+        Number of K-Means refinement iterations.
+    alpha:
+        Decay factor of the position encoding (Eq. 5): the fraction of each
+        half hypervector that the row/column flips may span.
+    beta:
+        Block size of the block-decay position encoding: ``beta`` consecutive
+        rows (columns) share one position hypervector.
+    gamma:
+        Color/position balance factor (Fig. 5): the color flip run length is
+        multiplied by ``gamma``.
+    position_encoding / color_encoding:
+        Which encoder variant to use.  ``"block_decay"`` + ``"manhattan"`` is
+        the full SegHDC; ``"random"`` selects the RPos / RColor ablations.
+    color_levels:
+        Number of quantisation levels for the color encoder (256 in the
+        paper).  It is automatically reduced when the per-channel dimension
+        cannot resolve that many levels.
+    seed:
+        Seed of the hypervector space; fixes all random base HVs.
+    """
+
+    dimension: int = 10_000
+    num_clusters: int = 2
+    num_iterations: int = 10
+    alpha: float = 0.2
+    beta: int = 26
+    gamma: int = 1
+    position_encoding: str = "block_decay"
+    color_encoding: str = "manhattan"
+    color_levels: int = 256
+    seed: int = 0
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dimension < 6:
+            raise ValueError(f"dimension must be at least 6, got {self.dimension}")
+        if self.num_clusters < 2:
+            raise ValueError(
+                f"num_clusters must be at least 2, got {self.num_clusters}"
+            )
+        if self.num_iterations < 1:
+            raise ValueError(
+                f"num_iterations must be at least 1, got {self.num_iterations}"
+            )
+        if not (0.0 < self.alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.beta < 1:
+            raise ValueError(f"beta must be at least 1, got {self.beta}")
+        if self.gamma < 1:
+            raise ValueError(f"gamma must be at least 1, got {self.gamma}")
+        if self.color_levels < 2:
+            raise ValueError(
+                f"color_levels must be at least 2, got {self.color_levels}"
+            )
+        if self.position_encoding not in _POSITION_VARIANTS:
+            raise ValueError(
+                f"unknown position encoding {self.position_encoding!r}; "
+                f"expected one of {_POSITION_VARIANTS}"
+            )
+        if self.color_encoding not in _COLOR_VARIANTS:
+            raise ValueError(
+                f"unknown color encoding {self.color_encoding!r}; "
+                f"expected one of {_COLOR_VARIANTS}"
+            )
+
+    def with_overrides(self, **kwargs) -> "SegHDCConfig":
+        """A copy of the config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def paper_defaults(cls, dataset: str) -> "SegHDCConfig":
+        """The per-dataset hyper-parameters from Section IV-A of the paper."""
+        key = dataset.lower()
+        if key == "bbbc005":
+            return cls(num_clusters=2, alpha=0.2, beta=21, gamma=1)
+        if key == "dsb2018":
+            return cls(num_clusters=2, alpha=0.2, beta=26, gamma=1)
+        if key == "monuseg":
+            return cls(num_clusters=3, alpha=0.2, beta=26, gamma=1)
+        raise KeyError(f"no paper defaults for dataset {dataset!r}")

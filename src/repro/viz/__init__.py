@@ -1,0 +1,22 @@
+"""Visualisation helpers for the qualitative figures.
+
+matplotlib is not available offline, so the figures are emitted as PNG panels
+(via the pure-Python writer in :mod:`repro.imaging.io`), ASCII previews for
+terminals, and CSV series for the quantitative sweeps.
+"""
+
+from repro.viz.palette import DEFAULT_PALETTE, label_color
+from repro.viz.masks import colorize_labels, mask_to_grayscale, overlay_mask
+from repro.viz.panels import side_by_side, save_panel
+from repro.viz.ascii_art import ascii_mask
+
+__all__ = [
+    "DEFAULT_PALETTE",
+    "ascii_mask",
+    "colorize_labels",
+    "label_color",
+    "mask_to_grayscale",
+    "overlay_mask",
+    "save_panel",
+    "side_by_side",
+]

@@ -1,0 +1,32 @@
+"""ASCII rendering of masks for terminal-only environments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.transform import resize_nearest
+
+__all__ = ["ascii_mask"]
+
+_GLYPHS = " .:-=+*#%@"
+
+
+def ascii_mask(mask: np.ndarray, *, width: int = 64) -> str:
+    """Render a label map / mask as an ASCII art string.
+
+    The mask is resized (nearest neighbour) so its width is ``width``
+    characters; character aspect ratio is compensated by halving the height.
+    """
+    arr = np.asarray(mask, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"mask must be 2-D, got shape {arr.shape}")
+    if width < 2:
+        raise ValueError(f"width must be at least 2, got {width}")
+    height = max(1, int(arr.shape[0] * width / arr.shape[1] / 2))
+    small = resize_nearest(arr, (height, width))
+    peak = small.max()
+    if peak > 0:
+        small = small / peak
+    indices = np.clip((small * (len(_GLYPHS) - 1)).round().astype(int), 0, len(_GLYPHS) - 1)
+    lines = ["".join(_GLYPHS[idx] for idx in row) for row in indices]
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Label-map rendering: colorisation, binarisation, and overlays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.image import ensure_uint8, to_rgb
+from repro.viz.palette import DEFAULT_PALETTE
+
+__all__ = ["colorize_labels", "mask_to_grayscale", "overlay_mask"]
+
+
+def colorize_labels(labels: np.ndarray) -> np.ndarray:
+    """Map a (H, W) label image to an (H, W, 3) RGB image via the palette."""
+    arr = np.asarray(labels)
+    if arr.ndim != 2:
+        raise ValueError(f"labels must be 2-D, got shape {arr.shape}")
+    indices = np.mod(arr.astype(np.int64), len(DEFAULT_PALETTE))
+    return DEFAULT_PALETTE[indices]
+
+
+def mask_to_grayscale(mask: np.ndarray) -> np.ndarray:
+    """Render a binary / small-integer mask as a grayscale image.
+
+    Foreground classes are spread evenly over 64..255 so multi-class masks
+    stay distinguishable; background stays black.
+    """
+    arr = np.asarray(mask)
+    if arr.ndim != 2:
+        raise ValueError(f"mask must be 2-D, got shape {arr.shape}")
+    classes = int(arr.max())
+    if classes == 0:
+        return np.zeros(arr.shape, dtype=np.uint8)
+    step = (255 - 64) / classes if classes > 0 else 0
+    out = np.zeros(arr.shape, dtype=np.float64)
+    for cls in range(1, classes + 1):
+        out[arr == cls] = 64 + step * (cls - 1) + step
+    return ensure_uint8(out)
+
+
+def overlay_mask(
+    image: np.ndarray, mask: np.ndarray, *, alpha: float = 0.45, color=(230, 80, 60)
+) -> np.ndarray:
+    """Blend a foreground mask over an image for qualitative inspection."""
+    if not (0.0 <= alpha <= 1.0):
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    rgb = to_rgb(image).astype(np.float64)
+    fg = np.asarray(mask) != 0
+    tint = np.array(color, dtype=np.float64)
+    rgb[fg] = (1.0 - alpha) * rgb[fg] + alpha * tint
+    return ensure_uint8(rgb)

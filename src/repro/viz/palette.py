@@ -1,0 +1,42 @@
+"""Color palette for label maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DEFAULT_PALETTE", "label_color"]
+
+#: Distinct RGB colors for up to 20 labels; label 0 (background) is black.
+DEFAULT_PALETTE = np.array(
+    [
+        (0, 0, 0),
+        (255, 255, 255),
+        (230, 80, 60),
+        (70, 160, 240),
+        (90, 200, 110),
+        (250, 200, 60),
+        (170, 110, 220),
+        (250, 140, 30),
+        (120, 220, 220),
+        (240, 120, 180),
+        (150, 150, 90),
+        (80, 90, 200),
+        (200, 230, 120),
+        (130, 70, 50),
+        (60, 130, 110),
+        (220, 180, 220),
+        (110, 110, 110),
+        (180, 40, 100),
+        (40, 90, 60),
+        (200, 200, 200),
+    ],
+    dtype=np.uint8,
+)
+
+
+def label_color(label: int) -> tuple[int, int, int]:
+    """RGB color for a label index (palette wraps around for large indices)."""
+    if label < 0:
+        raise ValueError(f"label must be non-negative, got {label}")
+    row = DEFAULT_PALETTE[label % len(DEFAULT_PALETTE)]
+    return int(row[0]), int(row[1]), int(row[2])

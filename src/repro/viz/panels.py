@@ -1,0 +1,45 @@
+"""Multi-image panels (image | ground truth | baseline | SegHDC)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.imaging.image import to_rgb
+from repro.imaging.io import write_png
+
+__all__ = ["save_panel", "side_by_side"]
+
+
+def side_by_side(images: list[np.ndarray], *, gap: int = 4, gap_value: int = 255) -> np.ndarray:
+    """Concatenate images horizontally with a light separator strip.
+
+    All inputs are converted to RGB; images shorter than the tallest one are
+    padded at the bottom with the gap color.
+    """
+    if not images:
+        raise ValueError("need at least one image")
+    rgb_images = [to_rgb(image) for image in images]
+    height = max(image.shape[0] for image in rgb_images)
+    padded = []
+    for image in rgb_images:
+        if image.shape[0] < height:
+            pad = np.full(
+                (height - image.shape[0], image.shape[1], 3), gap_value, dtype=np.uint8
+            )
+            image = np.concatenate([image, pad], axis=0)
+        padded.append(image)
+    separator = np.full((height, gap, 3), gap_value, dtype=np.uint8)
+    pieces: list[np.ndarray] = []
+    for index, image in enumerate(padded):
+        if index:
+            pieces.append(separator)
+        pieces.append(image)
+    return np.concatenate(pieces, axis=1)
+
+
+def save_panel(path: str | Path, images: list[np.ndarray], *, gap: int = 4) -> Path:
+    """Write a side-by-side panel to a PNG file and return the path."""
+    panel = side_by_side(images, gap=gap)
+    return write_png(path, panel)

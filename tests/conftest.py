@@ -1,0 +1,34 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import BBBC005Synthetic, DSB2018Synthetic, MoNuSegSynthetic
+from repro.hdc import HypervectorSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def space() -> HypervectorSpace:
+    return HypervectorSpace(512, seed=7)
+
+
+@pytest.fixture
+def small_bbbc005_sample():
+    return BBBC005Synthetic(num_images=1, image_shape=(64, 80), seed=3)[0]
+
+
+@pytest.fixture
+def small_dsb2018_sample():
+    return DSB2018Synthetic(num_images=1, image_shape=(48, 64), seed=3)[0]
+
+
+@pytest.fixture
+def small_monuseg_sample():
+    return MoNuSegSynthetic(num_images=1, image_shape=(48, 48), seed=3)[0]

@@ -1,0 +1,326 @@
+"""Tests for the numpy CNN substrate: layers, losses, optimisers.
+
+Gradient correctness is checked against central-difference numerical
+gradients, which is the strongest evidence the hand-written backward passes
+are right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    Adam,
+    BatchNorm2d,
+    Conv2d,
+    ReLU,
+    SGD,
+    Sequential,
+    softmax,
+    softmax_cross_entropy,
+    spatial_continuity_loss,
+)
+from repro.baseline.tensorops import col2im, conv_output_shape, im2col
+
+
+def _numerical_gradient(function, array, epsilon=1e-5):
+    """Central-difference gradient of a scalar function w.r.t. ``array``."""
+    gradient = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = function()
+        flat[index] = original - epsilon
+        minus = function()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * epsilon)
+    return gradient
+
+
+class TestTensorOps:
+    def test_conv_output_shape(self):
+        assert conv_output_shape(8, 10, 3, 1, 1) == (8, 10)
+        assert conv_output_shape(8, 10, 3, 1, 0) == (6, 8)
+        with pytest.raises(ValueError):
+            conv_output_shape(2, 2, 5, 1, 0)
+
+    def test_im2col_matches_naive_patch_extraction(self, rng):
+        images = rng.normal(size=(1, 2, 5, 6))
+        cols = im2col(images, kernel=3, stride=1, padding=0)
+        assert cols.shape == (3 * 4, 2 * 9)
+        # First output pixel's receptive field is the top-left 3x3 patch.
+        assert np.allclose(cols[0], images[0, :, 0:3, 0:3].reshape(-1))
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test)."""
+        shape = (2, 3, 6, 7)
+        x = rng.normal(size=shape)
+        cols = im2col(x, kernel=3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, shape, kernel=3, stride=1, padding=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_im2col_rejects_non_nchw(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(3, 6, 7)), kernel=3)
+
+
+class TestConv2d:
+    def test_forward_shape_with_padding(self, rng):
+        conv = Conv2d(3, 5, 3, padding=1, rng=rng)
+        out = conv.forward(rng.normal(size=(2, 3, 8, 9)))
+        assert out.shape == (2, 5, 8, 9)
+
+    def test_forward_matches_manual_convolution(self, rng):
+        conv = Conv2d(1, 1, 3, padding=0, rng=rng)
+        conv.weight = np.zeros_like(conv.weight)
+        conv.weight[0, 0, 1, 1] = 1.0  # identity kernel
+        conv.bias[:] = 0.5
+        image = rng.normal(size=(1, 1, 5, 5))
+        out = conv.forward(image)
+        assert np.allclose(out[0, 0], image[0, 0, 1:4, 1:4] + 0.5)
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        conv = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum() / 2.0)
+
+        out = conv.forward(x)
+        conv.backward(out)  # dL/dout = out for L = ||out||^2 / 2
+        numerical = _numerical_gradient(loss, conv.weight)
+        assert np.allclose(conv.grad_weight, numerical, atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        conv = Conv2d(2, 2, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum() / 2.0)
+
+        out = conv.forward(x)
+        grad_input = conv.backward(out)
+        numerical = _numerical_gradient(loss, x)
+        assert np.allclose(grad_input, numerical, atol=1e-4)
+
+    def test_bias_gradient(self, rng):
+        conv = Conv2d(1, 2, 1, rng=rng)
+        x = rng.normal(size=(1, 1, 3, 3))
+        out = conv.forward(x)
+        conv.backward(np.ones_like(out))
+        assert np.allclose(conv.grad_bias, np.full(2, 9.0))
+
+    def test_rejects_wrong_channel_count(self, rng):
+        conv = Conv2d(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            conv.forward(rng.normal(size=(1, 2, 5, 5)))
+
+    def test_backward_before_forward(self, rng):
+        conv = Conv2d(1, 1, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 3, 3)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 1, 3)
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 0)
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 3, padding=-1)
+
+
+class TestBatchNorm2d:
+    def test_training_normalises_batch(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.normal(loc=5.0, scale=2.0, size=(2, 3, 8, 8))
+        out = bn.forward(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_eval_uses_running_statistics(self, rng):
+        bn = BatchNorm2d(2)
+        for _ in range(50):
+            bn.forward(rng.normal(loc=3.0, scale=1.5, size=(4, 2, 6, 6)))
+        bn.eval()
+        x = rng.normal(loc=3.0, scale=1.5, size=(1, 2, 6, 6))
+        out = bn.forward(x)
+        assert abs(out.mean()) < 0.5
+
+    def test_gamma_beta_gradients_match_numerical(self, rng):
+        bn = BatchNorm2d(2)
+        x = rng.normal(size=(2, 2, 4, 4))
+
+        def loss():
+            return float((bn.forward(x) ** 2).sum() / 2.0)
+
+        out = bn.forward(x)
+        bn.backward(out)
+        assert np.allclose(bn.grad_gamma, _numerical_gradient(loss, bn.gamma), atol=1e-4)
+        assert np.allclose(bn.grad_beta, _numerical_gradient(loss, bn.beta), atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        bn = BatchNorm2d(2)
+        x = rng.normal(size=(1, 2, 3, 3))
+
+        def loss():
+            return float((bn.forward(x) ** 2).sum() / 2.0)
+
+        out = bn.forward(x)
+        grad_input = bn.backward(out)
+        assert np.allclose(grad_input, _numerical_gradient(loss, x), atol=1e-4)
+
+    def test_rejects_wrong_channels(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3).forward(rng.normal(size=(1, 2, 4, 4)))
+
+
+class TestReLUAndSequential:
+    def test_relu_forward_and_backward(self):
+        relu = ReLU()
+        x = np.array([[[[-1.0, 2.0], [0.0, 3.0]]]])
+        out = relu.forward(x)
+        assert np.array_equal(out, np.array([[[[0.0, 2.0], [0.0, 3.0]]]]))
+        grad = relu.backward(np.ones_like(x))
+        assert np.array_equal(grad, np.array([[[[0.0, 1.0], [0.0, 1.0]]]]))
+
+    def test_sequential_collects_parameters(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, padding=1, rng=rng), ReLU(), BatchNorm2d(2))
+        assert len(net.parameters()) == 4  # conv weight/bias + bn gamma/beta
+        assert len(net.gradients()) == 4
+
+    def test_sequential_train_eval_propagates(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, rng=rng), BatchNorm2d(2))
+        net.eval()
+        assert all(not layer.training for layer in net.layers)
+        net.train()
+        assert all(layer.training for layer in net.layers)
+
+    def test_sequential_backward_through_stack(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, padding=1, rng=rng), ReLU(), BatchNorm2d(2))
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = net.forward(x)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_sequential_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+
+class TestLosses:
+    def test_softmax_sums_to_one(self, rng):
+        logits = rng.normal(size=(1, 5, 3, 3))
+        probs = softmax(logits, axis=1)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.zeros((1, 3, 2, 2))
+        logits[0, 1] = 50.0
+        targets = np.ones((1, 2, 2), dtype=int)
+        loss, grad = softmax_cross_entropy(logits, targets)
+        assert loss < 1e-6
+        assert np.allclose(grad[0, 1], 0.0, atol=1e-6)
+
+    def test_cross_entropy_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(1, 4, 3, 3))
+        targets = rng.integers(0, 4, size=(1, 3, 3))
+
+        def loss():
+            value, _ = softmax_cross_entropy(logits, targets)
+            return value
+
+        _, grad = softmax_cross_entropy(logits, targets)
+        assert np.allclose(grad, _numerical_gradient(loss, logits), atol=1e-5)
+
+    def test_cross_entropy_rejects_bad_targets(self, rng):
+        logits = rng.normal(size=(1, 3, 2, 2))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(logits, np.full((1, 2, 2), 5))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(logits, np.zeros((1, 3, 3), dtype=int))
+
+    def test_continuity_loss_zero_for_constant_map(self):
+        loss, grad = spatial_continuity_loss(np.full((1, 3, 4, 4), 2.5))
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_continuity_loss_positive_for_checkerboard(self):
+        responses = np.indices((4, 4)).sum(axis=0) % 2
+        loss, _ = spatial_continuity_loss(responses[None, None].astype(float))
+        assert loss > 0.5
+
+    def test_continuity_gradient_matches_numerical(self, rng):
+        responses = rng.normal(size=(1, 2, 4, 4))
+
+        def loss():
+            value, _ = spatial_continuity_loss(responses)
+            return value
+
+        _, grad = spatial_continuity_loss(responses)
+        assert np.allclose(grad, _numerical_gradient(loss, responses), atol=1e-5)
+
+
+class TestOptimisers:
+    def test_sgd_moves_against_gradient(self):
+        param = np.array([1.0, -2.0])
+        sgd = SGD([param], learning_rate=0.1, momentum=0.0)
+        sgd.step([np.array([1.0, -1.0])])
+        assert np.allclose(param, [0.9, -1.9])
+
+    def test_sgd_momentum_accumulates(self):
+        param = np.array([0.0])
+        sgd = SGD([param], learning_rate=1.0, momentum=0.5)
+        sgd.step([np.array([1.0])])
+        sgd.step([np.array([1.0])])
+        assert param[0] == pytest.approx(-2.5)  # -(1) - (1.5)
+
+    def test_sgd_weight_decay(self):
+        param = np.array([10.0])
+        sgd = SGD([param], learning_rate=0.1, momentum=0.0, weight_decay=0.1)
+        sgd.step([np.array([0.0])])
+        assert param[0] == pytest.approx(10.0 - 0.1 * 1.0)
+
+    def test_sgd_validates_arguments(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], momentum=1.0)
+        sgd = SGD([np.zeros(1)])
+        with pytest.raises(ValueError):
+            sgd.step([])
+
+    def test_adam_reduces_quadratic_loss(self):
+        param = np.array([5.0])
+        adam = Adam([param], learning_rate=0.2)
+        for _ in range(200):
+            adam.step([2.0 * param])  # gradient of param^2
+        assert abs(param[0]) < 0.1
+
+    def test_adam_validates_arguments(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], learning_rate=-1.0)
+        adam = Adam([np.zeros(1)])
+        with pytest.raises(ValueError):
+            adam.step([np.zeros(1), np.zeros(1)])
+
+    def test_sgd_trains_a_small_conv_net_to_fit_a_target(self, rng):
+        """End-to-end sanity: a tiny conv net can overfit one image."""
+        conv = Conv2d(1, 1, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 1, 6, 6))
+        target = rng.normal(size=(1, 1, 6, 6))
+        sgd = SGD(conv.parameters(), learning_rate=0.05, momentum=0.9)
+        first_loss = None
+        for _ in range(100):
+            out = conv.forward(x)
+            diff = out - target
+            loss = float((diff**2).mean())
+            if first_loss is None:
+                first_loss = loss
+            conv.backward(2.0 * diff / diff.size)
+            sgd.step(conv.gradients())
+        assert loss < first_loss * 0.5

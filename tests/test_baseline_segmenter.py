@@ -1,0 +1,132 @@
+"""Tests for the Kim et al. model and the per-image self-training segmenter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import CNNBaselineConfig, CNNUnsupervisedSegmenter, KimSegmentationNet
+from repro.metrics import best_foreground_iou
+
+
+class TestKimSegmentationNet:
+    def test_response_shape(self, rng):
+        net = KimSegmentationNet(3, num_features=8, num_layers=2, seed=0)
+        out = net.forward(rng.normal(size=(1, 3, 12, 14)))
+        assert out.shape == (1, 8, 12, 14)
+
+    def test_predict_labels_range(self, rng):
+        net = KimSegmentationNet(1, num_features=6, num_layers=1, seed=0)
+        labels = net.predict_labels(rng.normal(size=(1, 1, 10, 10)))
+        assert labels.shape == (1, 10, 10)
+        assert labels.min() >= 0 and labels.max() < 6
+
+    def test_parameter_count_grows_with_width(self):
+        small = KimSegmentationNet(3, num_features=4, num_layers=1).parameter_count()
+        large = KimSegmentationNet(3, num_features=16, num_layers=1).parameter_count()
+        assert large > small
+
+    def test_backward_produces_input_gradient(self, rng):
+        net = KimSegmentationNet(3, num_features=5, num_layers=1, seed=1)
+        x = rng.normal(size=(1, 3, 8, 8))
+        out = net.forward(x)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert len(net.parameters()) == len(net.gradients())
+
+    def test_architecture_layer_count(self):
+        # num_layers blocks of (conv, relu, bn) + 1x1 conv + bn.
+        net = KimSegmentationNet(3, num_features=4, num_layers=3)
+        assert len(net.network.layers) == 3 * 3 + 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            KimSegmentationNet(0)
+        with pytest.raises(ValueError):
+            KimSegmentationNet(3, num_features=1)
+        with pytest.raises(ValueError):
+            KimSegmentationNet(3, num_layers=0)
+
+
+class TestCNNBaselineConfig:
+    def test_defaults_match_reference_implementation(self):
+        config = CNNBaselineConfig()
+        assert config.num_features == 100
+        assert config.learning_rate == pytest.approx(0.1)
+        assert config.momentum == pytest.approx(0.9)
+        assert config.max_iterations == 1000
+        assert config.min_labels == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CNNBaselineConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            CNNBaselineConfig(min_labels=0)
+        with pytest.raises(ValueError):
+            CNNBaselineConfig(continuity_weight=-1.0)
+
+
+class TestCNNUnsupervisedSegmenter:
+    def _quick_config(self, **overrides):
+        base = dict(num_features=12, num_layers=1, max_iterations=8, seed=0)
+        base.update(overrides)
+        return CNNBaselineConfig(**base)
+
+    def test_segments_high_contrast_image_reasonably(self):
+        image = np.full((32, 32), 15, dtype=np.uint8)
+        image[8:24, 8:24] = 230
+        mask = (image > 128).astype(np.uint8)
+        result = CNNUnsupervisedSegmenter(self._quick_config(max_iterations=20)).segment(image)
+        assert result.labels.shape == (32, 32)
+        assert best_foreground_iou(result.labels, mask) > 0.5
+
+    def test_label_count_never_exceeds_feature_count(self, small_dsb2018_sample):
+        result = CNNUnsupervisedSegmenter(self._quick_config()).segment(
+            small_dsb2018_sample.image
+        )
+        assert result.num_clusters <= 12
+
+    def test_deterministic_given_seed(self, small_dsb2018_sample):
+        config = self._quick_config(max_iterations=4)
+        a = CNNUnsupervisedSegmenter(config).segment(small_dsb2018_sample.image)
+        b = CNNUnsupervisedSegmenter(config).segment(small_dsb2018_sample.image)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_grayscale_input(self, small_bbbc005_sample):
+        result = CNNUnsupervisedSegmenter(self._quick_config(max_iterations=4)).segment(
+            small_bbbc005_sample.image
+        )
+        assert result.labels.shape == small_bbbc005_sample.mask.shape
+        assert result.workload["channels"] == 1
+
+    def test_history_recording(self, small_dsb2018_sample):
+        config = self._quick_config(max_iterations=4, record_history=True)
+        result = CNNUnsupervisedSegmenter(config).segment(small_dsb2018_sample.image)
+        assert 1 <= len(result.history) <= 4
+
+    def test_stops_early_when_labels_collapse(self):
+        """With a huge continuity weight the labels collapse and training
+        stops before max_iterations (the min_labels criterion)."""
+        image = np.full((24, 24), 128, dtype=np.uint8)
+        config = self._quick_config(
+            max_iterations=50, continuity_weight=25.0, min_labels=3, record_history=True
+        )
+        result = CNNUnsupervisedSegmenter(config).segment(image)
+        assert len(result.history) < 50
+
+    def test_workload_reports_parameter_count(self, small_dsb2018_sample):
+        result = CNNUnsupervisedSegmenter(self._quick_config(max_iterations=2)).segment(
+            small_dsb2018_sample.image
+        )
+        assert result.workload["parameter_count"] > 0
+        assert result.workload["max_iterations"] == 2
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            CNNUnsupervisedSegmenter(self._quick_config()).segment(np.zeros((2, 2, 2, 2)))
+
+    def test_elapsed_time_positive(self, small_dsb2018_sample):
+        result = CNNUnsupervisedSegmenter(self._quick_config(max_iterations=2)).segment(
+            small_dsb2018_sample.image
+        )
+        assert result.elapsed_seconds > 0

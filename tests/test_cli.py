@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_command_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.scale == "quick"
+        assert args.output_dir is None
+
+    def test_segment_command_options(self):
+        args = build_parser().parse_args(
+            ["segment", "--dataset", "bbbc005", "--dimension", "500", "--height", "40"]
+        )
+        assert args.dataset == "bbbc005"
+        assert args.dimension == 500
+        assert args.height == 40
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "huge"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "bbbc005" in out
+
+    def test_segment_runs_end_to_end(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "segment",
+                "--dataset",
+                "dsb2018",
+                "--dimension",
+                "300",
+                "--iterations",
+                "2",
+                "--height",
+                "40",
+                "--width",
+                "48",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "IoU=" in out
+        assert any(path.suffix == ".png" for path in tmp_path.iterdir())

@@ -1,0 +1,185 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    BBBC005Synthetic,
+    DSB2018Synthetic,
+    MoNuSegSynthetic,
+    SegmentationSample,
+    available_datasets,
+    make_dataset,
+)
+from repro.datasets.synth import NucleusSpec, irregular_polygon, place_nuclei, render_nuclei
+from repro.imaging import Image
+
+_ALL_GENERATORS = [
+    (BBBC005Synthetic, {"image_shape": (64, 80)}),
+    (DSB2018Synthetic, {"image_shape": (48, 64)}),
+    (MoNuSegSynthetic, {"image_shape": (48, 48)}),
+]
+
+
+class TestSegmentationSample:
+    def test_mask_shape_must_match_image(self):
+        image = Image(np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            SegmentationSample(image=image, mask=np.zeros((5, 4)))
+
+    def test_mask_must_be_2d(self):
+        image = Image(np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            SegmentationSample(image=image, mask=np.zeros((4, 5, 1)))
+
+    def test_foreground_fraction(self):
+        image = Image(np.zeros((2, 2)))
+        sample = SegmentationSample(image=image, mask=np.array([[1, 0], [0, 0]]))
+        assert sample.foreground_fraction == pytest.approx(0.25)
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_datasets() == ["bbbc005", "dsb2018", "monuseg"]
+
+    def test_make_dataset_by_name(self):
+        dataset = make_dataset("dsb2018", num_images=2, image_shape=(32, 40))
+        assert isinstance(dataset, DSB2018Synthetic)
+        assert len(dataset) == 2
+
+    def test_make_dataset_case_insensitive(self):
+        assert isinstance(make_dataset("BBBC005", num_images=1), BBBC005Synthetic)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("cityscapes")
+
+
+@pytest.mark.parametrize("generator_cls,kwargs", _ALL_GENERATORS)
+class TestGeneratorsCommon:
+    def test_length_and_indexing(self, generator_cls, kwargs):
+        dataset = generator_cls(num_images=3, seed=0, **kwargs)
+        assert len(dataset) == 3
+        assert dataset[2].index == 2
+        assert dataset[-1].index == 2
+        with pytest.raises(IndexError):
+            dataset[3]
+
+    def test_determinism(self, generator_cls, kwargs):
+        a = generator_cls(num_images=2, seed=5, **kwargs)[1]
+        b = generator_cls(num_images=2, seed=5, **kwargs)[1]
+        assert np.array_equal(a.image.pixels, b.image.pixels)
+        assert np.array_equal(a.mask, b.mask)
+
+    def test_different_seeds_differ(self, generator_cls, kwargs):
+        a = generator_cls(num_images=1, seed=1, **kwargs)[0]
+        b = generator_cls(num_images=1, seed=2, **kwargs)[0]
+        assert not np.array_equal(a.image.pixels, b.image.pixels)
+
+    def test_mask_is_binary_and_nonempty(self, generator_cls, kwargs):
+        sample = generator_cls(num_images=1, seed=0, **kwargs)[0]
+        assert set(np.unique(sample.mask)).issubset({0, 1})
+        assert 0.01 < sample.foreground_fraction < 0.9
+
+    def test_image_dtype_and_shape(self, generator_cls, kwargs):
+        sample = generator_cls(num_images=1, seed=0, **kwargs)[0]
+        assert sample.image.pixels.dtype == np.uint8
+        assert sample.image.height == kwargs["image_shape"][0]
+        assert sample.image.width == kwargs["image_shape"][1]
+
+    def test_iteration_yields_all_samples(self, generator_cls, kwargs):
+        dataset = generator_cls(num_images=3, seed=0, **kwargs)
+        indices = [sample.index for sample in dataset]
+        assert indices == [0, 1, 2]
+
+    def test_rejects_zero_images(self, generator_cls, kwargs):
+        with pytest.raises(ValueError):
+            generator_cls(num_images=0, **kwargs)
+
+
+class TestDatasetSpecifics:
+    def test_bbbc005_is_single_channel(self):
+        sample = BBBC005Synthetic(num_images=1, image_shape=(64, 80))[0]
+        assert sample.image.channels == 1
+
+    def test_dsb2018_is_three_channel(self):
+        sample = DSB2018Synthetic(num_images=1, image_shape=(48, 64))[0]
+        assert sample.image.channels == 3
+
+    def test_monuseg_is_three_channel_with_bright_background(self):
+        sample = MoNuSegSynthetic(num_images=1, image_shape=(48, 48))[0]
+        assert sample.image.channels == 3
+        background = sample.image.grayscale()[sample.mask == 0]
+        foreground = sample.image.grayscale()[sample.mask == 1]
+        # H&E: nuclei are darker than the surrounding tissue on average.
+        assert foreground.mean() < background.mean()
+
+    def test_fluorescence_foreground_is_brighter(self):
+        for generator_cls, shape in ((BBBC005Synthetic, (64, 80)), (DSB2018Synthetic, (48, 64))):
+            sample = generator_cls(num_images=1, image_shape=shape)[0]
+            gray = sample.image.grayscale()
+            assert gray[sample.mask == 1].mean() > gray[sample.mask == 0].mean()
+
+    def test_default_shapes_match_paper(self):
+        assert BBBC005Synthetic(num_images=1).image_shape == (520, 696)
+        assert DSB2018Synthetic(num_images=1).image_shape == (256, 320)
+
+    def test_monuseg_contrast_is_lowest(self):
+        """MoNuSeg must stay the hardest dataset: its foreground/background
+        separation (in std units) is below the fluorescence datasets'."""
+
+        def separation(sample):
+            gray = sample.image.grayscale().astype(float)
+            fg = gray[sample.mask == 1]
+            bg = gray[sample.mask == 0]
+            return abs(fg.mean() - bg.mean()) / (gray.std() + 1e-9)
+
+        monuseg = separation(MoNuSegSynthetic(num_images=1, image_shape=(64, 64), seed=0)[0])
+        bbbc = separation(BBBC005Synthetic(num_images=1, image_shape=(64, 86), seed=0)[0])
+        dsb = separation(DSB2018Synthetic(num_images=1, image_shape=(64, 80), seed=0)[0])
+        assert monuseg < bbbc
+        assert monuseg < dsb
+
+
+class TestSynthHelpers:
+    def test_place_nuclei_respects_count_and_bounds(self, rng):
+        specs = place_nuclei((100, 120), rng, count=10, radius_range=(4, 8))
+        assert 1 <= len(specs) <= 10
+        for spec in specs:
+            assert 0 <= spec.center[0] <= 100
+            assert 0 <= spec.center[1] <= 120
+
+    def test_place_nuclei_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            place_nuclei((50, 50), rng, count=0, radius_range=(2, 4))
+        with pytest.raises(ValueError):
+            place_nuclei((50, 50), rng, count=3, radius_range=(5, 2))
+
+    def test_render_nuclei_mask_matches_canvas(self, rng):
+        specs = place_nuclei((60, 60), rng, count=5, radius_range=(4, 7))
+        canvas, mask = render_nuclei((60, 60), specs, rng)
+        assert canvas.shape == mask.shape == (60, 60)
+        assert np.all(canvas[mask == 1] > 0)
+
+    def test_irregular_polygon_vertex_count(self, rng):
+        spec = NucleusSpec(center=(10.0, 10.0), axes=(4.0, 5.0))
+        polygon = irregular_polygon(spec, rng, vertices=9)
+        assert polygon.shape == (9, 2)
+
+    def test_irregular_polygon_rejects_too_few_vertices(self, rng):
+        spec = NucleusSpec(center=(0.0, 0.0), axes=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            irregular_polygon(spec, rng, vertices=2)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_property_every_seed_produces_valid_dsb_sample(seed):
+    sample = DSB2018Synthetic(num_images=1, image_shape=(40, 48), seed=seed)[0]
+    assert sample.image.pixels.shape == (40, 48, 3)
+    assert sample.mask.shape == (40, 48)
+    assert sample.mask.max() <= 1

@@ -1,0 +1,132 @@
+"""Tests for the edge-device cost model and simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import (
+    DeviceOutOfMemoryError,
+    DeviceProfile,
+    EdgeDeviceSimulator,
+    HOST_PROFILE,
+    RASPBERRY_PI_4,
+    cnn_baseline_cost,
+    seghdc_cost,
+)
+
+
+class TestDeviceProfile:
+    def test_usable_memory(self):
+        profile = DeviceProfile(
+            name="x",
+            tensor_throughput_flops=1e9,
+            hdc_throughput_flops=1e7,
+            memory_bandwidth_bytes=1e9,
+            total_memory_bytes=1000,
+            usable_memory_fraction=0.5,
+        )
+        assert profile.usable_memory_bytes == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("x", 0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            DeviceProfile("x", 1, 1, 1, 1, usable_memory_fraction=0.0)
+        with pytest.raises(ValueError):
+            DeviceProfile("x", 1, 1, 1, 1, startup_overhead_seconds=-1.0)
+
+    def test_shipped_profiles(self):
+        assert RASPBERRY_PI_4.total_memory_bytes == 4 * 1024**3
+        assert HOST_PROFILE.tensor_throughput_flops > RASPBERRY_PI_4.tensor_throughput_flops
+
+
+class TestCostModels:
+    def test_seghdc_cost_scales_linearly_with_dimension(self):
+        small = seghdc_cost(100, 100, dimension=500, num_clusters=2, num_iterations=3)
+        large = seghdc_cost(100, 100, dimension=1000, num_clusters=2, num_iterations=3)
+        assert large.operations == pytest.approx(2 * small.operations)
+
+    def test_seghdc_cost_scales_with_iterations(self):
+        one = seghdc_cost(64, 64, dimension=800, num_clusters=2, num_iterations=1)
+        ten = seghdc_cost(64, 64, dimension=800, num_clusters=2, num_iterations=10)
+        assert ten.operations > 5 * one.operations
+        assert ten.peak_memory_bytes == one.peak_memory_bytes  # iterations reuse memory
+
+    def test_cnn_cost_scales_with_iterations_and_pixels(self):
+        base = cnn_baseline_cost(64, 64, iterations=100)
+        more_iters = cnn_baseline_cost(64, 64, iterations=200)
+        more_pixels = cnn_baseline_cost(128, 64, iterations=100)
+        assert more_iters.operations == pytest.approx(2 * base.operations)
+        assert more_pixels.operations == pytest.approx(2 * base.operations, rel=0.01)
+        assert more_pixels.peak_memory_bytes > base.peak_memory_bytes
+
+    def test_cnn_peak_memory_independent_of_iterations(self):
+        a = cnn_baseline_cost(64, 64, iterations=10)
+        b = cnn_baseline_cost(64, 64, iterations=1000)
+        assert a.peak_memory_bytes == b.peak_memory_bytes
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            seghdc_cost(0, 10, dimension=100, num_clusters=2, num_iterations=1)
+        with pytest.raises(ValueError):
+            cnn_baseline_cost(10, 0)
+
+    def test_kinds(self):
+        assert seghdc_cost(8, 8, dimension=10, num_clusters=2, num_iterations=1).kind == "hdc"
+        assert cnn_baseline_cost(8, 8).kind == "tensor"
+
+
+class TestEdgeDeviceSimulator:
+    def test_table2_row1_shape(self):
+        """256x320 DSB2018 image: SegHDC tens of seconds, baseline hours,
+        speed-up in the hundreds (paper: 35.8 s vs 11453 s, 319.9x)."""
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        seghdc = simulator.estimate_seghdc(
+            256, 320, dimension=800, num_clusters=2, num_iterations=3
+        )
+        baseline = simulator.estimate_cnn_baseline(256, 320, channels=3, iterations=1000)
+        assert 10 < seghdc.latency_seconds < 120
+        assert baseline.latency_seconds > 3600
+        speedup = baseline.latency_seconds / seghdc.latency_seconds
+        assert 100 < speedup < 1000
+
+    def test_table2_row2_baseline_oom(self):
+        """520x696 BBBC005 image: the baseline exceeds 4 GB, SegHDC fits."""
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        seghdc = simulator.estimate_seghdc(
+            520, 696, dimension=2000, num_clusters=2, num_iterations=3, channels=1
+        )
+        assert seghdc.fits_in_memory
+        with pytest.raises(DeviceOutOfMemoryError):
+            simulator.estimate_cnn_baseline(520, 696, channels=1, iterations=1000)
+
+    def test_non_strict_returns_oom_flag(self):
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        estimate = simulator.estimate_cnn_baseline(
+            520, 696, channels=1, iterations=1000, strict=False
+        )
+        assert not estimate.fits_in_memory
+        assert estimate.peak_memory_gb > 3.0
+
+    def test_host_is_much_faster_than_pi(self):
+        cost = seghdc_cost(256, 320, dimension=800, num_clusters=2, num_iterations=3)
+        pi = EdgeDeviceSimulator(RASPBERRY_PI_4).estimate(cost)
+        host = EdgeDeviceSimulator(HOST_PROFILE).estimate(cost)
+        assert host.latency_seconds < pi.latency_seconds / 5
+
+    def test_latency_includes_startup_overhead(self):
+        cost = seghdc_cost(8, 8, dimension=10, num_clusters=2, num_iterations=1)
+        estimate = EdgeDeviceSimulator(RASPBERRY_PI_4).estimate(cost)
+        assert estimate.latency_seconds >= RASPBERRY_PI_4.startup_overhead_seconds
+
+    def test_unknown_workload_kind(self):
+        from repro.device.cost_model import WorkloadCost
+
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        with pytest.raises(ValueError):
+            simulator.estimate(WorkloadCost(1.0, 1.0, 1.0, kind="gpu"))
+
+    def test_oom_error_message(self):
+        error = DeviceOutOfMemoryError(5 * 10**9, 3 * 10**9, "pi")
+        assert "5.00 GB" in str(error)
+        assert error.device == "pi"

@@ -1,0 +1,264 @@
+"""Tests for the experiment harness (records, runner, and each experiment).
+
+Experiments run here with a tiny custom :class:`ExperimentScale` (small
+images, small hypervectors, few iterations) so the full suite stays fast;
+the benchmark harness exercises the ``quick`` scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    ExperimentTable,
+    available_experiments,
+    format_markdown_table,
+    run_encoding_ablation,
+    run_experiment,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_hyperparameter_ablation,
+    run_table1,
+    run_table2,
+    write_csv,
+)
+from repro.experiments.table1 import DATASET_PAPER_SHAPES, PAPER_TABLE1
+
+
+def tiny_scale(**overrides) -> ExperimentScale:
+    base = dict(
+        name="tiny",
+        images_per_dataset=1,
+        image_scale=0.16,
+        seghdc_dimension=400,
+        seghdc_iterations=3,
+        baseline_features=10,
+        baseline_layers=1,
+        baseline_iterations=4,
+        sweep_iterations=(1, 2, 3),
+        sweep_dimensions=(200, 400),
+        seed=0,
+    )
+    base.update(overrides)
+    return ExperimentScale(**base)
+
+
+class TestExperimentScale:
+    def test_named_scales(self):
+        assert ExperimentScale.from_name("quick").name == "quick"
+        assert ExperimentScale.from_name("paper").seghdc_dimension == 10_000
+        with pytest.raises(KeyError):
+            ExperimentScale.from_name("huge")
+
+    def test_scaled_shape_has_minimum(self):
+        scale = tiny_scale(image_scale=0.01)
+        assert scale.scaled_shape((520, 696)) == (32, 32)
+
+    def test_scaled_shape_rounding(self):
+        scale = tiny_scale(image_scale=0.5)
+        assert scale.scaled_shape((256, 320)) == (128, 160)
+
+
+class TestExperimentTable:
+    def test_add_row_and_markdown(self):
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        table.add_row("row1", a=1.0, b="x")
+        markdown = format_markdown_table(table)
+        assert "| t | a | b |" in markdown
+        assert "| row1 | 1.0000 | x |" in markdown
+
+    def test_add_row_rejects_unknown_column(self):
+        table = ExperimentTable(title="t", columns=["a"])
+        with pytest.raises(KeyError):
+            table.add_row("r", c=1.0)
+
+    def test_csv_roundtrip(self, tmp_path):
+        table = ExperimentTable(title="t", columns=["a"])
+        table.add_row("r", a=0.5)
+        path = write_csv(table, tmp_path / "out.csv")
+        content = path.read_text()
+        assert "t,a" in content
+        assert "r,0.5000" in content
+
+
+class TestRunner:
+    def test_available_experiments(self):
+        names = available_experiments()
+        assert "table1" in names and "figure7" in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table9")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("ablation-encodings", scale=tiny_scale())
+        assert "block_decay" in result.scores
+
+
+class TestTable1:
+    def test_shape_of_results(self):
+        result = run_table1(tiny_scale(), datasets=("dsb2018",), methods=("seghdc", "rpos"))
+        assert set(result.scores) == {"dsb2018"}
+        assert set(result.scores["dsb2018"]) == {"seghdc", "rpos"}
+        assert 0.0 <= result.scores["dsb2018"]["seghdc"] <= 1.0
+
+    def test_seghdc_beats_random_position_ablation(self):
+        result = run_table1(tiny_scale(), datasets=("bbbc005",), methods=("seghdc", "rpos"))
+        row = result.scores["bbbc005"]
+        assert row["seghdc"] > row["rpos"]
+
+    def test_improvement_and_table_rendering(self, tmp_path):
+        result = run_table1(
+            tiny_scale(),
+            datasets=("dsb2018",),
+            methods=("baseline", "seghdc"),
+            output_dir=tmp_path,
+        )
+        assert result.improvement_over_baseline("dsb2018") == pytest.approx(
+            result.scores["dsb2018"]["seghdc"] - result.scores["dsb2018"]["baseline"]
+        )
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "table1.md").exists()
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            run_table1(tiny_scale(), methods=("seghdc", "unet"))
+
+    def test_paper_reference_values_present(self):
+        assert set(PAPER_TABLE1) == set(DATASET_PAPER_SHAPES)
+        assert PAPER_TABLE1["dsb2018"]["seghdc"] == pytest.approx(0.8038)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(tiny_scale(), run_baseline_segmentation=False)
+
+    def test_has_both_rows(self, result):
+        assert {row.dataset for row in result.rows} == {"dsb2018", "bbbc005"}
+
+    def test_baseline_oom_only_on_large_image(self, result):
+        assert result.row("bbbc005").baseline_oom_on_pi
+        assert not result.row("dsb2018").baseline_oom_on_pi
+
+    def test_speedup_is_large(self, result):
+        speedup = result.row("dsb2018").modelled_speedup
+        assert speedup is not None and speedup > 50
+
+    def test_pi_latency_ordering(self, result):
+        # The larger BBBC005 image with d=2000 must take longer than the
+        # smaller DSB2018 image with d=800 (paper: 178 s vs 36 s).
+        assert result.row("bbbc005").seghdc_pi_seconds > result.row("dsb2018").seghdc_pi_seconds
+
+    def test_iou_is_meaningful(self, result):
+        for row in result.rows:
+            assert 0.3 < row.seghdc_iou <= 1.0
+
+    def test_table_rendering(self, result, tmp_path):
+        table = result.to_table()
+        markdown = table.to_markdown()
+        assert "OOM" in markdown
+        assert result.row("dsb2018").modelled_speedup is not None
+
+    def test_row_lookup_error(self, result):
+        with pytest.raises(KeyError):
+            result.row("monuseg")
+
+
+class TestFigure6:
+    def test_panels_and_artifacts(self, tmp_path):
+        result = run_figure6(tiny_scale(), datasets=("dsb2018",), output_dir=tmp_path)
+        panel = result.panel("dsb2018")
+        assert panel.seghdc_mask.shape == panel.ground_truth.shape
+        assert 0.0 <= panel.seghdc_iou <= 1.0
+        assert panel.panel_path is not None and panel.panel_path.exists()
+
+    def test_unknown_panel(self):
+        result = run_figure6(tiny_scale(), datasets=("dsb2018",))
+        with pytest.raises(KeyError):
+            result.panel("bbbc005")
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure7(tiny_scale())
+
+    def test_sweep_lengths(self, result):
+        assert len(result.iteration_sweep) == 3
+        assert len(result.dimension_sweep) == 2
+
+    def test_pi_latency_grows_with_iterations(self, result):
+        latencies = [point.pi_seconds for point in result.iteration_sweep]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_pi_latency_grows_with_dimension(self, result):
+        latencies = [point.pi_seconds for point in result.dimension_sweep]
+        assert latencies == sorted(latencies)
+
+    def test_iou_values_valid(self, result):
+        for point in result.iteration_sweep + result.dimension_sweep:
+            assert 0.0 <= point.iou <= 1.0
+
+    def test_tables_and_artifacts(self, tmp_path):
+        result = run_figure7(tiny_scale(), output_dir=tmp_path)
+        iteration_table, dimension_table = result.to_tables()
+        assert len(iteration_table.rows) == len(result.iteration_sweep)
+        assert (tmp_path / "figure7a.csv").exists()
+        assert (tmp_path / "figure7b.csv").exists()
+
+
+class TestFigure8:
+    def test_masks_per_iteration(self, tmp_path):
+        result = run_figure8(tiny_scale(), iterations=3, output_dir=tmp_path)
+        assert len(result.masks) == 3
+        assert len(result.iou_per_iteration) == 3
+        assert result.panel_path is not None and result.panel_path.exists()
+        assert 0.0 < result.dominant_cluster_fraction_first_iteration <= 1.0
+
+    def test_later_iterations_do_not_get_much_worse(self):
+        result = run_figure8(tiny_scale(), iterations=4)
+        assert result.iou_per_iteration[-1] >= result.iou_per_iteration[0] - 0.05
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            run_figure8(tiny_scale(), iterations=0)
+
+    def test_dominant_fraction_requires_masks(self):
+        from repro.experiments.figure8 import Figure8Result
+
+        with pytest.raises(ValueError):
+            Figure8Result(scale="tiny").dominant_cluster_fraction_first_iteration
+
+
+class TestAblations:
+    def test_encoding_ablation_contains_all_variants(self):
+        result = run_encoding_ablation(tiny_scale())
+        assert set(result.scores) == {"uniform", "manhattan", "decay", "block_decay", "random"}
+
+    def test_structured_encodings_beat_random(self):
+        result = run_encoding_ablation(tiny_scale())
+        assert result.scores["block_decay"] > result.scores["random"]
+
+    def test_best_setting(self):
+        result = run_encoding_ablation(tiny_scale())
+        assert result.best_setting() in result.scores
+
+    def test_hyperparameter_ablation_rows(self, tmp_path):
+        result = run_hyperparameter_ablation(
+            tiny_scale(), alphas=(0.2, 1.0), betas=(1, 26), gammas=(1,), output_dir=tmp_path
+        )
+        assert "alpha=0.2" in result.scores
+        assert "beta=26" in result.scores
+        assert "gamma=1" in result.scores
+        assert (tmp_path / "ablation_hyperparameters.csv").exists()
+
+    def test_empty_ablation_best_setting_raises(self):
+        from repro.experiments.ablations import AblationResult
+
+        with pytest.raises(ValueError):
+            AblationResult(name="x", scale="tiny").best_setting()

@@ -1,0 +1,100 @@
+"""Tests for the distance metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import (
+    cosine_distance,
+    cosine_similarity,
+    hamming_distance,
+    manhattan_distance,
+    normalized_hamming,
+)
+
+
+class TestHammingDistance:
+    def test_identical_vectors(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert hamming_distance(a, a) == 0
+
+    def test_counts_differences(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(3), np.zeros(4))
+
+    def test_equals_manhattan_for_binary(self, rng):
+        a = rng.integers(0, 2, 100).astype(np.uint8)
+        b = rng.integers(0, 2, 100).astype(np.uint8)
+        assert hamming_distance(a, b) == manhattan_distance(a, b)
+
+
+class TestNormalizedHamming:
+    def test_range(self, rng):
+        a = rng.integers(0, 2, 64).astype(np.uint8)
+        b = rng.integers(0, 2, 64).astype(np.uint8)
+        assert 0.0 <= normalized_hamming(a, b) <= 1.0
+
+    def test_opposite_vectors(self):
+        a = np.zeros(16, dtype=np.uint8)
+        b = np.ones(16, dtype=np.uint8)
+        assert normalized_hamming(a, b) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalized_hamming(np.array([]), np.array([]))
+
+
+class TestManhattanDistance:
+    def test_basic(self):
+        assert manhattan_distance(np.array([1.0, 2.0]), np.array([4.0, 0.0])) == 5.0
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=10)
+        b = rng.normal(size=10)
+        assert manhattan_distance(a, b) == pytest.approx(manhattan_distance(b, a))
+
+
+class TestCosine:
+    def test_identical_direction(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(a, 2.5 * a) == pytest.approx(1.0)
+        assert cosine_distance(a, 2.5 * a) == pytest.approx(0.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_zero_vector_similarity_is_zero(self):
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_scale_invariance_matches_paper_motivation(self, rng):
+        # The clusterer relies on centroid length (bundle size) not mattering.
+        hv = rng.integers(0, 2, 256).astype(np.float64)
+        centroid = rng.integers(0, 50, 256).astype(np.float64)
+        assert cosine_distance(hv, centroid) == pytest.approx(
+            cosine_distance(hv, 10.0 * centroid)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.zeros(3), np.zeros(4))
+
+
+@given(
+    data=st.lists(st.integers(0, 1), min_size=4, max_size=256),
+    flips=st.integers(min_value=0, max_value=256),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_hamming_triangle_inequality(data, flips):
+    rng = np.random.default_rng(flips)
+    a = np.array(data, dtype=np.uint8)
+    b = rng.integers(0, 2, a.size).astype(np.uint8)
+    c = rng.integers(0, 2, a.size).astype(np.uint8)
+    assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)

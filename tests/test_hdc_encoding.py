@@ -1,0 +1,153 @@
+"""Tests for the flip-based level encoders and the item memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import (
+    HypervectorSpace,
+    ItemMemory,
+    LevelEncoder,
+    PrefixFlipEncoder,
+    hamming_distance,
+)
+
+
+class TestPrefixFlipEncoder:
+    def test_level_zero_is_base(self, space):
+        base = space.random()
+        encoder = PrefixFlipEncoder(base, unit=4, num_levels=10)
+        assert np.array_equal(encoder.encode(0), base)
+
+    def test_distance_between_levels_is_unit_times_difference(self, space):
+        base = space.random()
+        encoder = PrefixFlipEncoder(base, unit=3, num_levels=20)
+        for level_a in (0, 3, 7):
+            for level_b in (1, 5, 19):
+                expected = encoder.expected_distance(level_a, level_b)
+                assert (
+                    hamming_distance(encoder.encode(level_a), encoder.encode(level_b))
+                    == expected
+                    == abs(level_a - level_b) * 3
+                )
+
+    def test_flips_respect_region(self, space):
+        base = space.random()
+        encoder = PrefixFlipEncoder(
+            base, unit=5, num_levels=10, region_start=100, region_stop=200
+        )
+        encoded = encoder.encode(9)
+        assert np.array_equal(encoded[:100], base[:100])
+        assert np.array_equal(encoded[200:], base[200:])
+
+    def test_saturation_at_region_boundary(self, space):
+        base = space.random()
+        encoder = PrefixFlipEncoder(
+            base, unit=50, num_levels=20, region_start=0, region_stop=100
+        )
+        # Levels 2 and 19 both saturate the 100-element region.
+        assert encoder.flip_count(2) == 100
+        assert encoder.flip_count(19) == 100
+        assert hamming_distance(encoder.encode(2), encoder.encode(19)) == 0
+
+    def test_level_out_of_range(self, space):
+        encoder = PrefixFlipEncoder(space.random(), unit=1, num_levels=4)
+        with pytest.raises(ValueError):
+            encoder.encode(4)
+        with pytest.raises(ValueError):
+            encoder.encode(-1)
+
+    def test_invalid_region(self, space):
+        with pytest.raises(ValueError):
+            PrefixFlipEncoder(space.random(), unit=1, num_levels=4, region_start=400, region_stop=300)
+
+    def test_encode_all_shape(self, space):
+        encoder = PrefixFlipEncoder(space.random(), unit=2, num_levels=7)
+        assert encoder.encode_all().shape == (7, space.dimension)
+
+
+class TestLevelEncoder:
+    def test_unit_derived_from_levels(self, space):
+        encoder = LevelEncoder(space.random(), num_levels=256)
+        assert encoder.unit == space.dimension // 256
+
+    def test_matches_paper_color_quantisation(self):
+        space = HypervectorSpace(10_000, seed=0)
+        encoder = LevelEncoder(space.random(), num_levels=256)
+        assert encoder.unit == 39  # floor(10000 / 256)
+        assert hamming_distance(encoder.encode(0), encoder.encode(255)) == 255 * 39
+
+    def test_adjacent_levels_are_close(self, space):
+        encoder = LevelEncoder(space.random(), num_levels=64)
+        distance = hamming_distance(encoder.encode(10), encoder.encode(11))
+        assert distance == encoder.unit
+
+
+class TestItemMemory:
+    def test_get_or_create_is_stable(self, space):
+        memory = ItemMemory(space)
+        first = memory.get_or_create("a")
+        second = memory.get_or_create("a")
+        assert np.array_equal(first, second)
+        assert len(memory) == 1
+
+    def test_add_rejects_duplicates(self, space):
+        memory = ItemMemory(space)
+        memory.add("x", space.random())
+        with pytest.raises(KeyError):
+            memory.add("x", space.random())
+
+    def test_add_rejects_wrong_dimension(self, space):
+        memory = ItemMemory(space)
+        with pytest.raises(ValueError):
+            memory.add("x", np.zeros(3, dtype=np.uint8))
+
+    def test_nearest_returns_exact_match(self, space):
+        memory = ItemMemory(space)
+        for key in "abc":
+            memory.get_or_create(key)
+        query = memory.get("b")
+        assert memory.nearest(query) == "b"
+        assert memory.nearest(query, metric="cosine") == "b"
+
+    def test_nearest_on_empty_memory(self, space):
+        with pytest.raises(LookupError):
+            ItemMemory(space).nearest(space.random())
+
+    def test_nearest_unknown_metric(self, space):
+        memory = ItemMemory(space)
+        memory.get_or_create("a")
+        with pytest.raises(ValueError):
+            memory.nearest(space.random(), metric="euclid")
+
+    def test_as_matrix(self, space):
+        memory = ItemMemory(space)
+        memory.get_or_create("a")
+        memory.get_or_create("b")
+        keys, matrix = memory.as_matrix()
+        assert keys == ["a", "b"]
+        assert matrix.shape == (2, space.dimension)
+
+    def test_as_matrix_empty(self, space):
+        keys, matrix = ItemMemory(space).as_matrix()
+        assert keys == []
+        assert matrix.shape == (0, space.dimension)
+
+
+@given(
+    unit=st.integers(min_value=1, max_value=8),
+    level_a=st.integers(min_value=0, max_value=63),
+    level_b=st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_level_distance_is_manhattan(unit, level_a, level_b):
+    """Hamming(level_a, level_b) == unit * |level_a - level_b| until saturation."""
+    space = HypervectorSpace(1024, seed=unit)
+    encoder = PrefixFlipEncoder(space.random(), unit=unit, num_levels=64)
+    observed = hamming_distance(encoder.encode(level_a), encoder.encode(level_b))
+    assert observed == encoder.expected_distance(level_a, level_b)
+    if max(level_a, level_b) * unit <= space.dimension:
+        assert observed == unit * abs(level_a - level_b)

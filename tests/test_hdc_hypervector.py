@@ -1,0 +1,183 @@
+"""Unit and property tests for the hypervector primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import (
+    HypervectorSpace,
+    bind,
+    bundle,
+    flip_prefix,
+    flip_range,
+    hamming_distance,
+    normalized_hamming,
+    random_hv,
+    validate_binary_hv,
+)
+
+
+class TestValidateBinaryHV:
+    def test_accepts_binary_vector(self):
+        hv = validate_binary_hv(np.array([0, 1, 1, 0]))
+        assert hv.dtype == np.uint8
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ValueError, match="0/1"):
+            validate_binary_hv(np.array([0, 2, 1]))
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(ValueError, match="one dimensional"):
+            validate_binary_hv(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_binary_hv(np.array([], dtype=np.uint8))
+
+
+class TestRandomHV:
+    def test_shape_and_values(self, rng):
+        hv = random_hv(1000, rng)
+        assert hv.shape == (1000,)
+        assert set(np.unique(hv)).issubset({0, 1})
+
+    def test_balanced_ones(self, rng):
+        hv = random_hv(10_000, rng)
+        assert 0.45 < hv.mean() < 0.55
+
+    def test_rejects_non_positive_dimension(self, rng):
+        with pytest.raises(ValueError):
+            random_hv(0, rng)
+
+    def test_pseudo_orthogonality_of_random_pairs(self, rng):
+        a = random_hv(10_000, rng)
+        b = random_hv(10_000, rng)
+        assert 0.45 < normalized_hamming(a, b) < 0.55
+
+
+class TestBind:
+    def test_xor_semantics(self):
+        a = np.array([0, 1, 0, 1], dtype=np.uint8)
+        b = np.array([0, 0, 1, 1], dtype=np.uint8)
+        assert np.array_equal(bind(a, b), np.array([0, 1, 1, 0]))
+
+    def test_binding_is_involutive(self, rng):
+        a = random_hv(256, rng)
+        b = random_hv(256, rng)
+        assert np.array_equal(bind(bind(a, b), b), a)
+
+    def test_binding_with_zero_is_identity(self, rng):
+        a = random_hv(128, rng)
+        zero = np.zeros(128, dtype=np.uint8)
+        assert np.array_equal(bind(a, zero), a)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            bind(random_hv(8, rng), random_hv(16, rng))
+
+    def test_binding_preserves_hamming_distance(self, rng):
+        # d(a^c, b^c) == d(a, b): the key property SegHDC relies on.
+        a = random_hv(2048, rng)
+        b = random_hv(2048, rng)
+        c = random_hv(2048, rng)
+        assert hamming_distance(bind(a, c), bind(b, c)) == hamming_distance(a, b)
+
+
+class TestBundle:
+    def test_sum_semantics(self):
+        stack = np.array([[1, 0, 1], [1, 1, 0], [1, 0, 0]], dtype=np.uint8)
+        assert np.array_equal(bundle(stack), np.array([3, 1, 1]))
+
+    def test_rejects_empty_stack(self):
+        with pytest.raises(ValueError, match="empty"):
+            bundle(np.empty((0, 8), dtype=np.uint8))
+
+    def test_rejects_one_dimensional_input(self, rng):
+        with pytest.raises(ValueError):
+            bundle(random_hv(8, rng))
+
+
+class TestFlips:
+    def test_flip_range_flips_exactly_that_range(self, rng):
+        hv = random_hv(64, rng)
+        flipped = flip_range(hv, 10, 20)
+        assert hamming_distance(hv, flipped) == 10
+        assert np.array_equal(flipped[:10], hv[:10])
+        assert np.array_equal(flipped[20:], hv[20:])
+
+    def test_flip_prefix_with_offset(self, rng):
+        hv = random_hv(64, rng)
+        flipped = flip_prefix(hv, 8, offset=32)
+        assert hamming_distance(hv, flipped) == 8
+        assert np.array_equal(flipped[:32], hv[:32])
+
+    def test_flip_prefix_clips_at_dimension(self, rng):
+        hv = random_hv(16, rng)
+        flipped = flip_prefix(hv, 100)
+        assert hamming_distance(hv, flipped) == 16
+
+    def test_flip_range_invalid_bounds(self, rng):
+        with pytest.raises(ValueError):
+            flip_range(random_hv(16, rng), 10, 5)
+
+    def test_inputs_are_never_mutated(self, rng):
+        hv = random_hv(32, rng)
+        original = hv.copy()
+        flip_prefix(hv, 8)
+        assert np.array_equal(hv, original)
+
+
+class TestHypervectorSpace:
+    def test_reproducible_with_seed(self):
+        a = HypervectorSpace(256, seed=42).random()
+        b = HypervectorSpace(256, seed=42).random()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = HypervectorSpace(256, seed=1).random()
+        b = HypervectorSpace(256, seed=2).random()
+        assert not np.array_equal(a, b)
+
+    def test_random_batch_shape(self, space):
+        batch = space.random_batch(5)
+        assert batch.shape == (5, space.dimension)
+
+    def test_zeros(self, space):
+        assert space.zeros().sum() == 0
+
+    def test_subspace_dimension(self, space):
+        sub = space.subspace(100)
+        assert sub.dimension == 100
+        assert sub.random().shape == (100,)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            HypervectorSpace(0)
+
+
+@given(
+    dimension=st.integers(min_value=8, max_value=512),
+    count_a=st.integers(min_value=0, max_value=512),
+    count_b=st.integers(min_value=0, max_value=512),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_nested_prefix_flips_give_manhattan_distance(dimension, count_a, count_b):
+    """Flipping nested prefixes of one HV yields |a - b| Hamming distance."""
+    rng = np.random.default_rng(dimension)
+    base = random_hv(dimension, rng)
+    a = flip_prefix(base, count_a)
+    b = flip_prefix(base, count_b)
+    expected = abs(min(count_a, dimension) - min(count_b, dimension))
+    assert hamming_distance(a, b) == expected
+
+
+@given(dimension=st.integers(min_value=4, max_value=256), seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_property_bind_is_commutative(dimension, seed):
+    rng = np.random.default_rng(seed)
+    a = random_hv(dimension, rng)
+    b = random_hv(dimension, rng)
+    assert np.array_equal(bind(a, b), bind(b, a))

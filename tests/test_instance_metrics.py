@@ -1,0 +1,132 @@
+"""Tests for the instance-level (object) metrics and the energy model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    EdgeDeviceSimulator,
+    EnergyModel,
+    RASPBERRY_PI_4,
+    RASPBERRY_PI_4_ENERGY,
+)
+from repro.metrics import average_precision, match_instances, object_f1
+from repro.postprocess import connected_components
+
+
+def _instance_map(blobs):
+    """Build an instance map from a list of (r0, r1, c0, c1) rectangles."""
+    out = np.zeros((30, 30), dtype=np.int32)
+    for index, (r0, r1, c0, c1) in enumerate(blobs, start=1):
+        out[r0:r1, c0:c1] = index
+    return out
+
+
+class TestMatchInstances:
+    def test_perfect_match(self):
+        truth = _instance_map([(2, 8, 2, 8), (15, 20, 15, 20)])
+        result = match_instances(truth, truth)
+        assert result.true_positives == 2
+        assert result.false_positives == 0
+        assert result.false_negatives == 0
+        assert result.precision == result.recall == result.f1 == 1.0
+        assert result.mean_matched_iou == pytest.approx(1.0)
+
+    def test_missed_object(self):
+        truth = _instance_map([(2, 8, 2, 8), (15, 20, 15, 20)])
+        prediction = _instance_map([(2, 8, 2, 8)])
+        result = match_instances(prediction, truth)
+        assert result.true_positives == 1
+        assert result.false_negatives == 1
+        assert result.recall == pytest.approx(0.5)
+
+    def test_spurious_object(self):
+        truth = _instance_map([(2, 8, 2, 8)])
+        prediction = _instance_map([(2, 8, 2, 8), (20, 25, 20, 25)])
+        result = match_instances(prediction, truth)
+        assert result.false_positives == 1
+        assert result.precision == pytest.approx(0.5)
+
+    def test_threshold_controls_matching(self):
+        truth = _instance_map([(0, 10, 0, 10)])
+        prediction = _instance_map([(0, 10, 0, 6)])  # IoU = 0.6
+        assert match_instances(prediction, truth, iou_threshold=0.5).true_positives == 1
+        assert match_instances(prediction, truth, iou_threshold=0.7).true_positives == 0
+
+    def test_empty_cases(self):
+        empty = np.zeros((30, 30), dtype=np.int32)
+        truth = _instance_map([(2, 6, 2, 6)])
+        result = match_instances(empty, truth)
+        assert result.true_positives == 0
+        assert result.false_negatives == 1
+        assert result.f1 == 0.0
+        both_empty = match_instances(empty, empty)
+        assert both_empty.f1 == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            match_instances(np.zeros((2, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            match_instances(np.zeros((2, 2)), np.zeros((2, 2)), iou_threshold=0.0)
+
+    def test_one_to_one_assignment(self):
+        """Two predictions overlapping one truth object: only one may match."""
+        truth = _instance_map([(0, 10, 0, 10)])
+        prediction = np.zeros((30, 30), dtype=np.int32)
+        prediction[0:10, 0:5] = 1
+        prediction[0:10, 5:10] = 2
+        result = match_instances(prediction, truth, iou_threshold=0.3)
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+
+
+class TestObjectScores:
+    def test_object_f1_on_connected_components(self, small_bbbc005_sample):
+        truth_instances = connected_components(small_bbbc005_sample.mask)
+        score = object_f1(truth_instances, truth_instances)
+        assert score == 1.0
+
+    def test_average_precision_bounds(self):
+        truth = _instance_map([(2, 8, 2, 8), (15, 20, 15, 20)])
+        prediction = _instance_map([(2, 8, 2, 8)])
+        ap = average_precision(prediction, truth)
+        assert 0.0 < ap < 1.0
+        assert average_precision(truth, truth) == 1.0
+
+    def test_average_precision_requires_thresholds(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros((2, 2)), np.zeros((2, 2)), thresholds=())
+
+
+class TestEnergyModel:
+    def test_energy_scales_with_latency(self):
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        short = simulator.estimate_seghdc(64, 64, dimension=400, num_clusters=2, num_iterations=1)
+        long = simulator.estimate_seghdc(256, 320, dimension=800, num_clusters=2, num_iterations=3)
+        model = RASPBERRY_PI_4_ENERGY
+        assert model.estimate(long).energy_joules > model.estimate(short).energy_joules
+        assert model.compare(short, long) > 1.0
+
+    def test_energy_figures_are_consistent(self):
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        run = simulator.estimate_seghdc(256, 320, dimension=800, num_clusters=2, num_iterations=3)
+        estimate = RASPBERRY_PI_4_ENERGY.estimate(run)
+        assert estimate.energy_joules == pytest.approx(
+            estimate.average_power_watts * run.latency_seconds
+        )
+        assert estimate.energy_watt_hours == pytest.approx(estimate.energy_joules / 3600.0)
+
+    def test_seghdc_energy_advantage_matches_latency_advantage(self):
+        """Energy ratio equals latency ratio under the constant-power model —
+        the paper's >300x speed-up translates directly into energy savings."""
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        seghdc = simulator.estimate_seghdc(256, 320, dimension=800, num_clusters=2, num_iterations=3)
+        baseline = simulator.estimate_cnn_baseline(256, 320, channels=3, iterations=1000)
+        ratio = RASPBERRY_PI_4_ENERGY.compare(seghdc, baseline)
+        assert ratio == pytest.approx(baseline.latency_seconds / seghdc.latency_seconds)
+        assert ratio > 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(idle_power_watts=-1.0, active_power_watts=1.0)

@@ -1,0 +1,170 @@
+"""Tests for IoU, Dice, cluster matching, and dataset aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import DSB2018Synthetic
+from repro.metrics import (
+    DatasetScore,
+    best_foreground_iou,
+    binary_iou,
+    confusion_matrix,
+    dice_score,
+    evaluate_dataset,
+    match_clusters_to_classes,
+    pixel_accuracy,
+    relabel_to_ground_truth,
+)
+
+
+class TestBinaryIoU:
+    def test_perfect_overlap(self):
+        mask = np.array([[1, 0], [0, 1]])
+        assert binary_iou(mask, mask) == 1.0
+
+    def test_no_overlap(self):
+        assert binary_iou(np.array([[1, 0]]), np.array([[0, 1]])) == 0.0
+
+    def test_partial_overlap(self):
+        prediction = np.array([[1, 1, 0, 0]])
+        target = np.array([[0, 1, 1, 0]])
+        assert binary_iou(prediction, target) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert binary_iou(np.zeros((2, 2)), np.zeros((2, 2))) == 1.0
+
+    def test_one_empty(self):
+        assert binary_iou(np.ones((2, 2)), np.zeros((2, 2))) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_iou(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_multilabel_foreground_treated_as_nonzero(self):
+        prediction = np.array([[2, 0], [3, 0]])
+        target = np.array([[1, 0], [1, 0]])
+        assert binary_iou(prediction, target) == 1.0
+
+
+class TestDiceAndAccuracy:
+    def test_dice_relates_to_iou(self):
+        prediction = np.array([[1, 1, 0, 0]])
+        target = np.array([[0, 1, 1, 0]])
+        iou = binary_iou(prediction, target)
+        dice = dice_score(prediction, target)
+        assert dice == pytest.approx(2 * iou / (1 + iou))
+
+    def test_dice_empty(self):
+        assert dice_score(np.zeros((2, 2)), np.zeros((2, 2))) == 1.0
+
+    def test_pixel_accuracy(self):
+        assert pixel_accuracy(np.array([[1, 0], [1, 1]]), np.array([[1, 0], [0, 1]])) == 0.75
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        prediction = np.array([[0, 0, 1, 1]])
+        target = np.array([[0, 1, 0, 1]])
+        matrix = confusion_matrix(prediction, target, num_pred=2, num_target=2)
+        assert np.array_equal(matrix, np.array([[1, 1], [1, 1]]))
+
+    def test_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([[3]]), np.array([[0]]), num_pred=2, num_target=2)
+
+
+class TestClusterMatching:
+    def test_inverted_labels_are_fixed(self):
+        target = np.array([[1, 1, 0, 0]])
+        prediction = np.array([[0, 0, 1, 1]])  # swapped cluster indices
+        assert best_foreground_iou(prediction, target) == 1.0
+        relabelled = relabel_to_ground_truth(prediction, target)
+        assert np.array_equal(relabelled, target)
+
+    def test_match_clusters_to_classes_assignment(self):
+        target = np.array([[0, 0, 1, 1], [0, 0, 1, 1]])
+        prediction = np.array([[2, 2, 0, 0], [2, 2, 0, 0]])
+        assignment = match_clusters_to_classes(prediction, target)
+        assert assignment[2] == 0
+        assert assignment[0] == 1
+
+    def test_extra_clusters_are_mapped_greedily(self):
+        target = np.array([[0, 0, 0, 1, 1, 1]])
+        prediction = np.array([[0, 0, 1, 2, 2, 3]])
+        assignment = match_clusters_to_classes(prediction, target)
+        assert assignment[0] == 0
+        assert assignment[2] == 1
+        assert set(assignment) == {0, 1, 2, 3}
+
+    def test_best_foreground_iou_three_clusters(self):
+        # Clusters 1 and 2 together form the foreground.
+        target = np.array([[0, 0, 1, 1, 1, 1]])
+        prediction = np.array([[0, 0, 1, 1, 2, 2]])
+        assert best_foreground_iou(prediction, target) == 1.0
+
+    def test_best_foreground_iou_single_cluster_prediction(self):
+        target = np.array([[1, 1, 1, 0]])
+        prediction = np.zeros((1, 4), dtype=int)
+        assert best_foreground_iou(prediction, target) == pytest.approx(0.75)
+
+    def test_best_foreground_iou_many_clusters_uses_majority_vote(self):
+        """Predictions with > 8 clusters take the majority-vote path."""
+        rng = np.random.default_rng(0)
+        target = np.zeros((20, 20), dtype=np.uint8)
+        target[5:15, 5:15] = 1
+        prediction = rng.integers(0, 12, size=(20, 20))
+        # Make clusters 0..5 dominate the foreground region.
+        prediction[5:15, 5:15] = rng.integers(0, 6, size=(10, 10))
+        prediction[target == 0] = rng.integers(6, 12, size=int((target == 0).sum()))
+        assert best_foreground_iou(prediction, target) == 1.0
+
+    def test_permutation_invariance(self):
+        rng = np.random.default_rng(3)
+        target = (rng.uniform(size=(16, 16)) > 0.7).astype(np.uint8)
+        prediction = rng.integers(0, 3, size=(16, 16))
+        permuted = (prediction + 1) % 3
+        assert best_foreground_iou(prediction, target) == pytest.approx(
+            best_foreground_iou(permuted, target)
+        )
+
+
+class TestDatasetAggregation:
+    def test_dataset_score_statistics(self):
+        score = DatasetScore(per_image=[0.5, 0.7, 0.9])
+        assert score.mean == pytest.approx(0.7)
+        assert score.minimum == pytest.approx(0.5)
+        assert score.maximum == pytest.approx(0.9)
+        assert score.count == 3
+        assert score.summary()["num_images"] == 3.0
+
+    def test_empty_score(self):
+        score = DatasetScore()
+        assert score.mean == 0.0
+        assert score.count == 0
+
+    def test_evaluate_dataset_with_oracle(self):
+        dataset = DSB2018Synthetic(num_images=3, image_shape=(32, 40), seed=0)
+        score = evaluate_dataset(lambda sample: sample.mask, dataset)
+        assert score.count == 3
+        assert score.mean == pytest.approx(1.0)
+
+    def test_evaluate_dataset_with_trivial_predictor(self):
+        dataset = DSB2018Synthetic(num_images=2, image_shape=(32, 40), seed=0)
+        score = evaluate_dataset(lambda sample: np.zeros_like(sample.mask), dataset)
+        assert all(value < 1.0 for value in score.per_image)
+
+
+@given(seed=st.integers(0, 1000), threshold=st.floats(0.2, 0.8))
+@settings(max_examples=30, deadline=None)
+def test_property_iou_bounded_and_symmetric(seed, threshold):
+    rng = np.random.default_rng(seed)
+    a = (rng.uniform(size=(12, 12)) > threshold).astype(np.uint8)
+    b = (rng.uniform(size=(12, 12)) > threshold).astype(np.uint8)
+    iou = binary_iou(a, b)
+    assert 0.0 <= iou <= 1.0
+    assert iou == pytest.approx(binary_iou(b, a))
+    assert binary_iou(a, a) == 1.0

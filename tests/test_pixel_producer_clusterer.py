@@ -1,0 +1,208 @@
+"""Tests for the pixel-HV producer and the HD K-Means clusterer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import HypervectorSpace, hamming_distance
+from repro.seghdc import (
+    HDKMeans,
+    ManhattanColorEncoder,
+    PixelHVProducer,
+    make_position_encoder,
+)
+from repro.seghdc.clusterer import select_initial_centroid_indices
+
+
+def _producer(dimension=1024, height=6, width=8, channels=3, seed=0):
+    space = HypervectorSpace(dimension, seed=seed)
+    position = make_position_encoder("block_decay", space, height, width, alpha=0.5, beta=1)
+    color = ManhattanColorEncoder(space, channels)
+    return PixelHVProducer(position, color)
+
+
+class TestPixelHVProducer:
+    def test_single_pixel_is_xor_of_components(self):
+        producer = _producer()
+        position_hv = producer.position_encoder.encode(2, 3)
+        color_hv = producer.color_encoder.encode_value((10, 20, 30))
+        expected = np.bitwise_xor(position_hv, color_hv)
+        assert np.array_equal(producer.produce_pixel(2, 3, (10, 20, 30)), expected)
+
+    def test_produce_image_shape(self, rng):
+        producer = _producer(height=5, width=7)
+        image = rng.integers(0, 256, size=(5, 7, 3))
+        hvs = producer.produce_image(image)
+        assert hvs.shape == (35, 1024)
+        assert hvs.dtype == np.uint8
+
+    def test_produce_image_matches_pointwise(self, rng):
+        producer = _producer(dimension=256, height=3, width=4)
+        image = rng.integers(0, 256, size=(3, 4, 3))
+        hvs = producer.produce_image(image)
+        for row in range(3):
+            for col in range(4):
+                expected = producer.produce_pixel(row, col, tuple(image[row, col]))
+                assert np.array_equal(hvs[row * 4 + col], expected)
+
+    def test_same_color_distance_comes_from_position_only(self, rng):
+        """Fig. 5(b/c): with equal colors the pixel-HV distance equals the
+        position-HV distance."""
+        producer = _producer(dimension=2048, height=6, width=6)
+        color = (120, 64, 200)
+        hv_a = producer.produce_pixel(0, 0, color)
+        hv_b = producer.produce_pixel(0, 3, color)
+        expected = hamming_distance(
+            producer.position_encoder.encode(0, 0), producer.position_encoder.encode(0, 3)
+        )
+        assert hamming_distance(hv_a, hv_b) == expected
+
+    def test_same_position_distance_comes_from_color_only(self):
+        producer = _producer(dimension=2048)
+        hv_a = producer.produce_pixel(1, 1, (50, 50, 50))
+        hv_b = producer.produce_pixel(1, 1, (150, 50, 50))
+        expected = hamming_distance(
+            producer.color_encoder.encode_value((50, 50, 50)),
+            producer.color_encoder.encode_value((150, 50, 50)),
+        )
+        assert hamming_distance(hv_a, hv_b) == expected
+
+    def test_dimension_mismatch_is_rejected(self):
+        space_a = HypervectorSpace(128, seed=0)
+        space_b = HypervectorSpace(256, seed=0)
+        position = make_position_encoder("manhattan", space_a, 4, 4)
+        color = ManhattanColorEncoder(space_b, 3)
+        with pytest.raises(ValueError, match="dimension"):
+            PixelHVProducer(position, color)
+
+    def test_image_shape_mismatch_is_rejected(self, rng):
+        producer = _producer(height=4, width=4)
+        with pytest.raises(ValueError, match="does not match"):
+            producer.produce_image(rng.integers(0, 256, size=(5, 5, 3)))
+
+
+class TestCentroidSeeding:
+    def test_selects_extreme_intensities(self):
+        intensities = np.array([10.0, 250.0, 40.0, 200.0, 90.0])
+        indices = select_initial_centroid_indices(intensities, 2)
+        assert set(indices) == {0, 1}
+
+    def test_three_clusters_spread(self):
+        intensities = np.linspace(0, 255, 101)
+        indices = select_initial_centroid_indices(intensities, 3)
+        assert len(set(indices)) == 3
+        assert 0 in indices and 100 in indices
+
+    def test_rejects_too_few_pixels(self):
+        with pytest.raises(ValueError):
+            select_initial_centroid_indices(np.array([1.0]), 2)
+
+    def test_rejects_single_cluster(self):
+        with pytest.raises(ValueError):
+            select_initial_centroid_indices(np.arange(10.0), 1)
+
+
+class TestHDKMeans:
+    def _two_blob_data(self, rng, per_cluster=60, dimension=512):
+        """Two well-separated groups of binary HVs + matching intensities."""
+        space = HypervectorSpace(dimension, seed=9)
+        center_a = space.random()
+        center_b = space.random()
+        rows = []
+        intensities = []
+        for center, intensity in ((center_a, 20.0), (center_b, 230.0)):
+            for _ in range(per_cluster):
+                noisy = center.copy()
+                flip = rng.choice(dimension, size=dimension // 20, replace=False)
+                noisy[flip] ^= 1
+                rows.append(noisy)
+                intensities.append(intensity + rng.normal(0, 3))
+        return np.stack(rows), np.array(intensities)
+
+    def test_separates_two_blobs(self, rng):
+        hvs, intensities = self._two_blob_data(rng)
+        result = HDKMeans(2, num_iterations=5).fit(hvs, intensities)
+        labels = result.labels
+        first_half = labels[:60]
+        second_half = labels[60:]
+        # Each blob is internally consistent and the two blobs differ.
+        assert len(np.unique(first_half)) == 1
+        assert len(np.unique(second_half)) == 1
+        assert first_half[0] != second_half[0]
+
+    def test_labels_within_range(self, rng):
+        hvs, intensities = self._two_blob_data(rng)
+        result = HDKMeans(3, num_iterations=3).fit(hvs, intensities)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < 3
+
+    def test_history_recording(self, rng):
+        hvs, intensities = self._two_blob_data(rng, per_cluster=20)
+        result = HDKMeans(2, num_iterations=4, record_history=True).fit(hvs, intensities)
+        assert len(result.history) == 4
+        assert all(step.shape == result.labels.shape for step in result.history)
+        assert np.array_equal(result.history[-1], result.labels)
+
+    def test_no_history_by_default(self, rng):
+        hvs, intensities = self._two_blob_data(rng, per_cluster=10)
+        result = HDKMeans(2, num_iterations=2).fit(hvs, intensities)
+        assert result.history == []
+
+    def test_chunked_assignment_matches_unchunked(self, rng):
+        hvs, intensities = self._two_blob_data(rng, per_cluster=40)
+        small_chunks = HDKMeans(2, num_iterations=3, chunk_size=7).fit(hvs, intensities)
+        one_chunk = HDKMeans(2, num_iterations=3, chunk_size=10_000).fit(hvs, intensities)
+        assert np.array_equal(small_chunks.labels, one_chunk.labels)
+
+    def test_centroids_are_bundles_of_members(self, rng):
+        hvs, intensities = self._two_blob_data(rng, per_cluster=15)
+        result = HDKMeans(2, num_iterations=2).fit(hvs, intensities)
+        for cluster in range(2):
+            members = hvs[result.labels == cluster]
+            if len(members):
+                assert np.array_equal(
+                    result.centroids[cluster], members.astype(np.int64).sum(axis=0)
+                )
+
+    def test_inertia_is_finite_and_nonnegative(self, rng):
+        hvs, intensities = self._two_blob_data(rng, per_cluster=10)
+        result = HDKMeans(2, num_iterations=2).fit(hvs, intensities)
+        assert np.isfinite(result.inertia)
+        assert result.inertia >= 0.0
+
+    def test_invalid_arguments(self, rng):
+        hvs, intensities = self._two_blob_data(rng, per_cluster=5)
+        with pytest.raises(ValueError):
+            HDKMeans(1)
+        with pytest.raises(ValueError):
+            HDKMeans(2, num_iterations=0)
+        with pytest.raises(ValueError):
+            HDKMeans(2, chunk_size=0)
+        with pytest.raises(ValueError):
+            HDKMeans(2).fit(hvs, intensities[:-1])
+        with pytest.raises(ValueError):
+            HDKMeans(2).fit(hvs[0], intensities[:1])
+
+    def test_more_clusters_than_pixels_rejected(self):
+        hvs = np.zeros((3, 16), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            HDKMeans(4).fit(hvs, np.arange(3.0))
+
+
+@given(
+    num_points=st.integers(min_value=6, max_value=60),
+    num_clusters=st.integers(min_value=2, max_value=4),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_kmeans_always_returns_valid_labels(num_points, num_clusters, seed):
+    rng = np.random.default_rng(seed)
+    hvs = rng.integers(0, 2, size=(num_points, 64)).astype(np.uint8)
+    intensities = rng.uniform(0, 255, size=num_points)
+    result = HDKMeans(num_clusters, num_iterations=2).fit(hvs, intensities)
+    assert result.labels.shape == (num_points,)
+    assert result.labels.min() >= 0
+    assert result.labels.max() < num_clusters

@@ -1,0 +1,111 @@
+"""Tests for the visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    DEFAULT_PALETTE,
+    ascii_mask,
+    colorize_labels,
+    label_color,
+    mask_to_grayscale,
+    overlay_mask,
+    save_panel,
+    side_by_side,
+)
+
+
+class TestPalette:
+    def test_background_is_black(self):
+        assert label_color(0) == (0, 0, 0)
+
+    def test_wraps_around(self):
+        assert label_color(len(DEFAULT_PALETTE)) == label_color(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            label_color(-1)
+
+
+class TestMaskRendering:
+    def test_colorize_labels_shape(self):
+        labels = np.array([[0, 1], [2, 3]])
+        rgb = colorize_labels(labels)
+        assert rgb.shape == (2, 2, 3)
+        assert tuple(rgb[0, 0]) == (0, 0, 0)
+
+    def test_colorize_rejects_3d(self):
+        with pytest.raises(ValueError):
+            colorize_labels(np.zeros((2, 2, 3)))
+
+    def test_mask_to_grayscale_binary(self):
+        mask = np.array([[0, 1], [1, 0]])
+        gray = mask_to_grayscale(mask)
+        assert gray[0, 0] == 0
+        assert gray[0, 1] == 255
+
+    def test_mask_to_grayscale_multiclass_distinct_values(self):
+        mask = np.array([[0, 1, 2, 3]])
+        gray = mask_to_grayscale(mask)
+        assert len(set(gray[0].tolist())) == 4
+
+    def test_mask_to_grayscale_empty_mask(self):
+        assert mask_to_grayscale(np.zeros((3, 3), dtype=int)).max() == 0
+
+    def test_overlay_mask_changes_only_foreground(self):
+        image = np.full((4, 4), 100, dtype=np.uint8)
+        mask = np.zeros((4, 4), dtype=np.uint8)
+        mask[0, 0] = 1
+        blended = overlay_mask(image, mask)
+        assert not np.array_equal(blended[0, 0], [100, 100, 100])
+        assert np.array_equal(blended[3, 3], [100, 100, 100])
+
+    def test_overlay_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            overlay_mask(np.zeros((2, 2)), np.zeros((2, 2)), alpha=2.0)
+
+
+class TestPanels:
+    def test_side_by_side_width(self):
+        a = np.zeros((10, 5), dtype=np.uint8)
+        b = np.zeros((10, 7, 3), dtype=np.uint8)
+        panel = side_by_side([a, b], gap=2)
+        assert panel.shape == (10, 5 + 2 + 7, 3)
+
+    def test_side_by_side_pads_heights(self):
+        a = np.zeros((6, 4), dtype=np.uint8)
+        b = np.zeros((10, 4), dtype=np.uint8)
+        panel = side_by_side([a, b])
+        assert panel.shape[0] == 10
+
+    def test_side_by_side_requires_images(self):
+        with pytest.raises(ValueError):
+            side_by_side([])
+
+    def test_save_panel_writes_png(self, tmp_path, rng):
+        images = [rng.integers(0, 255, size=(8, 8)).astype(np.uint8) for _ in range(3)]
+        path = save_panel(tmp_path / "panel.png", images)
+        assert path.exists()
+        assert path.read_bytes().startswith(b"\x89PNG")
+
+
+class TestAsciiArt:
+    def test_dimensions_and_characters(self):
+        mask = np.zeros((20, 40))
+        mask[5:15, 10:30] = 1
+        art = ascii_mask(mask, width=40)
+        lines = art.splitlines()
+        assert all(len(line) == 40 for line in lines)
+        assert "@" in art and " " in art
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ascii_mask(np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            ascii_mask(np.zeros((4, 4)), width=1)
+
+    def test_constant_mask(self):
+        art = ascii_mask(np.zeros((8, 8)), width=8)
+        assert set(art.replace("\n", "")) == {" "}
