@@ -15,6 +15,7 @@ import sys
 from pathlib import Path
 
 from repro.datasets import available_datasets, make_dataset
+from repro.hdc.backend import available_backends
 from repro.experiments import (
     available_experiments,
     run_experiment,
@@ -44,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
         experiment_parser.add_argument(
             "--output-dir", default=None, help="directory for CSV/PNG artifacts"
         )
+        experiment_parser.add_argument(
+            "--backend",
+            default="dense",
+            choices=available_backends(),
+            help="HDC compute backend (dense uint8 or bit-packed uint64)",
+        )
 
     segment_parser = subparsers.add_parser(
         "segment", help="segment one synthetic sample with SegHDC"
@@ -57,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     segment_parser.add_argument("--height", type=int, default=128)
     segment_parser.add_argument("--width", type=int, default=160)
     segment_parser.add_argument("--output-dir", default=None)
+    segment_parser.add_argument(
+        "--backend",
+        default="dense",
+        choices=available_backends(),
+        help="HDC compute backend (dense uint8 or bit-packed uint64)",
+    )
     return parser
 
 
@@ -72,11 +85,16 @@ def _run_segment(args: argparse.Namespace) -> int:
         dimension=args.dimension,
         num_iterations=args.iterations,
         beta=max(1, 26 * min(args.height, args.width) // 1000 + 1),
+        backend=args.backend,
     )
     result = SegHDC(config).segment(sample.image)
     iou = best_foreground_iou(result.labels, sample.mask)
     print(f"dataset={args.dataset} image={sample.image.name}")
-    print(f"IoU={iou:.4f}  host latency={result.elapsed_seconds:.2f}s")
+    print(
+        f"IoU={iou:.4f}  host latency={result.elapsed_seconds:.2f}s  "
+        f"backend={result.workload['backend']}  "
+        f"hv_storage={result.workload['hv_storage_bytes']} bytes"
+    )
     print(ascii_mask(result.labels))
     if args.output_dir:
         path = save_panel(
@@ -97,7 +115,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "segment":
         return _run_segment(args)
     scale = ExperimentScale.from_name(args.scale)
-    result = run_experiment(args.command, scale=scale, output_dir=args.output_dir)
+    result = run_experiment(
+        args.command,
+        scale=scale,
+        output_dir=args.output_dir,
+        backend=args.backend,
+    )
     if hasattr(result, "to_table"):
         print(result.to_table().to_markdown())
     elif hasattr(result, "to_tables"):

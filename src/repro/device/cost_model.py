@@ -13,12 +13,17 @@ implementations actually allocate and execute, documented inline.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+from repro.hdc.backend import available_backends
+from repro.hdc.hypervector import packed_words_per_hv
 
 __all__ = ["WorkloadCost", "cnn_baseline_cost", "seghdc_cost"]
 
 _FLOAT_BYTES = 4  # both PyTorch and the numpy pipeline run in float32
-_HV_BYTES = 1  # binary hypervectors are stored as uint8
+_HV_BYTES = 1  # dense binary hypervectors are stored as uint8
+_WORD_BYTES = 8  # the packed backend stores 64 HV bits per uint64 word
 # Rows per float32 chunk during the K-Means assignment; matches the default
 # chunk size of repro.seghdc.clusterer.HDKMeans so the modelled peak memory
 # reflects what the implementation actually allocates.
@@ -47,8 +52,11 @@ def seghdc_cost(
     num_clusters: int,
     num_iterations: int,
     channels: int = 3,
+    backend: str = "dense",
 ) -> WorkloadCost:
-    """Cost of one SegHDC run.
+    """Cost of one SegHDC run under the chosen compute backend.
+
+    Dense backend (one byte per HV bit):
 
     * Encoding: one XOR per hypervector element to bind rows with columns and
       one more to bind the position HV with the color HV -> ``2 * N * d``
@@ -60,25 +68,69 @@ def seghdc_cost(
     * Memory: the pixel-HV matrix (``N * d`` bytes as uint8) dominates; the
       float32 chunk used during the assignment adds one chunk of
       ``chunk * d * 4`` bytes.
+
+    Packed backend (64 HV bits per uint64 word, ``w = ceil(d / 64)`` words):
+
+    * Encoding: the row/column bind and the color bind are word-wide XORs ->
+      ``2 * N * w`` word operations (the dense color band still has to be
+      packed, ``N * d / 8`` byte operations, counted in).
+    * Clustering, per iteration: the assignment decomposes the integer
+      centroids into ``p ~ ceil(log2(N))`` bit-planes and performs an AND +
+      popcount per word per plane per cluster -> ``2 * N * w * p * k`` word
+      operations; the centroid update unpacks each member row once
+      (``N * d / 8`` byte operations).
+    * Memory: the packed pixel matrix and position grid are ``N * w * 8``
+      bytes each (8x smaller than dense); one dense color band and the
+      integer dot-product chunk are the transient extras.
     """
     if height <= 0 or width <= 0:
         raise ValueError("image dimensions must be positive")
     num_pixels = height * width
-    encode_ops = 2.0 * num_pixels * dimension
-    assign_ops = (2.0 * num_pixels * dimension * num_clusters) + 2.0 * num_pixels * dimension
-    update_ops = 1.0 * num_pixels * dimension
-    operations = encode_ops + num_iterations * (assign_ops + update_ops)
-
-    hv_matrix_bytes = num_pixels * dimension * _HV_BYTES
-    # Every iteration streams the HV matrix for the assignment and again for
-    # the centroid update.
-    bytes_moved = hv_matrix_bytes * (1 + 2 * num_iterations)
     chunk_rows = min(num_pixels, _ASSIGNMENT_CHUNK_ROWS)
-    peak_memory = (
-        2.0 * hv_matrix_bytes  # position grid + bound pixel grid during encode
-        + chunk_rows * dimension * _FLOAT_BYTES  # float32 assignment chunk
-        + num_pixels * (_FLOAT_BYTES + 4)  # intensities + labels
-    )
+    if backend == "dense":
+        encode_ops = 2.0 * num_pixels * dimension
+        assign_ops = (
+            2.0 * num_pixels * dimension * num_clusters
+        ) + 2.0 * num_pixels * dimension
+        update_ops = 1.0 * num_pixels * dimension
+        operations = encode_ops + num_iterations * (assign_ops + update_ops)
+
+        hv_matrix_bytes = num_pixels * dimension * _HV_BYTES
+        # Every iteration streams the HV matrix for the assignment and again
+        # for the centroid update.
+        bytes_moved = hv_matrix_bytes * (1 + 2 * num_iterations)
+        peak_memory = (
+            2.0 * hv_matrix_bytes  # position grid + bound pixel grid
+            + chunk_rows * dimension * _FLOAT_BYTES  # float32 assignment chunk
+            + num_pixels * (_FLOAT_BYTES + 4)  # intensities + labels
+        )
+    elif backend == "packed":
+        words = packed_words_per_hv(dimension)
+        bit_planes = max(1, math.ceil(math.log2(max(2, num_pixels))))
+        pack_ops = num_pixels * dimension / 8.0  # packbits of the color bands
+        encode_ops = 2.0 * num_pixels * words + pack_ops
+        assign_ops = 2.0 * num_pixels * words * bit_planes * num_clusters
+        update_ops = num_pixels * dimension / 8.0  # chunked unpack + sum
+        operations = encode_ops + num_iterations * (assign_ops + update_ops)
+
+        hv_matrix_bytes = num_pixels * words * _WORD_BYTES
+        # The assignment is cache-blocked: one packed chunk (a few MB) stays
+        # resident across all plane/cluster passes, so each iteration streams
+        # the packed matrix once for the assignment and once for the update.
+        bytes_moved = hv_matrix_bytes * (1 + 2 * num_iterations)
+        band_bytes = min(num_pixels, 64 * width) * dimension * _HV_BYTES
+        peak_memory = (
+            2.0 * hv_matrix_bytes  # packed position grid + packed pixel matrix
+            + band_bytes  # one dense color band during encoding
+            + chunk_rows * num_clusters * 8  # int64 dot-product chunk
+            + num_pixels * (_FLOAT_BYTES + 4)  # intensities + labels
+        )
+    else:
+        # Fail loudly for backends registered without a cost formula.
+        raise ValueError(
+            f"unknown backend {backend!r}; cost models exist for 'dense' and "
+            f"'packed' (registered backends: {available_backends()})"
+        )
     del channels  # channel count does not change the asymptotic HDC cost
     return WorkloadCost(
         operations=operations,

@@ -84,9 +84,15 @@ class EdgeDeviceSimulator:
         num_clusters: int,
         num_iterations: int,
         channels: int = 3,
+        backend: str = "dense",
         strict: bool = True,
     ) -> EdgeRunEstimate:
-        """Convenience wrapper: cost-model + estimate for a SegHDC run."""
+        """Convenience wrapper: cost-model + estimate for a SegHDC run.
+
+        ``backend`` selects the compute-backend cost model: the packed
+        backend trades the float32 assignment for word-wide AND/popcount
+        operations and shrinks the resident HV matrices ~8x.
+        """
         cost = seghdc_cost(
             height,
             width,
@@ -94,6 +100,7 @@ class EdgeDeviceSimulator:
             num_clusters=num_clusters,
             num_iterations=num_iterations,
             channels=channels,
+            backend=backend,
         )
         return self.estimate(cost, strict=strict)
 

@@ -49,7 +49,9 @@ class AblationResult:
         return max(self.scores, key=self.scores.get)
 
 
-def _sample_and_config(scale: ExperimentScale, dataset_name: str = "dsb2018"):
+def _sample_and_config(
+    scale: ExperimentScale, dataset_name: str = "dsb2018", backend: str = "dense"
+):
     paper_shape = DATASET_PAPER_SHAPES[dataset_name]
     shape = scale.scaled_shape(paper_shape)
     dataset = make_dataset(dataset_name, num_images=1, image_shape=shape, seed=scale.seed)
@@ -58,6 +60,7 @@ def _sample_and_config(scale: ExperimentScale, dataset_name: str = "dsb2018"):
         dimension=scale.seghdc_dimension,
         num_iterations=scale.seghdc_iterations,
         seed=scale.seed,
+        backend=backend,
     )
     config = _adapt_beta(config, shape, paper_shape)
     return sample, config
@@ -68,11 +71,12 @@ def run_encoding_ablation(
     *,
     dataset: str = "dsb2018",
     output_dir: str | Path | None = None,
+    backend: str = "dense",
 ) -> AblationResult:
     """IoU of every position-encoding variant of Fig. 3 on one sample image."""
     if isinstance(scale, str):
         scale = ExperimentScale.from_name(scale)
-    sample, base_config = _sample_and_config(scale, dataset)
+    sample, base_config = _sample_and_config(scale, dataset, backend)
     result = AblationResult(name="encoding ablation", scale=scale.name)
     for variant in _ENCODING_VARIANTS:
         config = base_config.with_overrides(position_encoding=variant)
@@ -91,6 +95,7 @@ def run_hyperparameter_ablation(
     betas: tuple[int, ...] = (1, 4, 13, 26),
     gammas: tuple[int, ...] = (1, 2, 4),
     output_dir: str | Path | None = None,
+    backend: str = "dense",
 ) -> AblationResult:
     """IoU as a function of alpha, beta, and gamma around the paper's setting.
 
@@ -99,7 +104,7 @@ def run_hyperparameter_ablation(
     """
     if isinstance(scale, str):
         scale = ExperimentScale.from_name(scale)
-    sample, base_config = _sample_and_config(scale, dataset)
+    sample, base_config = _sample_and_config(scale, dataset, backend)
     paper_shape = DATASET_PAPER_SHAPES[dataset]
     shape = scale.scaled_shape(paper_shape)
     result = AblationResult(name="hyper-parameter ablation", scale=scale.name)

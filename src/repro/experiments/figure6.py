@@ -66,6 +66,7 @@ def run_figure6(
     datasets: tuple[str, ...] = ("bbbc005", "dsb2018", "monuseg"),
     sample_index: int = 0,
     output_dir: str | Path | None = None,
+    backend: str = "dense",
 ) -> Figure6Result:
     """Reproduce the qualitative comparison of Figure 6."""
     if isinstance(scale, str):
@@ -84,6 +85,7 @@ def run_figure6(
             dimension=scale.seghdc_dimension,
             num_iterations=scale.seghdc_iterations,
             seed=scale.seed,
+            backend=backend,
         )
         seghdc_config = _adapt_beta(
             seghdc_config, shape, DATASET_PAPER_SHAPES[dataset_name]

@@ -75,6 +75,7 @@ def run_figure7(
     scale: ExperimentScale | str = "quick",
     *,
     output_dir: str | Path | None = None,
+    backend: str = "dense",
 ) -> Figure7Result:
     """Reproduce both sweeps of Figure 7 on a DSB2018-like sample image."""
     if isinstance(scale, str):
@@ -84,7 +85,9 @@ def run_figure7(
     shape = scale.scaled_shape(paper_shape)
     dataset = make_dataset("dsb2018", num_images=1, image_shape=shape, seed=scale.seed)
     sample = dataset[0]
-    base_config = SegHDCConfig.paper_defaults("dsb2018").with_overrides(seed=scale.seed)
+    base_config = SegHDCConfig.paper_defaults("dsb2018").with_overrides(
+        seed=scale.seed, backend=backend
+    )
     base_config = _adapt_beta(base_config, shape, paper_shape)
     result = Figure7Result(scale=scale.name)
 
@@ -101,6 +104,7 @@ def run_figure7(
             dimension=_PAPER_SWEEP_DIMENSION,
             num_clusters=config.num_clusters,
             num_iterations=int(iterations),
+            backend=backend,
         )
         result.iteration_sweep.append(
             Figure7Point(
@@ -124,6 +128,7 @@ def run_figure7(
             dimension=int(dimension),
             num_clusters=config.num_clusters,
             num_iterations=_PAPER_SWEEP_ITERATIONS,
+            backend=backend,
         )
         result.dimension_sweep.append(
             Figure7Point(

@@ -60,6 +60,7 @@ def run_figure8(
     *,
     iterations: int = 4,
     output_dir: str | Path | None = None,
+    backend: str = "dense",
 ) -> Figure8Result:
     """Reproduce Figure 8: per-iteration masks on the DSB2018 sample image."""
     if isinstance(scale, str):
@@ -75,6 +76,7 @@ def run_figure8(
         num_iterations=iterations,
         record_history=True,
         seed=scale.seed,
+        backend=backend,
     )
     config = _adapt_beta(config, shape, paper_shape)
     run = SegHDC(config).segment(sample.image)

@@ -35,11 +35,17 @@ def run_experiment(
     *,
     scale: ExperimentScale | str = "quick",
     output_dir: str | Path | None = None,
+    backend: str = "dense",
 ):
-    """Run one experiment by name and return its result object."""
+    """Run one experiment by name and return its result object.
+
+    ``backend`` selects the HDC compute backend (``"dense"`` or
+    ``"packed"``) used for every SegHDC run inside the experiment; the
+    device-model latency columns use the matching cost model.
+    """
     key = name.lower()
     if key not in _EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
         )
-    return _EXPERIMENTS[key](scale, output_dir=output_dir)
+    return _EXPERIMENTS[key](scale, output_dir=output_dir, backend=backend)

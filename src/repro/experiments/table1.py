@@ -95,12 +95,17 @@ def _adapt_beta(config: SegHDCConfig, shape: tuple[int, int], paper_shape: tuple
 
 
 def _seghdc_config(
-    dataset: str, variant: str, scale: ExperimentScale, shape: tuple[int, int]
+    dataset: str,
+    variant: str,
+    scale: ExperimentScale,
+    shape: tuple[int, int],
+    backend: str = "dense",
 ) -> SegHDCConfig:
     config = SegHDCConfig.paper_defaults(dataset).with_overrides(
         dimension=scale.seghdc_dimension,
         num_iterations=scale.seghdc_iterations,
         seed=scale.seed,
+        backend=backend,
     )
     config = _adapt_beta(config, shape, DATASET_PAPER_SHAPES[dataset])
     if variant == "rpos":
@@ -112,7 +117,13 @@ def _seghdc_config(
     return config
 
 
-def _segment_with(method: str, dataset: str, scale: ExperimentScale, shape: tuple[int, int]):
+def _segment_with(
+    method: str,
+    dataset: str,
+    scale: ExperimentScale,
+    shape: tuple[int, int],
+    backend: str = "dense",
+):
     """Build the per-sample segmentation callable for one method."""
     if method == "baseline":
         config = CNNBaselineConfig(
@@ -127,7 +138,7 @@ def _segment_with(method: str, dataset: str, scale: ExperimentScale, shape: tupl
             return segmenter.segment(sample.image).labels
 
         return run
-    config = _seghdc_config(dataset, method, scale, shape)
+    config = _seghdc_config(dataset, method, scale, shape, backend)
     pipeline = SegHDC(config)
 
     def run(sample: SegmentationSample) -> np.ndarray:
@@ -142,6 +153,7 @@ def run_table1(
     datasets: tuple[str, ...] = ("bbbc005", "dsb2018", "monuseg"),
     methods: tuple[str, ...] = _METHODS,
     output_dir: str | Path | None = None,
+    backend: str = "dense",
 ) -> Table1Result:
     """Reproduce Table I at the requested scale."""
     if isinstance(scale, str):
@@ -161,7 +173,7 @@ def run_table1(
         samples = list(dataset)
         row: dict[str, float] = {}
         for method in methods:
-            segment = _segment_with(method, dataset_name, scale, shape)
+            segment = _segment_with(method, dataset_name, scale, shape, backend)
             score = evaluate_dataset(segment, samples, score=best_foreground_iou)
             row[method] = score.mean
         result.scores[dataset_name] = row

@@ -126,6 +126,7 @@ def run_table2(
     *,
     output_dir: str | Path | None = None,
     run_baseline_segmentation: bool = True,
+    backend: str = "dense",
 ) -> Table2Result:
     """Reproduce Table II at the requested scale.
 
@@ -160,6 +161,7 @@ def run_table2(
             num_iterations=settings["iterations"],
             alpha=alpha,
             seed=scale.seed,
+            backend=backend,
         )
         config = _adapt_beta(config, shape, paper_shape[:2])
         seghdc_run = SegHDC(config).segment(sample.image)
@@ -186,6 +188,7 @@ def run_table2(
             num_clusters=config.num_clusters,
             num_iterations=settings["iterations"],
             channels=settings["channels"],
+            backend=backend,
         )
         baseline_oom = False
         baseline_pi_seconds: float | None = None

@@ -17,8 +17,20 @@ from repro.hdc.hypervector import (
     bundle,
     flip_prefix,
     flip_range,
+    pack_hvs,
+    packed_words_per_hv,
     random_hv,
+    unpack_hvs,
     validate_binary_hv,
+)
+from repro.hdc.backend import (
+    DenseBackend,
+    HDCBackend,
+    HVStorage,
+    PackedBackend,
+    available_backends,
+    make_backend,
+    popcount_words,
 )
 from repro.hdc.distances import (
     cosine_distance,
@@ -31,10 +43,15 @@ from repro.hdc.encoding import LevelEncoder, PrefixFlipEncoder
 from repro.hdc.item_memory import ItemMemory
 
 __all__ = [
+    "DenseBackend",
+    "HDCBackend",
+    "HVStorage",
     "HypervectorSpace",
     "ItemMemory",
     "LevelEncoder",
+    "PackedBackend",
     "PrefixFlipEncoder",
+    "available_backends",
     "bind",
     "bundle",
     "cosine_distance",
@@ -42,8 +59,13 @@ __all__ = [
     "flip_prefix",
     "flip_range",
     "hamming_distance",
+    "make_backend",
     "manhattan_distance",
     "normalized_hamming",
+    "pack_hvs",
+    "packed_words_per_hv",
+    "popcount_words",
     "random_hv",
+    "unpack_hvs",
     "validate_binary_hv",
 ]

@@ -1,0 +1,416 @@
+"""Pluggable compute backends for binary hypervector kernels.
+
+The SegHDC hot path needs exactly three kernels:
+
+1. **XOR-bind** of the row/column position grids and of position HVs with
+   color HVs (producing the per-pixel HV matrix);
+2. **similarity of pixel HVs against integer-valued centroids** (the cosine
+   assignment of the HD K-Means clusterer);
+3. **masked bundling** (element-wise summation of the member HVs of one
+   cluster, producing the next centroid).
+
+A :class:`HDCBackend` owns the storage format of the pixel-HV matrix and the
+implementation of these kernels, so the rest of the pipeline never touches
+raw bits directly:
+
+* :class:`DenseBackend` stores one byte per bit (``uint8`` 0/1 arrays) and is
+  bit-exact with the historical implementation, including its float32
+  assignment arithmetic.  It is the default.
+* :class:`PackedBackend` stores hypervectors as ``uint64`` words produced by
+  ``np.packbits`` (~8x less memory) and performs the assignment with pure
+  integer arithmetic: the integer-valued centroids are decomposed into
+  binary bit-planes and each pixel-centroid dot product becomes a sum of
+  popcounts of ANDed words, ``x . c = sum_j 2^j * popcount(x & plane_j)``.
+  Popcounts use ``np.bitwise_count`` when available and otherwise fall back
+  to a 16-bit lookup table (the classic embedded-friendly kernel).  Hamming
+  distances between packed HVs use the same popcount primitive on XORed
+  words.
+
+Because the packed dot products are exact integers, the packed assignment
+selects the same argmax centroid as the dense float path (up to float32
+rounding of near-ties, which do not occur on realistic images), so both
+backends produce identical label maps for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hdc.hypervector import (
+    packed_words_per_hv,
+    pack_hvs,
+    unpack_hvs,
+)
+
+__all__ = [
+    "DenseBackend",
+    "HDCBackend",
+    "HVStorage",
+    "PackedBackend",
+    "available_backends",
+    "make_backend",
+    "popcount_words",
+    "popcount16_table",
+]
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_POPCOUNT16: np.ndarray | None = None
+
+
+def popcount16_table() -> np.ndarray:
+    """The 16-bit popcount lookup table (built once, 64 KiB of ``uint8``).
+
+    Entry ``i`` holds the number of set bits of ``i``.  Looking packed words
+    up 16 bits at a time keeps the whole table inside L1/L2 cache, which is
+    what makes this the standard software popcount on devices without a
+    population-count instruction.
+    """
+    global _POPCOUNT16
+    if _POPCOUNT16 is None:
+        values = np.arange(1 << 16, dtype=np.uint32)
+        values = values - ((values >> 1) & 0x5555)
+        values = (values & 0x3333) + ((values >> 2) & 0x3333)
+        values = (values + (values >> 4)) & 0x0F0F
+        _POPCOUNT16 = ((values + (values >> 8)) & 0x1F).astype(np.uint8)
+    return _POPCOUNT16
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a 2-D array of ``uint64`` words, as ``int64``.
+
+    Uses the hardware-backed ``np.bitwise_count`` ufunc when numpy provides
+    it and the 16-bit lookup table otherwise; both return identical counts.
+    """
+    if words.ndim != 2:
+        raise ValueError(f"expected a 2-D word array, got shape {words.shape}")
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+    table = popcount16_table()
+    return table[np.ascontiguousarray(words).view(np.uint16)].sum(
+        axis=1, dtype=np.int64
+    )
+
+
+@dataclass(eq=False)
+class HVStorage:
+    """A batch of hypervectors in backend-native row storage.
+
+    ``data`` is ``(n, d)`` ``uint8`` for the dense backend and
+    ``(n, ceil(d/64))`` ``uint64`` for the packed backend; ``dimension`` is
+    always the logical bit dimension ``d``.  Identity-compared (``eq=False``):
+    a generated ``__eq__`` over ndarray fields would raise on use.
+    """
+
+    data: np.ndarray
+    dimension: int
+    backend: "HDCBackend"
+    _row_popcounts: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def num_rows(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def row_popcounts(self) -> np.ndarray:
+        """Number of set bits per row (cached; rows never mutate)."""
+        if self._row_popcounts is None:
+            self._row_popcounts = self.backend.count_row_bits(self)
+        return self._row_popcounts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"HVStorage(backend={self.backend.name!r}, rows={self.num_rows}, "
+            f"dimension={self.dimension}, nbytes={self.nbytes})"
+        )
+
+
+class HDCBackend(ABC):
+    """Storage format + the three HV kernels the SegHDC pipeline needs."""
+
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # storage
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def pack(self, dense_hvs: np.ndarray) -> HVStorage:
+        """Convert a ``(n, d)`` uint8 0/1 matrix into backend storage."""
+
+    @abstractmethod
+    def unpack(self, storage: HVStorage, indices: np.ndarray | None = None) -> np.ndarray:
+        """Recover ``(m, d)`` uint8 0/1 rows (all rows, or ``indices``)."""
+
+    @abstractmethod
+    def count_row_bits(self, storage: HVStorage) -> np.ndarray:
+        """Popcount of every row, as an ``int64`` vector."""
+
+    # ------------------------------------------------------------------ #
+    # kernel 1: XOR binding
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def bind_position_grid(
+        self, row_hvs: np.ndarray, col_hvs: np.ndarray
+    ) -> HVStorage:
+        """XOR-bind per-row and per-column HVs into the flattened position
+        grid ``p(i, j) = r_i ^ c_j``, shape ``(height * width, d)`` logical."""
+
+    def bind_color(
+        self,
+        position_grid: HVStorage,
+        color_band_fn,
+        height: int,
+        width: int,
+        *,
+        band_rows: int = 64,
+    ) -> HVStorage:
+        """XOR the position grid with per-pixel color HVs, band by band.
+
+        ``color_band_fn(row_start, row_stop)`` must return the dense color
+        grid of those image rows as ``(row_stop - row_start, width, d)``
+        uint8.  Processing in bands bounds the peak dense working set to one
+        band regardless of image size.
+        """
+        dimension = position_grid.dimension
+        out = np.empty_like(position_grid.data)
+        for row_start in range(0, height, band_rows):
+            row_stop = min(row_start + band_rows, height)
+            band = np.asarray(color_band_fn(row_start, row_stop), dtype=np.uint8)
+            flat = band.reshape((row_stop - row_start) * width, dimension)
+            packed = self.pack(flat).data
+            lo, hi = row_start * width, row_stop * width
+            np.bitwise_xor(position_grid.data[lo:hi], packed, out=out[lo:hi])
+        return HVStorage(out, dimension, self)
+
+    # ------------------------------------------------------------------ #
+    # kernel 2: similarity against centroids
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def assign(
+        self,
+        storage: HVStorage,
+        centroids: np.ndarray,
+        *,
+        chunk_size: int = 8192,
+    ) -> tuple[np.ndarray, float]:
+        """Nearest centroid per row by cosine distance.
+
+        ``centroids`` is the ``(k, d)`` float64 matrix of integer-valued
+        bundles.  Returns ``(labels, inertia)`` where ``inertia`` is the sum
+        of ``1 - cosine_similarity`` over the winning assignments.
+        """
+
+    # ------------------------------------------------------------------ #
+    # kernel 3: masked bundling
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def bundle_masked(self, storage: HVStorage, mask: np.ndarray) -> np.ndarray:
+        """Element-wise ``int64`` sum of the rows selected by ``mask``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"
+
+
+class DenseBackend(HDCBackend):
+    """One byte per bit; bit-exact with the historical SegHDC implementation."""
+
+    name = "dense"
+
+    def pack(self, dense_hvs: np.ndarray) -> HVStorage:
+        arr = np.asarray(dense_hvs, dtype=np.uint8)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a (n, d) matrix, got shape {arr.shape}")
+        return HVStorage(arr, arr.shape[1], self)
+
+    def unpack(self, storage: HVStorage, indices: np.ndarray | None = None) -> np.ndarray:
+        if indices is None:
+            return storage.data
+        return storage.data[indices]
+
+    def count_row_bits(self, storage: HVStorage) -> np.ndarray:
+        return storage.data.sum(axis=1, dtype=np.int64)
+
+    def bind_position_grid(self, row_hvs: np.ndarray, col_hvs: np.ndarray) -> HVStorage:
+        rows = np.asarray(row_hvs, dtype=np.uint8)
+        cols = np.asarray(col_hvs, dtype=np.uint8)
+        height, dimension = rows.shape
+        width = cols.shape[0]
+        grid = np.bitwise_xor(rows[:, None, :], cols[None, :, :])
+        return HVStorage(grid.reshape(height * width, dimension), dimension, self)
+
+    def assign(
+        self,
+        storage: HVStorage,
+        centroids: np.ndarray,
+        *,
+        chunk_size: int = 8192,
+    ) -> tuple[np.ndarray, float]:
+        hvs = storage.data
+        num_pixels = hvs.shape[0]
+        labels = np.empty(num_pixels, dtype=np.int32)
+        centroid_norms = np.linalg.norm(centroids, axis=1)
+        centroid_norms[centroid_norms == 0.0] = 1.0
+        # Hoisted out of the chunk loop: the transposed float32 centroid
+        # matrix is identical for every chunk of the iteration.
+        centroids_t = centroids.T.astype(np.float32)
+        total_distance = 0.0
+        for start in range(0, num_pixels, chunk_size):
+            stop = min(start + chunk_size, num_pixels)
+            chunk = hvs[start:stop].astype(np.float32)
+            chunk_norms = np.linalg.norm(chunk, axis=1)
+            chunk_norms[chunk_norms == 0.0] = 1.0
+            similarity = (chunk @ centroids_t) / (
+                chunk_norms[:, None] * centroid_norms[None, :]
+            )
+            chunk_labels = np.argmax(similarity, axis=1)
+            labels[start:stop] = chunk_labels
+            total_distance += float(
+                np.sum(1.0 - similarity[np.arange(stop - start), chunk_labels])
+            )
+        return labels, total_distance
+
+    def bundle_masked(self, storage: HVStorage, mask: np.ndarray) -> np.ndarray:
+        return storage.data[mask].astype(np.int64).sum(axis=0)
+
+
+class PackedBackend(HDCBackend):
+    """Bit-packed ``uint64`` storage with integer-only kernels."""
+
+    name = "packed"
+
+    def __init__(self, *, unpack_chunk_rows: int = 8192) -> None:
+        if unpack_chunk_rows < 1:
+            raise ValueError(
+                f"unpack_chunk_rows must be positive, got {unpack_chunk_rows}"
+            )
+        self.unpack_chunk_rows = int(unpack_chunk_rows)
+
+    def pack(self, dense_hvs: np.ndarray) -> HVStorage:
+        arr = np.asarray(dense_hvs, dtype=np.uint8)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a (n, d) matrix, got shape {arr.shape}")
+        return HVStorage(pack_hvs(arr), arr.shape[1], self)
+
+    def unpack(self, storage: HVStorage, indices: np.ndarray | None = None) -> np.ndarray:
+        words = storage.data if indices is None else storage.data[indices]
+        return unpack_hvs(words, storage.dimension)
+
+    def count_row_bits(self, storage: HVStorage) -> np.ndarray:
+        return popcount_words(storage.data)
+
+    def bind_position_grid(self, row_hvs: np.ndarray, col_hvs: np.ndarray) -> HVStorage:
+        # packbits(a ^ b) == packbits(a) ^ packbits(b): pack the small per-row
+        # and per-column tables first and XOR words, never materialising the
+        # dense (H, W, d) grid.
+        rows = pack_hvs(np.asarray(row_hvs, dtype=np.uint8))
+        cols = pack_hvs(np.asarray(col_hvs, dtype=np.uint8))
+        height, words = rows.shape
+        width = cols.shape[0]
+        grid = np.bitwise_xor(rows[:, None, :], cols[None, :, :])
+        return HVStorage(
+            grid.reshape(height * width, words), row_hvs.shape[1], self
+        )
+
+    @staticmethod
+    def centroid_bit_planes(centroids: np.ndarray, dimension: int) -> np.ndarray:
+        """Decompose integer centroids into packed binary bit-planes.
+
+        Returns a ``(num_planes, k, words)`` uint64 array with
+        ``centroids[c, i] = sum_j 2^j * plane[j, c, i]``, which turns the
+        float matmul of the assignment into AND + popcount word kernels.
+        """
+        values = np.asarray(centroids)
+        integral = np.rint(values).astype(np.int64)
+        if not np.array_equal(integral, values):
+            raise ValueError(
+                "packed assignment needs integer-valued centroids (bundles)"
+            )
+        if integral.min() < 0:
+            raise ValueError("centroid bundles must be non-negative")
+        num_planes = max(1, int(integral.max()).bit_length())
+        planes = np.empty(
+            (num_planes, integral.shape[0], packed_words_per_hv(dimension)),
+            dtype=np.uint64,
+        )
+        for plane_index in range(num_planes):
+            bits = ((integral >> plane_index) & 1).astype(np.uint8)
+            planes[plane_index] = pack_hvs(bits, dimension=dimension)
+        return planes
+
+    def assign(
+        self,
+        storage: HVStorage,
+        centroids: np.ndarray,
+        *,
+        chunk_size: int = 8192,
+    ) -> tuple[np.ndarray, float]:
+        words = storage.data
+        num_pixels = words.shape[0]
+        num_clusters = centroids.shape[0]
+        centroid_norms = np.linalg.norm(centroids, axis=1)
+        centroid_norms[centroid_norms == 0.0] = 1.0
+        planes = self.centroid_bit_planes(centroids, storage.dimension)
+        row_norms = np.sqrt(storage.row_popcounts().astype(np.float64))
+        row_norms[row_norms == 0.0] = 1.0
+        labels = np.empty(num_pixels, dtype=np.int32)
+        total_distance = 0.0
+        for start in range(0, num_pixels, chunk_size):
+            stop = min(start + chunk_size, num_pixels)
+            chunk = words[start:stop]
+            dots = np.zeros((stop - start, num_clusters), dtype=np.int64)
+            for plane_index in range(planes.shape[0]):
+                for cluster in range(num_clusters):
+                    dots[:, cluster] += (
+                        popcount_words(chunk & planes[plane_index, cluster])
+                        << plane_index
+                    )
+            similarity = dots / (
+                row_norms[start:stop, None] * centroid_norms[None, :]
+            )
+            chunk_labels = np.argmax(similarity, axis=1)
+            labels[start:stop] = chunk_labels
+            total_distance += float(
+                np.sum(1.0 - similarity[np.arange(stop - start), chunk_labels])
+            )
+        return labels, total_distance
+
+    def bundle_masked(self, storage: HVStorage, mask: np.ndarray) -> np.ndarray:
+        indices = np.flatnonzero(np.asarray(mask))
+        total = np.zeros(storage.dimension, dtype=np.int64)
+        for start in range(0, indices.size, self.unpack_chunk_rows):
+            chunk_indices = indices[start : start + self.unpack_chunk_rows]
+            dense = unpack_hvs(storage.data[chunk_indices], storage.dimension)
+            total += dense.sum(axis=0, dtype=np.int64)
+        return total
+
+    def hamming(self, storage: HVStorage, reference_row: np.ndarray) -> np.ndarray:
+        """Hamming distance of every row against one packed reference row."""
+        return popcount_words(storage.data ^ reference_row[None, :])
+
+
+_BACKENDS = {
+    "dense": DenseBackend,
+    "packed": PackedBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`make_backend` (and ``SegHDCConfig.backend``)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def make_backend(name: str | HDCBackend) -> HDCBackend:
+    """Build a compute backend by name (``"dense"`` or ``"packed"``)."""
+    if isinstance(name, HDCBackend):
+        return name
+    key = str(name).lower()
+    if key not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    return _BACKENDS[key]()

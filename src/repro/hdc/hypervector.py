@@ -15,7 +15,10 @@ __all__ = [
     "bundle",
     "flip_prefix",
     "flip_range",
+    "pack_hvs",
+    "packed_words_per_hv",
     "random_hv",
+    "unpack_hvs",
     "validate_binary_hv",
 ]
 
@@ -101,6 +104,55 @@ def flip_prefix(hv: np.ndarray, count: int, *, offset: int = 0) -> np.ndarray:
         raise ValueError(f"count must be non-negative, got {count}")
     stop = min(offset + count, hv.size)
     return flip_range(hv, offset, stop)
+
+
+def packed_words_per_hv(dimension: int) -> int:
+    """Number of ``uint64`` words one ``dimension``-bit HV packs into."""
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    return (dimension + 63) // 64
+
+
+def pack_hvs(hvs: np.ndarray, *, dimension: int | None = None) -> np.ndarray:
+    """Pack a ``(..., d)`` uint8 0/1 array into ``(..., ceil(d/64))`` uint64.
+
+    Bits are packed MSB-first per byte (``np.packbits`` order) and the tail
+    of the final word is zero-padded, so XOR/AND on packed words commute with
+    the same operations on the unpacked bits and padding never contributes to
+    popcounts.  :func:`unpack_hvs` is the exact inverse.
+    """
+    arr = np.asarray(hvs, dtype=np.uint8)
+    if arr.ndim == 0:
+        raise ValueError("cannot pack a scalar")
+    d = arr.shape[-1] if dimension is None else int(dimension)
+    if arr.shape[-1] != d:
+        raise ValueError(
+            f"last axis {arr.shape[-1]} does not match dimension {d}"
+        )
+    packed_bytes = np.packbits(arr, axis=-1)
+    words = packed_words_per_hv(d)
+    pad = words * 8 - packed_bytes.shape[-1]
+    if pad:
+        packed_bytes = np.concatenate(
+            [
+                packed_bytes,
+                np.zeros(arr.shape[:-1] + (pad,), dtype=np.uint8),
+            ],
+            axis=-1,
+        )
+    return np.ascontiguousarray(packed_bytes).view(np.uint64)
+
+
+def unpack_hvs(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Inverse of :func:`pack_hvs`: recover the ``(..., dimension)`` bits."""
+    arr = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
+    expected = packed_words_per_hv(dimension)
+    if arr.shape[-1] != expected:
+        raise ValueError(
+            f"expected {expected} words for dimension {dimension}, "
+            f"got {arr.shape[-1]}"
+        )
+    return np.unpackbits(arr.view(np.uint8), axis=-1, count=dimension)
 
 
 class HypervectorSpace:

@@ -19,12 +19,14 @@ from repro.seghdc.color_encoder import (
 )
 from repro.seghdc.pixel_producer import PixelHVProducer
 from repro.seghdc.clusterer import HDKMeans, ClusteringResult
+from repro.seghdc.engine import SegHDCEngine
 from repro.seghdc.pipeline import SegHDC, SegmentationResult
 
 __all__ = [
     "BlockDecayPositionEncoder",
     "ClusteringResult",
     "HDKMeans",
+    "SegHDCEngine",
     "ManhattanColorEncoder",
     "PixelHVProducer",
     "RandomColorEncoder",

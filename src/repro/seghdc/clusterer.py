@@ -9,6 +9,11 @@ A revised K-Means over pixel hypervectors:
   (most extreme mean intensities), not random picks;
 * the loop runs for a fixed, preset number of iterations (10 by default in
   the paper, 3 in the latency experiments).
+
+The distance and bundling arithmetic is delegated to a
+:class:`repro.hdc.backend.HDCBackend`, so the same clusterer runs on dense
+uint8 hypervectors (bit-exact with the historical implementation) or on
+bit-packed ``uint64`` words with integer-only kernels.
 """
 
 from __future__ import annotations
@@ -17,7 +22,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.hdc.backend import DenseBackend, HDCBackend, HVStorage, make_backend
+
 __all__ = ["ClusteringResult", "HDKMeans", "select_initial_centroid_indices"]
+
+
+def _fill_missing_positions(positions: np.ndarray, size: int, count: int) -> np.ndarray:
+    """Top ``positions`` up to ``count`` distinct entries in ``[0, size)``.
+
+    Guard for pathological tiny inputs: if quantile picks ever collapse onto
+    the same sorted position, the smallest unused positions are appended so
+    exactly ``count`` distinct seeds come back.  (For valid inputs with
+    ``size >= count`` the evenly spaced picks are already distinct, so this
+    is a safety net rather than a hot path.)
+    """
+    positions = np.unique(positions)
+    while positions.size < count:
+        extras = np.setdiff1d(np.arange(size), positions, assume_unique=False)
+        positions = np.sort(
+            np.concatenate([positions, extras[: count - positions.size]])
+        )
+    return positions
 
 
 def select_initial_centroid_indices(
@@ -40,11 +65,7 @@ def select_initial_centroid_indices(
     # Evenly spaced picks along the sorted intensity axis: first, last, and
     # interior quantiles, all distinct because the picks are sorted positions.
     positions = np.linspace(0, flat.size - 1, num_clusters).round().astype(int)
-    positions = np.unique(positions)
-    # Guard against pathological tiny inputs collapsing positions together.
-    while positions.size < num_clusters:
-        extras = np.setdiff1d(np.arange(flat.size), positions, assume_unique=False)
-        positions = np.sort(np.concatenate([positions, extras[: num_clusters - positions.size]]))
+    positions = _fill_missing_positions(positions, flat.size, num_clusters)
     return order[positions]
 
 
@@ -78,6 +99,11 @@ class HDKMeans:
         pixel-to-centroid similarities, bounding peak memory for large images.
     record_history:
         When true, the label vector after every iteration is kept.
+    backend:
+        Compute backend (name or instance) used for the similarity and
+        bundling kernels.  Defaults to the dense uint8 backend.  When
+        :meth:`fit` receives an :class:`HVStorage`, the storage's own backend
+        takes precedence.
     """
 
     def __init__(
@@ -87,6 +113,7 @@ class HDKMeans:
         *,
         chunk_size: int = 8192,
         record_history: bool = False,
+        backend: str | HDCBackend | None = None,
     ) -> None:
         if num_clusters < 2:
             raise ValueError(f"num_clusters must be at least 2, got {num_clusters}")
@@ -100,19 +127,47 @@ class HDKMeans:
         self.num_iterations = int(num_iterations)
         self.chunk_size = int(chunk_size)
         self.record_history = bool(record_history)
+        self.backend = make_backend(backend) if backend is not None else DenseBackend()
 
     def fit(
-        self, pixel_hvs: np.ndarray, intensities: np.ndarray
+        self, pixel_hvs: np.ndarray | HVStorage, intensities: np.ndarray
     ) -> ClusteringResult:
         """Cluster ``pixel_hvs`` (shape ``(n, d)``) into ``num_clusters`` groups.
 
-        ``intensities`` supplies the per-pixel mean color values used to seed
-        the centroids with the largest-color-difference pixels.
+        ``pixel_hvs`` may be a raw uint8 matrix or backend storage produced
+        by :meth:`HDCBackend.pack` / the pixel producer.  ``intensities``
+        supplies the per-pixel mean color values used to seed the centroids
+        with the largest-color-difference pixels.
         """
-        hvs = np.asarray(pixel_hvs)
-        if hvs.ndim != 2:
-            raise ValueError(f"pixel_hvs must be 2-D, got shape {hvs.shape}")
-        num_pixels = hvs.shape[0]
+        if isinstance(pixel_hvs, HVStorage):
+            storage = pixel_hvs
+            backend = storage.backend
+        else:
+            hvs = np.asarray(pixel_hvs)
+            if hvs.ndim != 2:
+                raise ValueError(f"pixel_hvs must be 2-D, got shape {hvs.shape}")
+            # Backend packing casts to uint8 and bit-packs, which would
+            # silently corrupt non-binary input (floats truncate, larger
+            # values wrap or saturate to single bits); reject it instead so
+            # callers get an error rather than garbage labels.  Integer and
+            # boolean inputs validate with allocation-free min/max
+            # reductions — the HV matrix is the memory-dominant object, so a
+            # same-size boolean temporary would double peak memory.
+            if hvs.size:
+                if hvs.dtype.kind in "bu":
+                    binary = int(hvs.max()) <= 1
+                elif hvs.dtype.kind == "i":
+                    binary = int(hvs.min()) >= 0 and int(hvs.max()) <= 1
+                else:
+                    binary = bool(np.isin(hvs, (0, 1)).all())
+                if not binary:
+                    raise ValueError(
+                        "pixel_hvs must contain only 0/1 values "
+                        f"(got dtype {hvs.dtype} with other values)"
+                    )
+            backend = self.backend
+            storage = backend.pack(hvs)
+        num_pixels = storage.num_rows
         flat_intensity = np.asarray(intensities, dtype=np.float64).reshape(-1)
         if flat_intensity.size != num_pixels:
             raise ValueError(
@@ -126,13 +181,15 @@ class HDKMeans:
         seed_indices = select_initial_centroid_indices(
             flat_intensity, self.num_clusters
         )
-        centroids = hvs[seed_indices].astype(np.float64)
+        centroids = backend.unpack(storage, seed_indices).astype(np.float64)
         labels = np.zeros(num_pixels, dtype=np.int32)
         history: list[np.ndarray] = []
         inertia = 0.0
         for _ in range(self.num_iterations):
-            labels, inertia = self._assign(hvs, centroids)
-            centroids = self._update_centroids(hvs, labels, centroids)
+            labels, inertia = backend.assign(
+                storage, centroids, chunk_size=self.chunk_size
+            )
+            centroids = self._update_centroids(backend, storage, labels, centroids)
             if self.record_history:
                 history.append(labels.copy())
         return ClusteringResult(
@@ -143,32 +200,12 @@ class HDKMeans:
             inertia=inertia,
         )
 
-    def _assign(
-        self, hvs: np.ndarray, centroids: np.ndarray
-    ) -> tuple[np.ndarray, float]:
-        """Assign every pixel to its nearest centroid by cosine distance."""
-        num_pixels = hvs.shape[0]
-        labels = np.empty(num_pixels, dtype=np.int32)
-        centroid_norms = np.linalg.norm(centroids, axis=1)
-        centroid_norms[centroid_norms == 0.0] = 1.0
-        total_distance = 0.0
-        for start in range(0, num_pixels, self.chunk_size):
-            stop = min(start + self.chunk_size, num_pixels)
-            chunk = hvs[start:stop].astype(np.float32)
-            chunk_norms = np.linalg.norm(chunk, axis=1)
-            chunk_norms[chunk_norms == 0.0] = 1.0
-            similarity = (chunk @ centroids.T.astype(np.float32)) / (
-                chunk_norms[:, None] * centroid_norms[None, :]
-            )
-            chunk_labels = np.argmax(similarity, axis=1)
-            labels[start:stop] = chunk_labels
-            total_distance += float(
-                np.sum(1.0 - similarity[np.arange(stop - start), chunk_labels])
-            )
-        return labels, total_distance
-
     def _update_centroids(
-        self, hvs: np.ndarray, labels: np.ndarray, previous: np.ndarray
+        self,
+        backend: HDCBackend,
+        storage: HVStorage,
+        labels: np.ndarray,
+        previous: np.ndarray,
     ) -> np.ndarray:
         """New centroids: element-wise sums (bundles) of member HVs.
 
@@ -179,5 +216,5 @@ class HDKMeans:
         for cluster in range(self.num_clusters):
             members = labels == cluster
             if np.any(members):
-                centroids[cluster] = hvs[members].astype(np.int64).sum(axis=0)
+                centroids[cluster] = backend.bundle_masked(storage, members)
         return centroids

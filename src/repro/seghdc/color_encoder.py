@@ -123,6 +123,22 @@ class ColorEncoder(ABC):
             pieces.append(table[level_index])
         return np.concatenate(pieces, axis=-1)
 
+    def encode_image_band(
+        self, pixels: np.ndarray, row_start: int, row_stop: int
+    ) -> np.ndarray:
+        """Color HVs of image rows ``[row_start, row_stop)`` only.
+
+        Lets compute backends bind and pack the image band by band so the
+        dense color grid never exceeds one band of rows.
+        """
+        arr = np.asarray(pixels)
+        if not (0 <= row_start <= row_stop <= arr.shape[0]):
+            raise ValueError(
+                f"invalid row band [{row_start}, {row_stop}) for image with "
+                f"{arr.shape[0]} rows"
+            )
+        return self.encode_image(arr[row_start:row_stop])
+
 
 class ManhattanColorEncoder(ColorEncoder):
     """Flip-prefix (Manhattan distance) color encoding of Fig. 4."""

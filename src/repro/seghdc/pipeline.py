@@ -1,52 +1,20 @@
-"""The SegHDC pipeline (Fig. 2): encoders -> pixel HV producer -> clusterer."""
+"""The SegHDC pipeline facade (Fig. 2): encoders -> pixel HVs -> clusterer.
+
+:class:`SegHDC` is the one-shot convenience API.  It owns a private
+:class:`repro.seghdc.engine.SegHDCEngine`, so repeated calls on one instance
+reuse the cached encoder grids; for explicit batch workloads and cache
+control use the engine directly.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.hdc.hypervector import HypervectorSpace
-from repro.imaging.image import Image, to_grayscale
-from repro.seghdc.clusterer import HDKMeans
-from repro.seghdc.color_encoder import make_color_encoder
+from repro.imaging.image import Image
 from repro.seghdc.config import SegHDCConfig
-from repro.seghdc.pixel_producer import PixelHVProducer
-from repro.seghdc.position_encoder import make_position_encoder
+from repro.seghdc.engine import SegHDCEngine, SegmentationResult
 
 __all__ = ["SegHDC", "SegmentationResult"]
-
-
-@dataclass
-class SegmentationResult:
-    """Output of one SegHDC (or baseline) segmentation run.
-
-    ``labels`` is the (H, W) int array of cluster indices.  ``history`` holds
-    per-iteration label maps when the config requested history recording.
-    ``workload`` summarises the quantities the edge-device cost model needs
-    (image size, HV dimension, cluster count, iterations).
-    """
-
-    labels: np.ndarray
-    elapsed_seconds: float
-    num_clusters: int
-    history: list[np.ndarray] = field(default_factory=list)
-    workload: dict = field(default_factory=dict)
-
-    @property
-    def shape(self) -> tuple[int, int]:
-        return self.labels.shape
-
-    def labels_after(self, iteration: int) -> np.ndarray:
-        """Label map after ``iteration`` (1-based); requires recorded history."""
-        if not self.history:
-            raise ValueError("history was not recorded for this run")
-        if not (1 <= iteration <= len(self.history)):
-            raise ValueError(
-                f"iteration {iteration} out of range 1..{len(self.history)}"
-            )
-        return self.history[iteration - 1]
 
 
 class SegHDC:
@@ -60,61 +28,32 @@ class SegHDC:
     """
 
     def __init__(self, config: SegHDCConfig | None = None) -> None:
-        self.config = config or SegHDCConfig()
+        self._config = config or SegHDCConfig()
+        self._engine = SegHDCEngine(self._config)
+
+    @property
+    def config(self) -> SegHDCConfig:
+        return self._config
+
+    @config.setter
+    def config(self, value: SegHDCConfig | None) -> None:
+        # Replacing the config swaps in a fresh engine: the cached encoder
+        # grids belong to the old hyper-parameters, so serving them for the
+        # new config would silently return stale segmentations.
+        self._config = value or SegHDCConfig()
+        self._engine = SegHDCEngine(self._config)
+
+    @property
+    def engine(self) -> SegHDCEngine:
+        """The underlying engine (cache counters, batch API)."""
+        return self._engine
 
     def segment(self, image: Image | np.ndarray) -> SegmentationResult:
         """Segment one image into ``config.num_clusters`` clusters."""
-        pixels = image.pixels if isinstance(image, Image) else np.asarray(image)
-        if pixels.ndim not in (2, 3):
-            raise ValueError(f"expected a 2-D or 3-D image, got shape {pixels.shape}")
-        config = self.config
-        height, width = pixels.shape[:2]
-        channels = 1 if pixels.ndim == 2 else pixels.shape[2]
-        start = time.perf_counter()
+        return self._engine.segment(image)
 
-        space = HypervectorSpace(config.dimension, seed=config.seed)
-        position_encoder = make_position_encoder(
-            config.position_encoding,
-            space,
-            height,
-            width,
-            alpha=config.alpha,
-            beta=config.beta,
-        )
-        color_encoder = make_color_encoder(
-            config.color_encoding,
-            space,
-            channels,
-            levels=config.color_levels,
-            gamma=config.gamma,
-        )
-        producer = PixelHVProducer(position_encoder, color_encoder)
-        pixel_hvs = producer.produce_image(pixels)
-
-        intensities = to_grayscale(pixels).astype(np.float64)
-        clusterer = HDKMeans(
-            config.num_clusters,
-            config.num_iterations,
-            record_history=config.record_history,
-        )
-        clustering = clusterer.fit(pixel_hvs, intensities)
-        elapsed = time.perf_counter() - start
-
-        labels = clustering.labels.reshape(height, width)
-        history = [step.reshape(height, width) for step in clustering.history]
-        workload = {
-            "height": height,
-            "width": width,
-            "channels": channels,
-            "dimension": config.dimension,
-            "num_clusters": config.num_clusters,
-            "num_iterations": config.num_iterations,
-            "num_pixels": height * width,
-        }
-        return SegmentationResult(
-            labels=labels,
-            elapsed_seconds=elapsed,
-            num_clusters=config.num_clusters,
-            history=history,
-            workload=workload,
-        )
+    def segment_batch(
+        self, images: "list[Image | np.ndarray]"
+    ) -> list[SegmentationResult]:
+        """Segment many images, reusing cached encoder grids per shape."""
+        return self._engine.segment_batch(images)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.hdc.backend import HDCBackend, HVStorage
 from repro.seghdc.color_encoder import ColorEncoder
 from repro.seghdc.position_encoder import PositionEncoder
 
@@ -48,6 +49,54 @@ class PixelHVProducer:
         was built for.
         """
         arr = np.asarray(pixels)
+        height, width = self._check_shape(arr)
+        position_grid = self.position_encoder.encode_grid()
+        color_grid = self.color_encoder.encode_image(arr)
+        pixel_grid = np.bitwise_xor(position_grid, color_grid)
+        return pixel_grid.reshape(height * width, self.dimension)
+
+    def position_grid_storage(self, backend: HDCBackend) -> HVStorage:
+        """The XOR-bound position grid in ``backend`` storage.
+
+        The grid depends only on the encoder configuration and image shape,
+        never on pixel values, so callers (the segmentation engine) may cache
+        and reuse it across images.
+        """
+        return backend.bind_position_grid(
+            self.position_encoder.row_hypervectors(),
+            self.position_encoder.column_hypervectors(),
+        )
+
+    def produce_image_storage(
+        self,
+        pixels: np.ndarray,
+        backend: HDCBackend,
+        *,
+        position_grid: HVStorage | None = None,
+        band_rows: int = 64,
+    ) -> HVStorage:
+        """Pixel HVs for a whole image as backend storage.
+
+        Binds the (possibly cached) position grid with the per-pixel color
+        HVs band by band, so the peak dense working set is one ``band_rows``
+        band instead of the full ``(height, width, d)`` grid.  The result is
+        bit-identical to packing :meth:`produce_image`.
+        """
+        arr = np.asarray(pixels)
+        height, width = self._check_shape(arr)
+        if position_grid is None:
+            position_grid = self.position_grid_storage(backend)
+        return backend.bind_color(
+            position_grid,
+            lambda row_start, row_stop: self.color_encoder.encode_image_band(
+                arr, row_start, row_stop
+            ),
+            height,
+            width,
+            band_rows=band_rows,
+        )
+
+    def _check_shape(self, arr: np.ndarray) -> tuple[int, int]:
         height, width = arr.shape[:2]
         if (height, width) != (
             self.position_encoder.height,
@@ -57,7 +106,4 @@ class PixelHVProducer:
                 f"image shape {(height, width)} does not match position encoder "
                 f"shape {(self.position_encoder.height, self.position_encoder.width)}"
             )
-        position_grid = self.position_encoder.encode_grid()
-        color_grid = self.color_encoder.encode_image(arr)
-        pixel_grid = np.bitwise_xor(position_grid, color_grid)
-        return pixel_grid.reshape(height * width, self.dimension)
+        return height, width

@@ -76,7 +76,19 @@ class PositionEncoder(ABC):
 
     def encode_grid(self) -> np.ndarray:
         """All position HVs as an ``(height, width, d)`` uint8 array."""
-        rows = self.row_hypervectors()
+        return self.encode_grid_band(0, self.height)
+
+    def encode_grid_band(self, row_start: int, row_stop: int) -> np.ndarray:
+        """Position HVs of image rows ``[row_start, row_stop)``.
+
+        Band-wise construction lets compute backends pack the grid one band
+        at a time without ever materialising the full dense grid.
+        """
+        if not (0 <= row_start <= row_stop <= self.height):
+            raise ValueError(
+                f"invalid row band [{row_start}, {row_stop}) for height {self.height}"
+            )
+        rows = self.row_hypervectors()[row_start:row_stop]
         cols = self.column_hypervectors()
         return np.bitwise_xor(rows[:, None, :], cols[None, :, :])
 
@@ -86,10 +98,13 @@ class BlockDecayPositionEncoder(PositionEncoder):
 
     Row flips are confined to the first half of the hypervector and column
     flips to the second half, so the XOR-bound position HV accumulates both
-    contributions additively.  The flip unit per block is
-    ``floor(alpha * d / (2 * n_blocks))`` where ``n_blocks = ceil(N / beta)``,
-    which spends the full ``alpha``-fraction of each half across the image
-    regardless of the block size.
+    contributions additively.  The per-row (per-column) flip unit follows
+    Eq. 5 of the paper, ``floor(alpha * d / (2 * N))`` with ``N`` the image
+    height (width); grouping ``beta`` consecutive rows (columns) into one
+    block makes the step between adjacent blocks ``beta * unit``, so the
+    flip budget spent across the image is the same for every block size
+    (the last, possibly partial, block may leave part of the ``alpha``
+    budget unused).
     """
 
     def __init__(

@@ -1,0 +1,188 @@
+"""Tests for the pluggable HDC compute backends (dense vs bit-packed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    DenseBackend,
+    HypervectorSpace,
+    PackedBackend,
+    available_backends,
+    make_backend,
+    pack_hvs,
+    packed_words_per_hv,
+    popcount_words,
+    unpack_hvs,
+)
+from repro.hdc.backend import popcount16_table
+
+
+class TestPackingPrimitives:
+    @pytest.mark.parametrize("dimension", [1, 7, 64, 65, 600, 1000])
+    def test_pack_unpack_roundtrip(self, rng, dimension):
+        hvs = rng.integers(0, 2, size=(11, dimension), dtype=np.uint8)
+        packed = pack_hvs(hvs)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (11, packed_words_per_hv(dimension))
+        assert np.array_equal(unpack_hvs(packed, dimension), hvs)
+
+    def test_xor_commutes_with_packing(self, rng):
+        a = rng.integers(0, 2, size=(5, 200), dtype=np.uint8)
+        b = rng.integers(0, 2, size=(5, 200), dtype=np.uint8)
+        assert np.array_equal(
+            pack_hvs(a) ^ pack_hvs(b), pack_hvs(np.bitwise_xor(a, b))
+        )
+
+    def test_and_popcount_equals_dot_product(self, rng):
+        a = rng.integers(0, 2, size=(6, 333), dtype=np.uint8)
+        b = rng.integers(0, 2, size=(6, 333), dtype=np.uint8)
+        expected = (a & b).sum(axis=1)
+        observed = popcount_words(pack_hvs(a) & pack_hvs(b))
+        assert np.array_equal(observed, expected)
+
+    def test_popcount16_table_is_exact(self):
+        table = popcount16_table()
+        assert table.shape == (1 << 16,)
+        for value in (0, 1, 3, 0x00FF, 0xFFFF, 0b1010101010101010):
+            assert table[value] == bin(value).count("1")
+
+    def test_word_count_and_padding(self):
+        assert packed_words_per_hv(1) == 1
+        assert packed_words_per_hv(64) == 1
+        assert packed_words_per_hv(65) == 2
+        # Padding bits never contribute to popcounts.
+        ones = np.ones((1, 65), dtype=np.uint8)
+        assert popcount_words(pack_hvs(ones))[0] == 65
+
+    def test_pack_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            pack_hvs(np.uint8(1))
+        with pytest.raises(ValueError):
+            unpack_hvs(np.zeros((2, 3), dtype=np.uint64), 64)
+
+
+class TestFactory:
+    def test_available(self):
+        assert available_backends() == ("dense", "packed")
+
+    def test_make_by_name(self):
+        assert isinstance(make_backend("dense"), DenseBackend)
+        assert isinstance(make_backend("packed"), PackedBackend)
+
+    def test_make_passthrough_instance(self):
+        backend = PackedBackend()
+        assert make_backend(backend) is backend
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("bitsliced")
+
+
+@pytest.fixture(params=["dense", "packed"])
+def backend(request):
+    return make_backend(request.param)
+
+
+class TestKernels:
+    """Both backends implement the same three kernels, bit-for-bit."""
+
+    def _hvs(self, rng, n=40, d=300):
+        return rng.integers(0, 2, size=(n, d), dtype=np.uint8)
+
+    def test_pack_unpack_identity(self, backend, rng):
+        hvs = self._hvs(rng)
+        storage = backend.pack(hvs)
+        assert storage.num_rows == 40
+        assert storage.dimension == 300
+        assert np.array_equal(backend.unpack(storage), hvs)
+        assert np.array_equal(backend.unpack(storage, np.array([3, 7])), hvs[[3, 7]])
+
+    def test_row_popcounts(self, backend, rng):
+        hvs = self._hvs(rng)
+        storage = backend.pack(hvs)
+        assert np.array_equal(storage.row_popcounts(), hvs.sum(axis=1))
+
+    def test_bind_position_grid_matches_dense_xor(self, backend, rng):
+        rows = rng.integers(0, 2, size=(6, 130), dtype=np.uint8)
+        cols = rng.integers(0, 2, size=(9, 130), dtype=np.uint8)
+        storage = backend.bind_position_grid(rows, cols)
+        expected = np.bitwise_xor(rows[:, None, :], cols[None, :, :]).reshape(54, 130)
+        assert np.array_equal(backend.unpack(storage), expected)
+
+    def test_bind_color_band_wise_matches_full_xor(self, backend, rng):
+        height, width, d = 7, 5, 140
+        rows = rng.integers(0, 2, size=(height, d), dtype=np.uint8)
+        cols = rng.integers(0, 2, size=(width, d), dtype=np.uint8)
+        color = rng.integers(0, 2, size=(height, width, d), dtype=np.uint8)
+        grid = backend.bind_position_grid(rows, cols)
+        bound = backend.bind_color(
+            grid, lambda lo, hi: color[lo:hi], height, width, band_rows=3
+        )
+        expected = (
+            np.bitwise_xor(rows[:, None, :], cols[None, :, :]) ^ color
+        ).reshape(height * width, d)
+        assert np.array_equal(backend.unpack(bound), expected)
+
+    def test_bundle_masked_matches_sum(self, backend, rng):
+        hvs = self._hvs(rng)
+        storage = backend.pack(hvs)
+        mask = rng.integers(0, 2, size=40).astype(bool)
+        mask[0] = True
+        expected = hvs[mask].astype(np.int64).sum(axis=0)
+        assert np.array_equal(backend.bundle_masked(storage, mask), expected)
+
+    def test_assign_prefers_nearest_centroid(self, backend):
+        space = HypervectorSpace(512, seed=4)
+        a, b = space.random(), space.random()
+        hvs = np.stack([a, a, b, b, a])
+        storage = backend.pack(hvs)
+        centroids = np.stack([a, b]).astype(np.float64)
+        labels, inertia = backend.assign(storage, centroids)
+        assert labels.tolist() == [0, 0, 1, 1, 0]
+        assert inertia == pytest.approx(0.0, abs=1e-6)
+
+    def test_assign_chunking_invariant(self, backend, rng):
+        hvs = self._hvs(rng, n=57)
+        storage = backend.pack(hvs)
+        centroids = hvs[[0, 1, 2]].astype(np.float64) + hvs[[3, 4, 5]]
+        small, _ = backend.assign(storage, centroids, chunk_size=5)
+        big, _ = backend.assign(storage, centroids, chunk_size=10_000)
+        assert np.array_equal(small, big)
+
+
+class TestDensePackedParity:
+    def test_assignment_labels_identical(self, rng):
+        dense, packed = DenseBackend(), PackedBackend()
+        hvs = rng.integers(0, 2, size=(500, 777), dtype=np.uint8)
+        # Integer-valued centroids as produced by bundling random members.
+        centroids = np.stack(
+            [
+                hvs[rng.integers(0, 500, size=m)].astype(np.int64).sum(axis=0)
+                for m in (3, 40, 200)
+            ]
+        ).astype(np.float64)
+        labels_dense, _ = dense.assign(dense.pack(hvs), centroids)
+        labels_packed, _ = packed.assign(packed.pack(hvs), centroids)
+        assert np.array_equal(labels_dense, labels_packed)
+
+    def test_packed_rejects_non_integer_centroids(self, rng):
+        packed = PackedBackend()
+        storage = packed.pack(rng.integers(0, 2, size=(4, 64), dtype=np.uint8))
+        with pytest.raises(ValueError, match="integer-valued"):
+            packed.assign(storage, np.array([[0.5] * 64, [1.0] * 64]))
+
+    def test_packed_storage_is_about_8x_smaller(self, rng):
+        hvs = rng.integers(0, 2, size=(100, 1024), dtype=np.uint8)
+        dense_bytes = DenseBackend().pack(hvs).nbytes
+        packed_bytes = PackedBackend().pack(hvs).nbytes
+        assert packed_bytes * 8 == dense_bytes
+
+    def test_hamming_kernel(self, rng):
+        packed = PackedBackend()
+        hvs = rng.integers(0, 2, size=(20, 500), dtype=np.uint8)
+        storage = packed.pack(hvs)
+        reference = packed.pack(hvs[:1]).data[0]
+        expected = (hvs ^ hvs[0]).sum(axis=1)
+        assert np.array_equal(packed.hamming(storage, reference), expected)

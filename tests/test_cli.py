@@ -25,6 +25,18 @@ class TestParser:
         assert args.dataset == "bbbc005"
         assert args.dimension == 500
         assert args.height == 40
+        assert args.backend == "dense"
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_backend_option(self, backend):
+        args = build_parser().parse_args(["segment", "--backend", backend])
+        assert args.backend == backend
+        args = build_parser().parse_args(["table1", "--backend", backend])
+        assert args.backend == backend
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["segment", "--backend", "gpu"])
 
     def test_rejects_unknown_scale(self):
         with pytest.raises(SystemExit):
@@ -64,3 +76,25 @@ class TestMain:
         out = capsys.readouterr().out
         assert "IoU=" in out
         assert any(path.suffix == ".png" for path in tmp_path.iterdir())
+
+    def test_segment_with_packed_backend(self, capsys):
+        exit_code = main(
+            [
+                "segment",
+                "--dataset",
+                "dsb2018",
+                "--dimension",
+                "300",
+                "--iterations",
+                "2",
+                "--height",
+                "32",
+                "--width",
+                "40",
+                "--backend",
+                "packed",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "backend=packed" in out

@@ -71,6 +71,24 @@ class TestCostModels:
         with pytest.raises(ValueError):
             cnn_baseline_cost(10, 0)
 
+    def test_packed_backend_shrinks_memory_and_ops(self):
+        dense = seghdc_cost(
+            256, 320, dimension=2048, num_clusters=2, num_iterations=3
+        )
+        packed = seghdc_cost(
+            256, 320, dimension=2048, num_clusters=2, num_iterations=3, backend="packed"
+        )
+        # The resident HV matrices shrink ~8x; the packed peak also carries
+        # one dense color band, so the overall ratio is somewhat below 8.
+        assert packed.peak_memory_bytes < dense.peak_memory_bytes / 2
+        assert packed.operations < dense.operations
+        assert packed.bytes_moved < dense.bytes_moved
+        assert packed.kind == "hdc"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            seghdc_cost(8, 8, dimension=64, num_clusters=2, num_iterations=1, backend="gpu")
+
     def test_kinds(self):
         assert seghdc_cost(8, 8, dimension=10, num_clusters=2, num_iterations=1).kind == "hdc"
         assert cnn_baseline_cost(8, 8).kind == "tensor"

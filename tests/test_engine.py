@@ -1,0 +1,194 @@
+"""Tests for the batch segmentation engine and its encoder-grid cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DSB2018Synthetic
+from repro.seghdc import SegHDC, SegHDCConfig, SegHDCEngine
+
+
+def _config(**overrides):
+    base = SegHDCConfig(
+        dimension=400, num_clusters=2, num_iterations=3, alpha=0.2, beta=3, seed=0
+    )
+    return base.with_overrides(**overrides)
+
+
+def _two_tone(height=20, width=24, value=220):
+    image = np.full((height, width), 15, dtype=np.uint8)
+    image[height // 4 : -height // 4, width // 4 : -width // 4] = value
+    return image
+
+
+class TestCaching:
+    def test_same_shape_builds_position_grid_only_once(self):
+        """Two same-shape images must reuse one cached position grid."""
+        engine = SegHDCEngine(_config())
+        engine.segment(_two_tone(value=220))
+        engine.segment(_two_tone(value=180))
+        info = engine.cache_info()
+        assert info["position_grid_builds"] == 1
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["entries"] == 1
+
+    def test_different_shapes_build_separate_grids(self):
+        engine = SegHDCEngine(_config())
+        engine.segment(_two_tone(20, 24))
+        engine.segment(_two_tone(16, 24))
+        info = engine.cache_info()
+        assert info["position_grid_builds"] == 2
+        assert info["entries"] == 2
+
+    def test_cached_run_is_bit_identical_to_fresh_run(self):
+        image = _two_tone()
+        engine = SegHDCEngine(_config())
+        warm_a = engine.segment(image)
+        warm_b = engine.segment(image)
+        fresh = SegHDCEngine(_config()).segment(image)
+        assert np.array_equal(warm_a.labels, warm_b.labels)
+        assert np.array_equal(warm_a.labels, fresh.labels)
+
+    def test_lru_eviction(self):
+        engine = SegHDCEngine(_config(), cache_size=1)
+        engine.segment(_two_tone(20, 24))
+        engine.segment(_two_tone(16, 24))
+        engine.segment(_two_tone(20, 24))  # evicted, rebuilt
+        info = engine.cache_info()
+        assert info["entries"] == 1
+        assert info["evictions"] == 2
+        assert info["position_grid_builds"] == 3
+
+    def test_clear_cache(self):
+        engine = SegHDCEngine(_config())
+        engine.segment(_two_tone())
+        engine.clear_cache()
+        assert engine.cache_info()["entries"] == 0
+        engine.segment(_two_tone())
+        assert engine.cache_info()["position_grid_builds"] == 2
+
+    def test_workload_records_backend_and_cache(self):
+        engine = SegHDCEngine(_config(backend="packed"))
+        result = engine.segment(_two_tone())
+        assert result.workload["backend"] == "packed"
+        assert result.workload["cache"]["misses"] == 1
+        assert result.workload["hv_storage_bytes"] > 0
+
+    def test_byte_budget_evicts_lru_but_keeps_most_recent(self):
+        # One 20x24 grid at d=400 is 20*24*400 = 192000 dense bytes, so a
+        # budget below two grids keeps exactly the most recent entry.
+        engine = SegHDCEngine(_config(), max_cache_bytes=200_000)
+        engine.segment(_two_tone(20, 24))
+        engine.segment(_two_tone(16, 24))
+        info = engine.cache_info()
+        assert info["entries"] == 1
+        assert info["evictions"] == 1
+        assert info["cached_grid_bytes"] <= 200_000
+        # The surviving entry is the most recent shape: no rebuild on reuse.
+        engine.segment(_two_tone(16, 24))
+        assert engine.cache_info()["position_grid_builds"] == 2
+
+    def test_oversized_grid_is_not_pinned(self):
+        """A grid larger than the whole byte budget falls back to the
+        historical build-per-call behavior instead of staying resident."""
+        engine = SegHDCEngine(_config(), max_cache_bytes=1)
+        first = engine.segment(_two_tone())
+        second = engine.segment(_two_tone())
+        info = engine.cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 2
+        assert info["oversize_skips"] == 2
+        assert info["evictions"] == 0
+        assert info["position_grid_builds"] == 2
+        assert info["cached_grid_bytes"] == 0
+        # Rebuilding is still bit-identical.
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_oversized_grid_does_not_flush_hot_entries(self):
+        """An over-budget shape must not evict the smaller cached grids."""
+        # 20x24 at d=400 is 192000 dense bytes (fits); 24x32 is 307200 (too big).
+        engine = SegHDCEngine(_config(), max_cache_bytes=200_000)
+        engine.segment(_two_tone(20, 24))
+        engine.segment(_two_tone(24, 32))  # oversized: built, not cached
+        engine.segment(_two_tone(20, 24))  # small grid must still be hot
+        info = engine.cache_info()
+        assert info["entries"] == 1
+        assert info["hits"] == 1
+        assert info["position_grid_builds"] == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SegHDCEngine(_config(), cache_size=0)
+        with pytest.raises(ValueError):
+            SegHDCEngine(_config(), band_rows=0)
+        with pytest.raises(ValueError):
+            SegHDCEngine(_config(), max_cache_bytes=0)
+
+
+class TestSegmentBatch:
+    def test_batch_of_same_shape_images_reuses_grids(self):
+        """Acceptance: 8 same-shape images -> encoder grids built once."""
+        dataset = DSB2018Synthetic(num_images=8, image_shape=(24, 32), seed=5)
+        engine = SegHDCEngine(_config(beta=2))
+        results = engine.segment_batch([sample.image for sample in dataset])
+        assert len(results) == 8
+        info = engine.cache_info()
+        assert info["position_grid_builds"] == 1
+        assert info["misses"] == 1
+        assert info["hits"] == 7
+        for result in results:
+            assert result.labels.shape == (24, 32)
+
+    def test_batch_matches_individual_segmentation(self):
+        dataset = DSB2018Synthetic(num_images=3, image_shape=(24, 32), seed=5)
+        images = [sample.image for sample in dataset]
+        batch = SegHDCEngine(_config(beta=2)).segment_batch(images)
+        for image, result in zip(images, batch):
+            solo = SegHDCEngine(_config(beta=2)).segment(image)
+            assert np.array_equal(result.labels, solo.labels)
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_batch_backends_agree(self, backend):
+        dataset = DSB2018Synthetic(num_images=2, image_shape=(24, 32), seed=5)
+        images = [sample.image for sample in dataset]
+        reference = SegHDCEngine(_config(beta=2)).segment_batch(images)
+        results = SegHDCEngine(_config(beta=2, backend=backend)).segment_batch(images)
+        for expected, observed in zip(reference, results):
+            assert np.array_equal(expected.labels, observed.labels)
+
+
+class TestSegHDCFacade:
+    def test_facade_exposes_engine_and_batch(self):
+        pipeline = SegHDC(_config())
+        assert isinstance(pipeline.engine, SegHDCEngine)
+        results = pipeline.segment_batch([_two_tone(), _two_tone()])
+        assert len(results) == 2
+        assert pipeline.engine.cache_info()["position_grid_builds"] == 1
+
+    def test_facade_repeated_calls_reuse_cache(self):
+        pipeline = SegHDC(_config())
+        first = pipeline.segment(_two_tone())
+        second = pipeline.segment(_two_tone())
+        assert np.array_equal(first.labels, second.labels)
+        assert pipeline.engine.cache_info()["hits"] == 1
+
+    def test_facade_config_replacement_rebuilds_engine(self):
+        """Replacing `config` must not serve grids cached for the old
+        hyper-parameters (the pre-engine facade honored the new config)."""
+        pipeline = SegHDC(_config())
+        pipeline.segment(_two_tone())
+        old_engine = pipeline.engine
+        pipeline.config = _config(backend="packed", alpha=0.9)
+        result = pipeline.segment(_two_tone())
+        assert pipeline.engine is not old_engine
+        assert pipeline.config.alpha == 0.9
+        assert result.workload["backend"] == "packed"
+        assert pipeline.engine.cache_info()["misses"] == 1
+
+    def test_engine_config_is_read_only(self):
+        engine = SegHDCEngine(_config())
+        with pytest.raises(AttributeError):
+            engine.config = _config(alpha=0.9)

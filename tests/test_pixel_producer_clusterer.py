@@ -7,14 +7,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hdc import HypervectorSpace, hamming_distance
+from repro.hdc import HypervectorSpace, hamming_distance, make_backend
 from repro.seghdc import (
     HDKMeans,
     ManhattanColorEncoder,
     PixelHVProducer,
     make_position_encoder,
 )
-from repro.seghdc.clusterer import select_initial_centroid_indices
+from repro.seghdc.clusterer import (
+    _fill_missing_positions,
+    select_initial_centroid_indices,
+)
 
 
 def _producer(dimension=1024, height=6, width=8, channels=3, seed=0):
@@ -104,6 +107,48 @@ class TestCentroidSeeding:
         with pytest.raises(ValueError):
             select_initial_centroid_indices(np.arange(10.0), 1)
 
+    def test_constant_intensity_image_yields_distinct_seeds(self):
+        """Pathological tiny input: every pixel has the same intensity, so
+        the quantile picks all land on equal values and only the stable
+        argsort order separates them."""
+        for num_pixels, num_clusters in [(2, 2), (3, 2), (3, 3), (7, 4)]:
+            intensities = np.full(num_pixels, 128.0)
+            indices = select_initial_centroid_indices(intensities, num_clusters)
+            assert len(indices) == num_clusters
+            assert len(set(indices.tolist())) == num_clusters
+            assert all(0 <= index < num_pixels for index in indices)
+
+    def test_num_pixels_equals_num_clusters_uses_every_pixel(self):
+        """Pathological tiny input: with exactly k pixels every pixel must
+        become a seed, whatever its intensity."""
+        for num_clusters in (2, 3, 5):
+            intensities = np.full(num_clusters, 7.0)
+            indices = select_initial_centroid_indices(intensities, num_clusters)
+            assert sorted(indices.tolist()) == list(range(num_clusters))
+        # Also with distinct intensities.
+        indices = select_initial_centroid_indices(np.array([9.0, 1.0, 5.0]), 3)
+        assert sorted(indices.tolist()) == [0, 1, 2]
+
+    def test_fill_missing_positions_restores_collapsed_picks(self):
+        """The guard behind the quantile picks: when positions collapse
+        (duplicate picks), the smallest unused sorted positions are added
+        until exactly ``count`` distinct positions remain."""
+        filled = _fill_missing_positions(np.array([0, 0, 4]), size=5, count=3)
+        assert filled.tolist() == [0, 1, 4]
+        filled = _fill_missing_positions(np.array([2, 2, 2, 2]), size=4, count=4)
+        assert filled.tolist() == [0, 1, 2, 3]
+        # Already-distinct picks pass through unchanged.
+        filled = _fill_missing_positions(np.array([0, 2, 4]), size=5, count=3)
+        assert filled.tolist() == [0, 2, 4]
+
+    def test_evenly_spaced_picks_never_collapse_for_valid_sizes(self):
+        """The quantile positions are already distinct for every valid
+        (num_pixels, num_clusters) pair, so the guard is a pure safety net."""
+        for num_pixels in range(2, 60):
+            for num_clusters in range(2, min(num_pixels, 8) + 1):
+                positions = np.linspace(0, num_pixels - 1, num_clusters).round().astype(int)
+                assert np.unique(positions).size == num_clusters
+
 
 class TestHDKMeans:
     def _two_blob_data(self, rng, per_cluster=60, dimension=512):
@@ -190,6 +235,34 @@ class TestHDKMeans:
         hvs = np.zeros((3, 16), dtype=np.uint8)
         with pytest.raises(ValueError):
             HDKMeans(4).fit(hvs, np.arange(3.0))
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_backends_produce_identical_clusterings(self, rng, backend):
+        hvs, intensities = self._two_blob_data(rng, per_cluster=30)
+        reference = HDKMeans(2, num_iterations=4).fit(hvs, intensities)
+        result = HDKMeans(2, num_iterations=4, backend=backend).fit(hvs, intensities)
+        assert np.array_equal(reference.labels, result.labels)
+        assert np.array_equal(reference.centroids, result.centroids)
+
+    def test_non_binary_input_rejected_not_silently_cast(self, rng):
+        """Backend packing would corrupt non-binary vectors (floats truncate
+        to zero, larger ints collapse to single bits), so fit refuses them."""
+        intensities = np.arange(6.0)
+        with pytest.raises(ValueError, match="0/1"):
+            HDKMeans(2).fit(rng.uniform(0.0, 1.0, size=(6, 32)), intensities)
+        with pytest.raises(ValueError, match="0/1"):
+            HDKMeans(2).fit(rng.integers(0, 256, size=(6, 32)), intensities)
+        # Binary values in a non-uint8 dtype are fine.
+        hvs = rng.integers(0, 2, size=(6, 32)).astype(np.float64)
+        result = HDKMeans(2, num_iterations=2).fit(hvs, intensities)
+        assert result.labels.shape == (6,)
+
+    def test_fit_accepts_backend_storage(self, rng):
+        hvs, intensities = self._two_blob_data(rng, per_cluster=20)
+        storage = make_backend("packed").pack(hvs)
+        from_storage = HDKMeans(2, num_iterations=3).fit(storage, intensities)
+        from_dense = HDKMeans(2, num_iterations=3).fit(hvs, intensities)
+        assert np.array_equal(from_storage.labels, from_dense.labels)
 
 
 @given(

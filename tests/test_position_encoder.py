@@ -125,6 +125,33 @@ class TestManhattanDistanceProperty:
         assert encoder.row_unit == expected_unit
         assert encoder.row_flip_count(10) == 10 * expected_unit
 
+    def test_flip_unit_divides_by_image_size_not_block_count(self):
+        """Regression for the doc/code mismatch: the per-row (per-column)
+        flip unit is ``floor(alpha*d / (2*height))`` / ``floor(alpha*d /
+        (2*width))`` — the image size, NOT the number of blocks
+        ``ceil(N/beta)`` — and beta only scales the step between blocks."""
+        encoder = _make_block_encoder(dimension=4096, height=10, width=12, alpha=0.5, beta=3)
+        assert encoder.row_unit == int(0.5 * 4096) // (2 * 10) == 102
+        assert encoder.col_unit == int(0.5 * 4096) // (2 * 12) == 85
+        # NOT divided by the block counts (ceil(10/3)=4, ceil(12/3)=4).
+        assert encoder.row_unit != int(0.5 * 4096) // (2 * encoder.num_row_blocks)
+        assert encoder.col_unit != int(0.5 * 4096) // (2 * encoder.num_col_blocks)
+
+    def test_expected_distance_pinned_for_beta_greater_than_one(self):
+        """Regression: pin ``expected_distance`` for beta > 1 and check it
+        against the observed Hamming distance of the encoded HVs."""
+        encoder = _make_block_encoder(dimension=4096, height=10, width=12, alpha=0.5, beta=3)
+        pinned = {
+            ((0, 0), (4, 5)): 561,   # 1 row block * 306 + 1 col block * 255
+            ((0, 0), (2, 2)): 0,     # same 3x3 block
+            ((0, 0), (9, 11)): 1683, # 3 row blocks * 306 + 3 col blocks * 255
+            ((3, 4), (8, 9)): 816,   # rows 1->2 (306) + cols 1->3 (510)
+        }
+        for (pos_a, pos_b), expected in pinned.items():
+            assert encoder.expected_distance(pos_a, pos_b) == expected
+            observed = hamming_distance(encoder.encode(*pos_a), encoder.encode(*pos_b))
+            assert observed == expected
+
 
 class TestUniformEncoder:
     def test_diagonal_distance_collapses(self):
