@@ -1,0 +1,134 @@
+"""Serving-layer throughput: images/sec vs worker count, both backends.
+
+Acceptance gate of the serving PR: a 4-worker thread-mode
+:class:`SegmentationServer` must reach at least 2x the images/sec of serial
+``engine.segment`` on a same-shape 64x64 batch, with bit-identical label
+maps.  The speedup gate needs real cores to scale onto (the numpy kernels
+release the GIL, but they cannot out-run a single CPU), so it is skipped on
+hosts with fewer than four cores; the scaling profile and the bit-exactness
+checks run everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import DSB2018Synthetic
+from repro.seghdc import SegHDCConfig, SegHDCEngine
+from repro.serving import SegmentationServer
+
+BATCH = 10
+SHAPE = (64, 64)
+WORKER_COUNTS = (1, 2, 4)
+_CPUS = os.cpu_count() or 1
+
+
+def _config(backend: str) -> SegHDCConfig:
+    return SegHDCConfig(
+        dimension=2000,
+        num_clusters=2,
+        num_iterations=4,
+        alpha=0.2,
+        beta=2,
+        seed=0,
+        backend=backend,
+    )
+
+
+def _images() -> list:
+    dataset = DSB2018Synthetic(num_images=BATCH, image_shape=SHAPE, seed=9)
+    return [np.asarray(sample.image.pixels) for sample in dataset]
+
+
+def _serial_run(config: SegHDCConfig, images: list) -> tuple[float, list]:
+    engine = SegHDCEngine(config)
+    start = time.perf_counter()
+    results = [engine.segment(image) for image in images]
+    elapsed = time.perf_counter() - start
+    return len(images) / elapsed, [result.labels for result in results]
+
+
+def _server_run(
+    config: SegHDCConfig, images: list, workers: int
+) -> tuple[float, list]:
+    # max_batch_size=1: a same-shape batch otherwise collapses into one
+    # micro-batch on one worker (submission is much faster than a segment),
+    # and in thread mode the shared engine cache needs no batching anyway.
+    with SegmentationServer(
+        config, mode="thread", num_workers=workers, max_batch_size=1
+    ) as server:
+        start = time.perf_counter()
+        results = server.segment_batch(images, timeout=600)
+        elapsed = time.perf_counter() - start
+    return len(images) / elapsed, [result.labels for result in results]
+
+
+@pytest.mark.parametrize("backend", ["dense", "packed"])
+def test_scaling_profile_and_bit_exactness(benchmark, backend):
+    """Images/sec vs worker count; every configuration must reproduce the
+    serial label maps bit-for-bit regardless of how well it scales."""
+    config = _config(backend)
+    images = _images()
+
+    def profile():
+        serial_ips, serial_labels = _serial_run(config, images)
+        rows = {}
+        for workers in WORKER_COUNTS:
+            server_ips, server_labels = _server_run(config, images, workers)
+            for index, (expected, observed) in enumerate(
+                zip(serial_labels, server_labels)
+            ):
+                assert np.array_equal(expected, observed), (
+                    f"{backend}/{workers}w: label map {index} diverged "
+                    "from serial"
+                )
+            rows[workers] = server_ips
+        return serial_ips, rows
+
+    serial_ips, rows = benchmark.pedantic(
+        profile, rounds=1, iterations=1
+    )
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["cpus"] = _CPUS
+    benchmark.extra_info["serial_images_per_second"] = round(serial_ips, 2)
+    print(f"\n  [{backend}] serial: {serial_ips:7.2f} images/s ({_CPUS} cpus)")
+    for workers, ips in rows.items():
+        benchmark.extra_info[f"server_{workers}w_images_per_second"] = round(
+            ips, 2
+        )
+        print(
+            f"  [{backend}] {workers} workers: {ips:7.2f} images/s "
+            f"({ips / serial_ips:.2f}x)"
+        )
+
+
+@pytest.mark.parametrize("backend", ["dense", "packed"])
+@pytest.mark.skipif(
+    _CPUS < 4,
+    reason=f"thread-pool speedup gate needs >= 4 cores, host has {_CPUS}",
+)
+def test_4_worker_thread_pool_at_least_2x_serial(backend):
+    """Acceptance: 4 thread workers >= 2x serial images/sec, bit-identical.
+
+    Best-of-three to shield the gate from scheduler noise on shared CI
+    runners; the parity assertion applies to every attempt.
+    """
+    config = _config(backend)
+    images = _images()
+    best = 0.0
+    for _ in range(3):
+        serial_ips, serial_labels = _serial_run(config, images)
+        server_ips, server_labels = _server_run(config, images, 4)
+        for expected, observed in zip(serial_labels, server_labels):
+            assert np.array_equal(expected, observed)
+        best = max(best, server_ips / serial_ips)
+        if best >= 2.0:
+            break
+    assert best >= 2.0, (
+        f"{backend}: 4-worker thread pool reached only {best:.2f}x serial "
+        f"images/sec on {_CPUS} cpus"
+    )

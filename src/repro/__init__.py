@@ -6,6 +6,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.imaging` — pure-numpy imaging utilities
 * :mod:`repro.datasets` — synthetic BBBC005 / DSB2018 / MoNuSeg generators
 * :mod:`repro.seghdc` — the SegHDC pipeline (the paper's contribution)
+* :mod:`repro.serving` — concurrent serving layer over the batch engine
 * :mod:`repro.baseline` — the CNN-based unsupervised segmentation baseline
 * :mod:`repro.metrics` — IoU and cluster-matching metrics
 * :mod:`repro.device` — edge-device (Raspberry Pi) latency and memory model

@@ -6,12 +6,15 @@ Examples::
     seghdc table1 --scale quick --output-dir results/
     seghdc figure7 --scale paper --output-dir results/
     seghdc segment --dataset dsb2018 --output-dir results/
+    seghdc serve-bench --mode thread --workers 4 --backend packed
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from repro.datasets import available_datasets, make_dataset
@@ -26,6 +29,12 @@ from repro.seghdc import SegHDC, SegHDCConfig
 from repro.viz import ascii_mask, mask_to_grayscale, save_panel
 
 __all__ = ["build_parser", "main"]
+
+
+def _scaled_beta(height: int, width: int) -> int:
+    """Block-decay block size scaled to the image, as in the paper's setup
+    (beta = 26 at 1000px); shared by ``segment`` and ``serve-bench``."""
+    return max(1, 26 * min(height, width) // 1000 + 1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +79,42 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         help="HDC compute backend (dense uint8 or bit-packed uint64)",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve-bench",
+        help="measure SegmentationServer throughput against serial segmentation",
+    )
+    serve_parser.add_argument(
+        "--mode", default="thread", choices=("thread", "process")
+    )
+    serve_parser.add_argument("--workers", type=int, default=4)
+    serve_parser.add_argument("--images", type=int, default=12)
+    serve_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="micro-batch bound; defaults to 1 in thread mode (a larger "
+        "batch funnels a same-shape burst onto one worker) and 4 in "
+        "process mode (each worker amortises its own grid build)",
+    )
+    serve_parser.add_argument(
+        "--dataset", default="dsb2018", choices=available_datasets()
+    )
+    serve_parser.add_argument("--height", type=int, default=64)
+    serve_parser.add_argument("--width", type=int, default=64)
+    serve_parser.add_argument("--dimension", type=int, default=1000)
+    serve_parser.add_argument("--iterations", type=int, default=3)
+    serve_parser.add_argument(
+        "--backend",
+        default="dense",
+        choices=available_backends(),
+        help="HDC compute backend (dense uint8 or bit-packed uint64)",
+    )
+    serve_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the benchmark result (throughput, stats, estimate) as JSON",
+    )
     return parser
 
 
@@ -84,7 +129,7 @@ def _run_segment(args: argparse.Namespace) -> int:
     config = SegHDCConfig.paper_defaults(args.dataset).with_overrides(
         dimension=args.dimension,
         num_iterations=args.iterations,
-        beta=max(1, 26 * min(args.height, args.width) // 1000 + 1),
+        beta=_scaled_beta(args.height, args.width),
         backend=args.backend,
     )
     result = SegHDC(config).segment(sample.image)
@@ -105,6 +150,123 @@ def _run_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.device import RASPBERRY_PI_4, EdgeDeviceSimulator, seghdc_cost
+    from repro.seghdc import SegHDCEngine
+    from repro.serving import SegmentationServer
+
+    dataset = make_dataset(
+        args.dataset,
+        num_images=args.images,
+        image_shape=(args.height, args.width),
+        seed=0,
+    )
+    images = [sample.image for sample in dataset]
+    config = SegHDCConfig.paper_defaults(args.dataset).with_overrides(
+        dimension=args.dimension,
+        num_iterations=args.iterations,
+        beta=_scaled_beta(args.height, args.width),
+        backend=args.backend,
+    )
+    batch_size = args.batch_size
+    if batch_size is None:
+        batch_size = 1 if args.mode == "thread" else 4
+
+    engine = SegHDCEngine(config)
+    serial_start = time.perf_counter()
+    serial_results = [engine.segment(image) for image in images]
+    serial_seconds = time.perf_counter() - serial_start
+    serial_ips = len(images) / serial_seconds
+
+    with SegmentationServer(
+        config,
+        mode=args.mode,
+        num_workers=args.workers,
+        max_batch_size=batch_size,
+    ) as server:
+        server_start = time.perf_counter()
+        server_results = server.segment_batch(images)
+        server_seconds = time.perf_counter() - server_start
+        stats = server.stats()
+    server_ips = len(images) / server_seconds
+
+    mismatches = sum(
+        not np.array_equal(serial.labels, served.labels)
+        for serial, served in zip(serial_results, server_results)
+    )
+    cost = seghdc_cost(
+        args.height,
+        args.width,
+        dimension=config.dimension,
+        num_clusters=config.num_clusters,
+        num_iterations=config.num_iterations,
+        backend=config.backend,
+    )
+    modeled = EdgeDeviceSimulator(RASPBERRY_PI_4).estimate_serving(
+        cost, num_workers=args.workers, strict=False
+    )
+
+    print(
+        f"serve-bench mode={args.mode} workers={args.workers} "
+        f"backend={config.backend} images={len(images)} "
+        f"shape={args.height}x{args.width} d={config.dimension}"
+    )
+    print(
+        f"serial  : {serial_ips:8.2f} images/s  ({serial_seconds:.2f}s total)"
+    )
+    print(
+        f"server  : {server_ips:8.2f} images/s  ({server_seconds:.2f}s total)"
+        f"  speedup={server_ips / serial_ips:.2f}x"
+    )
+    latency = stats.latency
+    print(
+        f"latency : p50={latency['p50'] * 1000:.1f}ms "
+        f"p90={latency['p90'] * 1000:.1f}ms p99={latency['p99'] * 1000:.1f}ms"
+    )
+    print(
+        f"batches : {stats.batches_dispatched} dispatched, "
+        f"mean size {stats.mean_batch_size:.2f}, "
+        f"cache hit rate {stats.cache['hit_rate']:.2f}"
+    )
+    print(
+        f"modeled : {modeled.images_per_second:.2f} images/s on "
+        f"{RASPBERRY_PI_4.name} ({modeled.bottleneck}-bound, "
+        f"{modeled.speedup:.2f}x over one worker)"
+    )
+    if mismatches:
+        print(f"PARITY FAILURE: {mismatches} label maps differ from serial")
+    if args.output:
+        payload = {
+            "mode": args.mode,
+            "workers": args.workers,
+            "batch_size": batch_size,
+            "backend": config.backend,
+            "images": len(images),
+            "height": args.height,
+            "width": args.width,
+            "dimension": config.dimension,
+            "iterations": config.num_iterations,
+            "serial_images_per_second": serial_ips,
+            "server_images_per_second": server_ips,
+            "speedup": server_ips / serial_ips,
+            "parity_mismatches": mismatches,
+            "stats": stats.as_dict(),
+            "modeled_pi4": {
+                "images_per_second": modeled.images_per_second,
+                "latency_seconds": modeled.latency_seconds,
+                "speedup": modeled.speedup,
+                "bottleneck": modeled.bottleneck,
+            },
+        }
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2))
+        print(f"benchmark JSON written to {path}")
+    return 1 if mismatches else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -114,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "segment":
         return _run_segment(args)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
     scale = ExperimentScale.from_name(args.scale)
     result = run_experiment(
         args.command,

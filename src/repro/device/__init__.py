@@ -25,9 +25,11 @@ principles.
 from repro.device.errors import DeviceOutOfMemoryError
 from repro.device.profile import DeviceProfile, HOST_PROFILE, RASPBERRY_PI_4
 from repro.device.cost_model import (
+    ServingEstimate,
     WorkloadCost,
     cnn_baseline_cost,
     seghdc_cost,
+    serving_estimate,
 )
 from repro.device.executor import EdgeDeviceSimulator, EdgeRunEstimate
 from repro.device.energy import EnergyEstimate, EnergyModel, RASPBERRY_PI_4_ENERGY
@@ -42,7 +44,9 @@ __all__ = [
     "HOST_PROFILE",
     "RASPBERRY_PI_4",
     "RASPBERRY_PI_4_ENERGY",
+    "ServingEstimate",
     "WorkloadCost",
     "cnn_baseline_cost",
     "seghdc_cost",
+    "serving_estimate",
 ]

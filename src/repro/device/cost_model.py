@@ -19,7 +19,13 @@ from dataclasses import dataclass
 from repro.hdc.backend import available_backends
 from repro.hdc.hypervector import packed_words_per_hv
 
-__all__ = ["WorkloadCost", "cnn_baseline_cost", "seghdc_cost"]
+__all__ = [
+    "ServingEstimate",
+    "WorkloadCost",
+    "cnn_baseline_cost",
+    "seghdc_cost",
+    "serving_estimate",
+]
 
 _FLOAT_BYTES = 4  # both PyTorch and the numpy pipeline run in float32
 _HV_BYTES = 1  # dense binary hypervectors are stored as uint8
@@ -137,6 +143,82 @@ def seghdc_cost(
         bytes_moved=bytes_moved,
         peak_memory_bytes=peak_memory,
         kind="hdc",
+    )
+
+
+@dataclass(frozen=True)
+class ServingEstimate:
+    """Steady-state throughput of a worker pool serving one workload.
+
+    ``images_per_second`` is the pool's sustained rate; ``latency_seconds``
+    is the per-image completion latency with the pool saturated
+    (Little's law: ``num_workers`` jobs in flight / throughput).
+    ``speedup`` compares against one worker on the same device, and
+    ``bottleneck`` names which resource caps the pool.
+    """
+
+    num_workers: int
+    parallel_workers: int
+    images_per_second: float
+    latency_seconds: float
+    serial_images_per_second: float
+    speedup: float
+    bottleneck: str
+    peak_memory_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be positive")
+
+
+def serving_estimate(
+    cost: WorkloadCost,
+    *,
+    num_workers: int,
+    compute_throughput_flops: float,
+    memory_bandwidth_bytes: float,
+    num_cores: int,
+) -> ServingEstimate:
+    """Concurrency-aware roofline estimate for a pool of identical workers.
+
+    The single-run model charges ``max(compute, memory)`` time per image;
+    with ``W`` workers the two resources scale differently:
+
+    * **compute** multiplies — ``min(W, num_cores)`` workers add arithmetic
+      in parallel (extra workers beyond the core count only deepen the
+      queue, they add no rate);
+    * **memory bandwidth is shared** — the aggregate traffic rate is capped
+      by the one memory bus regardless of worker count, which is exactly why
+      thread pools of numpy kernels stop scaling before the core count on
+      bandwidth-bound workloads.
+
+    Peak memory is the conservative bound of every parallel worker holding a
+    full working set; thread-mode serving shares the cached position grid
+    between workers, so the true peak sits below this.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be positive, got {num_workers}")
+    if num_cores < 1:
+        raise ValueError(f"num_cores must be positive, got {num_cores}")
+    if compute_throughput_flops <= 0 or memory_bandwidth_bytes <= 0:
+        raise ValueError("throughput and bandwidth must be positive")
+    compute_seconds = cost.operations / compute_throughput_flops
+    memory_seconds = cost.bytes_moved / memory_bandwidth_bytes
+    serial_rate = 1.0 / max(compute_seconds, memory_seconds)
+    parallel_workers = min(num_workers, num_cores)
+    compute_rate = parallel_workers / compute_seconds if compute_seconds else math.inf
+    memory_rate = 1.0 / memory_seconds if memory_seconds else math.inf
+    images_per_second = min(compute_rate, memory_rate)
+    bottleneck = "memory" if memory_rate < compute_rate else "compute"
+    return ServingEstimate(
+        num_workers=num_workers,
+        parallel_workers=parallel_workers,
+        images_per_second=images_per_second,
+        latency_seconds=num_workers / images_per_second,
+        serial_images_per_second=serial_rate,
+        speedup=images_per_second / serial_rate,
+        bottleneck=bottleneck,
+        peak_memory_bytes=cost.peak_memory_bytes * parallel_workers,
     )
 
 

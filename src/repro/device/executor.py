@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.device.cost_model import WorkloadCost, cnn_baseline_cost, seghdc_cost
+from repro.device.cost_model import (
+    ServingEstimate,
+    WorkloadCost,
+    cnn_baseline_cost,
+    seghdc_cost,
+    serving_estimate,
+)
 from repro.device.errors import DeviceOutOfMemoryError
 from repro.device.profile import DeviceProfile
 
@@ -74,6 +80,45 @@ class EdgeDeviceSimulator:
             usable_memory_bytes=profile.usable_memory_bytes,
             fits_in_memory=fits,
         )
+
+    def estimate_serving(
+        self,
+        cost: WorkloadCost,
+        *,
+        num_workers: int,
+        strict: bool = True,
+    ) -> ServingEstimate:
+        """Throughput of a ``num_workers`` pool serving ``cost``-shaped images.
+
+        Uses the profile's core count to cap parallel compute and its single
+        memory bus as the shared bandwidth ceiling (see
+        :func:`repro.device.cost_model.serving_estimate`).  With
+        ``strict=True`` the conservative pool-wide peak working set (every
+        parallel worker resident at once) must fit in usable memory —
+        serving is a steady-state workload, so an over-budget pool is a
+        deployment error rather than a tabulated OOM row.
+        """
+        profile = self.profile
+        if cost.kind == "tensor":
+            throughput = profile.tensor_throughput_flops
+        elif cost.kind == "hdc":
+            throughput = profile.hdc_throughput_flops
+        else:
+            raise ValueError(f"unknown workload kind {cost.kind!r}")
+        estimate = serving_estimate(
+            cost,
+            num_workers=num_workers,
+            compute_throughput_flops=throughput,
+            memory_bandwidth_bytes=profile.memory_bandwidth_bytes,
+            num_cores=profile.num_cores,
+        )
+        if strict and estimate.peak_memory_bytes > profile.usable_memory_bytes:
+            raise DeviceOutOfMemoryError(
+                int(estimate.peak_memory_bytes),
+                profile.usable_memory_bytes,
+                profile.name,
+            )
+        return estimate
 
     def estimate_seghdc(
         self,

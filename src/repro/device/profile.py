@@ -43,6 +43,12 @@ class DeviceProfile:
         the Python runtime, and the framework have taken their share.
     startup_overhead_seconds:
         Fixed per-run overhead (interpreter + library start-up, image I/O).
+    num_cores:
+        Physical cores available to a worker pool.  The single-run latency
+        model ignores this (the throughput figures are calibrated against
+        single-image runs); the serving model uses it to cap how many
+        workers can add compute in parallel, while memory bandwidth stays a
+        shared resource.
     """
 
     name: str
@@ -52,8 +58,11 @@ class DeviceProfile:
     total_memory_bytes: int
     usable_memory_fraction: float = 0.8
     startup_overhead_seconds: float = 0.0
+    num_cores: int = 4
 
     def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be positive")
         if self.tensor_throughput_flops <= 0 or self.hdc_throughput_flops <= 0:
             raise ValueError("throughput figures must be positive")
         if self.memory_bandwidth_bytes <= 0:
@@ -81,6 +90,7 @@ RASPBERRY_PI_4 = DeviceProfile(
     total_memory_bytes=4 * 1024**3,
     usable_memory_fraction=0.80,
     startup_overhead_seconds=2.0,
+    num_cores=4,
 )
 
 #: A generic x86 development machine (used for "host wall-clock" context).
@@ -92,4 +102,5 @@ HOST_PROFILE = DeviceProfile(
     total_memory_bytes=16 * 1024**3,
     usable_memory_fraction=0.85,
     startup_overhead_seconds=0.2,
+    num_cores=8,
 )

@@ -109,6 +109,14 @@ class HVStorage:
     backend: "HDCBackend"
     _row_popcounts: np.ndarray | None = field(default=None, repr=False)
 
+    def __getstate__(self) -> dict:
+        # Process pools pickle storages across worker boundaries; the cached
+        # per-row popcounts are derived data and can be a large fraction of a
+        # packed payload, so they are recomputed lazily on the other side.
+        state = self.__dict__.copy()
+        state["_row_popcounts"] = None
+        return state
+
     @property
     def num_rows(self) -> int:
         return self.data.shape[0]
@@ -212,6 +220,19 @@ class HDCBackend(ABC):
     def bundle_masked(self, storage: HVStorage, mask: np.ndarray) -> np.ndarray:
         """Element-wise ``int64`` sum of the rows selected by ``mask``."""
 
+    def __reduce__(self):
+        """Pickle backends by name, not by state.
+
+        Worker processes of the serving layer receive backends inside
+        configs, engines, and :class:`HVStorage` payloads.  Reconstructing
+        through :func:`make_backend` keeps the pickle tiny and guarantees a
+        future backend with heavy derived state (lookup tables, device
+        handles) rebuilds it natively in the receiving process instead of
+        shipping it over the wire.  Backends with constructor parameters
+        override this to preserve them.
+        """
+        return (make_backend, (self.name,))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}()"
 
@@ -289,6 +310,9 @@ class PackedBackend(HDCBackend):
                 f"unpack_chunk_rows must be positive, got {unpack_chunk_rows}"
             )
         self.unpack_chunk_rows = int(unpack_chunk_rows)
+
+    def __reduce__(self):
+        return (_rebuild_packed_backend, (self.unpack_chunk_rows,))
 
     def pack(self, dense_hvs: np.ndarray) -> HVStorage:
         arr = np.asarray(dense_hvs, dtype=np.uint8)
@@ -391,6 +415,11 @@ class PackedBackend(HDCBackend):
     def hamming(self, storage: HVStorage, reference_row: np.ndarray) -> np.ndarray:
         """Hamming distance of every row against one packed reference row."""
         return popcount_words(storage.data ^ reference_row[None, :])
+
+
+def _rebuild_packed_backend(unpack_chunk_rows: int) -> "PackedBackend":
+    """Unpickle helper preserving :class:`PackedBackend` constructor state."""
+    return PackedBackend(unpack_chunk_rows=unpack_chunk_rows)
 
 
 _BACKENDS = {

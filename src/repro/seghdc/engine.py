@@ -22,10 +22,27 @@ exposed via :meth:`SegHDCEngine.cache_info` and recorded in every
 Because the encoders are constructed from a freshly seeded
 :class:`HypervectorSpace` exactly as the one-shot path did, cached and
 uncached runs produce bit-identical label maps.
+
+Concurrency
+-----------
+
+One engine may be shared by many threads: the LRU cache and its counters are
+guarded by a lock, so concurrent :meth:`SegHDCEngine.segment` calls see exact
+hit/miss/build counts and never build the same shape's grid twice.  The grid
+build happens *under* the lock — deliberate, because a duplicate build costs
+far more than the brief serialisation, and it keeps the counters exact for
+tests.  The heavy per-image work (color bind, clustering) runs outside the
+lock on shared read-only grids.
+
+Across *processes* there is no sharing: each worker process holds its own
+engine and its own cache (pickling an engine drops the cache and the lock, so
+a freshly unpickled engine starts cold).  The serving layer
+(:mod:`repro.serving`) builds on both semantics.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -41,7 +58,23 @@ from repro.seghdc.config import SegHDCConfig
 from repro.seghdc.pixel_producer import PixelHVProducer
 from repro.seghdc.position_encoder import PositionEncoder, make_position_encoder
 
-__all__ = ["SegHDCEngine", "SegmentationResult"]
+__all__ = ["SegHDCEngine", "SegmentationResult", "normalize_image"]
+
+
+def normalize_image(image: "Image | np.ndarray") -> tuple[np.ndarray, tuple[int, int, int]]:
+    """Pixel array + ``(height, width, channels)`` key of one input image.
+
+    The single definition of what the pipeline accepts: the engine uses it
+    per segment call and the serving layer uses it at admission time, so
+    both reject the same inputs with the same error and key shape-aware
+    caches/batches identically.
+    """
+    pixels = image.pixels if isinstance(image, Image) else np.asarray(image)
+    if pixels.ndim not in (2, 3):
+        raise ValueError(f"expected a 2-D or 3-D image, got shape {pixels.shape}")
+    height, width = pixels.shape[:2]
+    channels = 1 if pixels.ndim == 2 else pixels.shape[2]
+    return pixels, (height, width, channels)
 
 
 @dataclass
@@ -137,6 +170,7 @@ class SegHDCEngine:
         self.max_cache_bytes = int(max_cache_bytes)
         self.band_rows = int(band_rows)
         self._cache: OrderedDict[tuple[int, int, int], _EncoderBundle] = OrderedDict()
+        self._lock = threading.RLock()
         self._counters = {
             "hits": 0,
             "misses": 0,
@@ -144,6 +178,24 @@ class SegHDCEngine:
             "oversize_skips": 0,
             "position_grid_builds": 0,
         }
+
+    def __getstate__(self) -> dict:
+        """Pickle without the lock or the cached grids.
+
+        Process pools ship engines (or configs that build them) to workers;
+        locks are not picklable and a multi-hundred-MB grid cache should not
+        ride along.  The unpickled engine starts with a cold cache and fresh
+        counters — each worker process warms its own.
+        """
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_cache"] = OrderedDict()
+        state["_counters"] = {key: 0 for key in self._counters}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     @property
     def config(self) -> SegHDCConfig:
@@ -155,19 +207,27 @@ class SegHDCEngine:
     # cache management
     # ------------------------------------------------------------------ #
     def cache_info(self) -> dict:
-        """Copy of the cache counters plus current occupancy."""
-        info = dict(self._counters)
-        info["entries"] = len(self._cache)
-        info["cached_grid_bytes"] = sum(
-            bundle.position_grid.nbytes for bundle in self._cache.values()
-        )
-        return info
+        """Copy of the cache counters plus current occupancy (thread-safe)."""
+        with self._lock:
+            info = dict(self._counters)
+            info["entries"] = len(self._cache)
+            info["cached_grid_bytes"] = sum(
+                bundle.position_grid.nbytes for bundle in self._cache.values()
+            )
+            return info
 
     def clear_cache(self) -> None:
         """Drop all cached encoder grids (counters are kept)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def _encoders_for_shape(
+        self, height: int, width: int, channels: int
+    ) -> _EncoderBundle:
+        with self._lock:
+            return self._encoders_for_shape_locked(height, width, channels)
+
+    def _encoders_for_shape_locked(
         self, height: int, width: int, channels: int
     ) -> _EncoderBundle:
         key = (height, width, channels)
@@ -232,12 +292,8 @@ class SegHDCEngine:
     # ------------------------------------------------------------------ #
     def segment(self, image: Image | np.ndarray) -> SegmentationResult:
         """Segment one image into ``config.num_clusters`` clusters."""
-        pixels = image.pixels if isinstance(image, Image) else np.asarray(image)
-        if pixels.ndim not in (2, 3):
-            raise ValueError(f"expected a 2-D or 3-D image, got shape {pixels.shape}")
+        pixels, (height, width, channels) = normalize_image(image)
         config = self.config
-        height, width = pixels.shape[:2]
-        channels = 1 if pixels.ndim == 2 else pixels.shape[2]
         start = time.perf_counter()
 
         bundle = self._encoders_for_shape(height, width, channels)

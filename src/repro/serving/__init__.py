@@ -1,0 +1,36 @@
+"""Throughput serving layer over the SegHDC engine.
+
+The paper's pipeline is embarrassingly parallel per image; this package
+turns :class:`repro.seghdc.SegHDCEngine` into a long-lived concurrent
+service:
+
+* :class:`SegmentationServer` — worker pool (thread or process mode) with a
+  bounded submit/poll/drain API and backpressure;
+* :class:`repro.serving.batcher.ShapeBatcher` — shape-aware micro-batching
+  so each worker hits the engine's cached encoder grid;
+* :class:`repro.serving.stats.ServerStats` — queue depth, end-to-end latency
+  percentiles, and cache hit rates aggregated from result workloads.
+"""
+
+from repro.serving.batcher import ShapeBatcher
+from repro.serving.jobqueue import BoundedJobQueue
+from repro.serving.server import (
+    JobHandle,
+    SegmentationServer,
+    ServerClosed,
+    ServerSaturated,
+    ServingError,
+)
+from repro.serving.stats import ServerStats, StatsCollector
+
+__all__ = [
+    "BoundedJobQueue",
+    "JobHandle",
+    "SegmentationServer",
+    "ServerClosed",
+    "ServerSaturated",
+    "ServerStats",
+    "ServingError",
+    "ShapeBatcher",
+    "StatsCollector",
+]

@@ -1,0 +1,62 @@
+"""Shape-aware micro-batching policy for the segmentation server.
+
+The engine's encoder-grid cache is keyed by image shape, so a worker that
+processes a run of same-shape jobs pays the grid build (or the cache lookup)
+once and amortises it over the whole run.  :class:`ShapeBatcher` implements
+the selection policy: pop the oldest pending job, then pull every other
+pending job with the same ``(height, width, channels)`` key — up to the
+micro-batch limit — while preserving the relative order of the jobs left
+behind.
+
+Same-shape jobs may therefore overtake older jobs of a different shape.
+That reordering is deliberate (it is what turns a mixed-shape queue into
+cache-friendly runs) and bounded: the oldest pending job always starts the
+next batch, so no shape can be starved for more than one batch selection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Protocol
+
+__all__ = ["ShapeBatcher"]
+
+
+class _HasShapeKey(Protocol):
+    shape_key: tuple
+
+
+class ShapeBatcher:
+    """Select same-shape micro-batches from a deque of pending jobs."""
+
+    def __init__(self, max_batch_size: int = 8) -> None:
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be positive, got {max_batch_size}"
+            )
+        self.max_batch_size = int(max_batch_size)
+
+    def take_batch(self, pending: Deque[_HasShapeKey]) -> list:
+        """Remove and return the next micro-batch from ``pending``.
+
+        The caller must hold whatever lock protects ``pending`` and guarantee
+        it is non-empty.  The batch starts with the leftmost (oldest) job and
+        greedily absorbs later jobs whose ``shape_key`` matches, scanning at
+        most the whole deque once; non-matching jobs keep their order.
+        """
+        if not pending:
+            raise ValueError("take_batch on an empty queue")
+        first = pending.popleft()
+        batch = [first]
+        if self.max_batch_size == 1 or not pending:
+            return batch
+        skipped: deque = deque()
+        while pending and len(batch) < self.max_batch_size:
+            job = pending.popleft()
+            if job.shape_key == first.shape_key:
+                batch.append(job)
+            else:
+                skipped.append(job)
+        while skipped:
+            pending.appendleft(skipped.pop())
+        return batch

@@ -1,0 +1,104 @@
+"""Bounded job queue with blocking backpressure and batch hand-off.
+
+The queue is the admission-control stage of :class:`repro.serving.server.
+SegmentationServer`: producers block (or bounce, for non-blocking submits)
+once ``max_depth`` jobs are pending, and workers take whole micro-batches
+selected by a :class:`repro.serving.batcher.ShapeBatcher` instead of single
+jobs.  One condition variable guards both directions; every state change
+uses ``notify_all`` so a freed slot wakes blocked producers and a new job
+wakes idle workers without tracking which side is waiting.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.serving.batcher import ShapeBatcher
+
+__all__ = ["BoundedJobQueue"]
+
+
+class BoundedJobQueue:
+    """FIFO of pending jobs with a hard depth bound.
+
+    ``put`` returns ``False`` (rather than raising) when the queue stays full
+    for the allowed wait; the server layers its own exception on top.
+    :meth:`close` hands any still-pending jobs back to the caller, after
+    which puts raise and :meth:`take_batch` returns ``None`` to signal
+    workers to exit.
+    """
+
+    def __init__(self, max_depth: int, batcher: ShapeBatcher) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self._batcher = batcher
+        self._pending: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, job, *, block: bool = True, timeout: float | None = None) -> bool:
+        """Enqueue ``job``; ``False`` if the queue is full (or stayed full).
+
+        Raises ``RuntimeError`` when the queue is closed: that is a lifecycle
+        error by the caller, not backpressure.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if len(self._pending) >= self.max_depth:
+                if not block:
+                    return False
+                satisfied = self._cond.wait_for(
+                    lambda: self._closed or len(self._pending) < self.max_depth,
+                    timeout=timeout,
+                )
+                if self._closed:
+                    raise RuntimeError("queue is closed")
+                if not satisfied:
+                    return False
+            self._pending.append(job)
+            self._cond.notify_all()
+            return True
+
+    def take_batch(self, *, timeout: float | None = None) -> list | None:
+        """Block for the next micro-batch; ``None`` when closed and drained.
+
+        A ``timeout`` expiring with nothing pending returns an empty list so
+        callers can distinguish "nothing yet" from "shut down".
+        """
+        with self._cond:
+            satisfied = self._cond.wait_for(
+                lambda: self._closed or bool(self._pending), timeout=timeout
+            )
+            if not self._pending:
+                # wait_for re-checks the predicate, so an empty deque here
+                # means either shutdown or an expired timeout.
+                return None if self._closed else []
+            batch = self._batcher.take_batch(self._pending)
+            self._cond.notify_all()
+            return batch
+
+    def close(self) -> list:
+        """Refuse new puts, wake all waiters, and return still-pending jobs.
+
+        The caller decides what to do with the leftovers (the server fails
+        their handles); workers observe the close on their next wake-up and
+        exit once the deque is empty.
+        """
+        with self._cond:
+            self._closed = True
+            leftovers = list(self._pending)
+            self._pending.clear()
+            self._cond.notify_all()
+            return leftovers

@@ -1,0 +1,420 @@
+"""Concurrent segmentation serving on top of :class:`SegHDCEngine`.
+
+:class:`SegmentationServer` turns the batch engine into a long-lived service:
+callers submit images and get :class:`JobHandle` futures back, a bounded
+queue applies backpressure, a shape-aware micro-batcher groups same-shape
+requests so every worker hits the engine's cached encoder grid, and a stats
+collector aggregates queue depth, end-to-end latency percentiles, and cache
+hit rates from the result workloads.
+
+Two execution modes share the queueing/batching front end:
+
+* ``mode="thread"`` — N worker threads call **one shared engine** whose LRU
+  cache is lock-protected.  The numpy kernels (XOR binds, the float32
+  assignment matmul, popcounts) release the GIL, so same-machine threads
+  overlap on multi-core hosts with zero serialization cost for the grids.
+* ``mode="process"`` — micro-batches are shipped to a
+  ``ProcessPoolExecutor`` whose initializer builds **one engine per worker
+  process** from the pickled config.  Each process warms its own grid cache
+  (the engine's ``__getstate__`` drops caches and locks), results are
+  pickled back, and per-process cache counters are aggregated through the
+  ``workload["cache"]`` snapshots.  This mode sidesteps the GIL entirely at
+  the cost of serializing images and label maps across process boundaries.
+
+Ordering: results are delivered per job through its handle, so callers that
+need input order simply keep their handles in order
+(:meth:`SegmentationServer.segment_batch` does exactly that).  The dispatch
+order itself is *not* strictly FIFO — same-shape jobs may overtake older
+jobs of a different shape, see :class:`repro.serving.batcher.ShapeBatcher`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.imaging.image import Image
+from repro.seghdc.config import SegHDCConfig
+from repro.seghdc.engine import (
+    SegHDCEngine,
+    SegmentationResult,
+    normalize_image,
+)
+from repro.serving.batcher import ShapeBatcher
+from repro.serving.jobqueue import BoundedJobQueue
+from repro.serving.stats import ServerStats, StatsCollector
+
+__all__ = [
+    "JobHandle",
+    "SegmentationServer",
+    "ServerClosed",
+    "ServerSaturated",
+    "ServingError",
+]
+
+_MODES = ("thread", "process")
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer errors."""
+
+
+class ServerSaturated(ServingError):
+    """The bounded queue is full and the submit was not allowed to wait."""
+
+
+class ServerClosed(ServingError):
+    """The server no longer accepts work (or was closed before a job ran)."""
+
+
+class JobHandle:
+    """Future-like handle for one submitted image."""
+
+    def __init__(self, job_id: int) -> None:
+        self.job_id = job_id
+        self._event = threading.Event()
+        self._result: SegmentationResult | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Non-blocking poll: has the job finished (successfully or not)?"""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> SegmentationResult:
+        """Block for the segmentation result; re-raises worker exceptions."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} not done after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _set_result(self, result: SegmentationResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _Job:
+    """One queued segmentation request."""
+
+    job_id: int
+    pixels: np.ndarray
+    shape_key: tuple
+    submitted_at: float
+    handle: JobHandle = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------- #
+# process-mode worker side (module level so it pickles by reference)
+# ---------------------------------------------------------------------- #
+_PROCESS_ENGINE: SegHDCEngine | None = None
+
+
+def _init_process_worker(config: SegHDCConfig, engine_kwargs: dict) -> None:
+    """Pool initializer: one engine (and grid cache) per worker process."""
+    global _PROCESS_ENGINE
+    _PROCESS_ENGINE = SegHDCEngine(config, **engine_kwargs)
+
+
+def _run_process_microbatch(batch: "list[np.ndarray]") -> list:
+    """Segment one micro-batch inside a worker process.
+
+    Returns one ``("ok", result)`` or ``("error", exception)`` entry per
+    image, so a single bad image fails its own job instead of the batch.
+    The worker's pid is stamped into the workload so the collector can keep
+    one cache snapshot per process.
+    """
+    assert _PROCESS_ENGINE is not None, "pool initializer did not run"
+    entries: list = []
+    for pixels in batch:
+        try:
+            result = _PROCESS_ENGINE.segment(pixels)
+            result.workload["serving_worker"] = os.getpid()
+            entries.append(("ok", result))
+        except Exception as exc:  # noqa: BLE001 - shipped back to the caller
+            entries.append(("error", exc))
+    return entries
+
+
+class SegmentationServer:
+    """Worker pool + bounded queue + micro-batcher over the SegHDC engine.
+
+    Usage::
+
+        with SegmentationServer(config, mode="thread", num_workers=4) as server:
+            handles = [server.submit(image) for image in images]
+            labels = [handle.result().labels for handle in handles]
+            server.stats().latency["p99"]
+
+    Parameters
+    ----------
+    config:
+        Pipeline hyper-parameters shared by every worker.
+    mode:
+        ``"thread"`` (shared engine, GIL-releasing kernels) or ``"process"``
+        (one engine per worker process; see the module docstring).
+    num_workers:
+        Worker threads (thread mode) or worker processes (process mode).
+    max_queue_depth:
+        Backpressure bound: ``submit`` blocks — or fails with
+        :class:`ServerSaturated` when ``block=False`` — while this many jobs
+        are already queued.
+    max_batch_size:
+        Upper bound on a shape-aware micro-batch.  A micro-batch occupies
+        one worker, so a batch limit at or above the queue depth can funnel
+        an entire same-shape burst into a single worker; keep it small
+        (1-2) when worker parallelism matters more than batching — in
+        thread mode the shared engine cache makes batching redundant, it
+        only amortises queue-pop overhead.  Process mode is where larger
+        batches pay: each worker process amortises its own grid build over
+        the run it receives.
+    latency_window:
+        Number of most-recent end-to-end latencies kept for percentiles.
+    engine_kwargs:
+        Extra :class:`SegHDCEngine` parameters (``cache_size``,
+        ``max_cache_bytes``, ``band_rows``) applied to every engine.
+    """
+
+    def __init__(
+        self,
+        config: SegHDCConfig | None = None,
+        *,
+        mode: str = "thread",
+        num_workers: int = 2,
+        max_queue_depth: int = 64,
+        max_batch_size: int = 8,
+        latency_window: int = 4096,
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.mode = mode
+        self.num_workers = int(num_workers)
+        self._config = config or SegHDCConfig()
+        self._engine_kwargs = dict(engine_kwargs or {})
+        self._collector = StatsCollector(latency_window=latency_window)
+        self._queue = BoundedJobQueue(max_queue_depth, ShapeBatcher(max_batch_size))
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._next_job_id = 0
+        self._id_lock = threading.Lock()
+
+        self._engine: SegHDCEngine | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        if mode == "thread":
+            self._engine = SegHDCEngine(self._config, **self._engine_kwargs)
+        else:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                initializer=_init_process_worker,
+                initargs=(self._config, self._engine_kwargs),
+            )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"seghdc-serve-{index}",
+                daemon=True,
+            )
+            for index in range(self.num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> SegHDCConfig:
+        return self._config
+
+    @property
+    def engine(self) -> SegHDCEngine | None:
+        """The shared engine (thread mode only; ``None`` in process mode)."""
+        return self._engine
+
+    def __enter__(self) -> "SegmentationServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work; optionally wait for admitted jobs to finish.
+
+        With ``drain=False`` (or on error exit from a ``with`` block), jobs
+        still sitting in the queue fail with :class:`ServerClosed`; jobs
+        already picked up by a worker run to completion either way.
+        Idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            self._collector.wait_idle(timeout)
+        leftovers = self._queue.close()
+        for job in leftovers:
+            job.handle._set_error(
+                ServerClosed(f"server closed before job {job.job_id} ran")
+            )
+            self._collector.record_failed()
+        for worker in self._workers:
+            worker.join(timeout)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        image: "Image | np.ndarray",
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> JobHandle:
+        """Queue one image; returns a handle to poll or wait on.
+
+        Backpressure: when the queue is at ``max_queue_depth``, a blocking
+        submit waits for a slot (up to ``timeout``) and a non-blocking one
+        raises :class:`ServerSaturated` immediately.  Images are validated
+        here so shape errors surface in the caller, not inside a worker.
+        """
+        if self._closed:
+            raise ServerClosed("server is closed")
+        pixels, shape_key = normalize_image(image)
+        with self._id_lock:
+            job_id = self._next_job_id
+            self._next_job_id += 1
+        handle = JobHandle(job_id)
+        job = _Job(
+            job_id=job_id,
+            pixels=pixels,
+            shape_key=shape_key,
+            submitted_at=time.perf_counter(),
+            handle=handle,
+        )
+        # Count the admission before the enqueue: drain/close wait on the
+        # collector, so an enqueued-but-uncounted job would let close()
+        # declare the server idle and fail a successfully submitted job.
+        # A put that bounces retracts the count.
+        self._collector.record_submitted()
+        try:
+            admitted = self._queue.put(job, block=block, timeout=timeout)
+        except RuntimeError:
+            self._collector.record_retracted()
+            raise ServerClosed("server is closed") from None
+        if not admitted:
+            self._collector.record_retracted()
+            self._collector.record_rejected()
+            raise ServerSaturated(
+                f"queue full ({self._queue.max_depth} pending jobs)"
+            )
+        return handle
+
+    def segment_batch(
+        self,
+        images: "list[Image | np.ndarray]",
+        *,
+        timeout: float | None = None,
+    ) -> list[SegmentationResult]:
+        """Submit every image (blocking on backpressure) and collect results
+        in input order — a drop-in, concurrent ``engine.segment_batch``."""
+        handles = [self.submit(image, block=True) for image in images]
+        return [handle.result(timeout) for handle in handles]
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted job has finished; ``False`` on timeout."""
+        return self._collector.wait_idle(timeout)
+
+    def stats(self) -> ServerStats:
+        """Snapshot of counters, queue depth, latency percentiles, cache."""
+        stats = self._collector.snapshot(
+            mode=self.mode,
+            num_workers=self.num_workers,
+            queue_depth=self._queue.depth(),
+        )
+        if self._engine is not None:
+            # Thread mode: the shared engine's counters are authoritative and
+            # current even before the first result lands.
+            cache = dict(self._engine.cache_info())
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+            cache["engines"] = 1
+            stats = replace(stats, cache=cache)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.take_batch()
+            if batch is None:
+                return
+            if not batch:
+                continue
+            self._collector.record_batch(len(batch))
+            if self.mode == "thread":
+                self._run_batch_threaded(batch)
+            else:
+                self._run_batch_process(batch)
+
+    def _run_batch_threaded(self, batch: "list[_Job]") -> None:
+        assert self._engine is not None
+        for job in batch:
+            try:
+                result = self._engine.segment(job.pixels)
+            except Exception as exc:  # noqa: BLE001 - delivered via handle
+                self._collector.record_failed(
+                    time.perf_counter() - job.submitted_at
+                )
+                job.handle._set_error(exc)
+            else:
+                self._finish(job, result, source="shared-engine")
+
+    def _run_batch_process(self, batch: "list[_Job]") -> None:
+        assert self._pool is not None
+        try:
+            entries = self._pool.submit(
+                _run_process_microbatch, [job.pixels for job in batch]
+            ).result()
+        except Exception as exc:  # noqa: BLE001 - pool-level failure
+            for job in batch:
+                self._collector.record_failed(
+                    time.perf_counter() - job.submitted_at
+                )
+                job.handle._set_error(
+                    ServingError(f"worker pool failed: {exc!r}")
+                )
+            return
+        for job, (status, payload) in zip(batch, entries):
+            if status == "ok":
+                self._finish(
+                    job, payload, source=payload.workload.get("serving_worker")
+                )
+            else:
+                self._collector.record_failed(
+                    time.perf_counter() - job.submitted_at
+                )
+                job.handle._set_error(payload)
+
+    def _finish(self, job: "_Job", result: SegmentationResult, *, source) -> None:
+        latency = time.perf_counter() - job.submitted_at
+        result.workload["serving_latency_seconds"] = latency
+        self._collector.record_completed(
+            latency, cache=result.workload.get("cache"), source=source
+        )
+        job.handle._set_result(result)

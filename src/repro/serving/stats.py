@@ -1,0 +1,191 @@
+"""Per-server statistics: counters, latency percentiles, cache aggregation.
+
+The collector is the single point every worker reports through, so the
+serving tests can assert that totals add up exactly under concurrency:
+``submitted == completed + failed`` once a server is drained, and the number
+of recorded latencies matches the number of finished jobs (up to the sliding
+window).  Latencies are end-to-end (submit to result ready), which includes
+queueing delay — the number a capacity planner actually cares about.
+
+Cache efficiency is aggregated from ``SegmentationResult.workload["cache"]``
+snapshots rather than by reaching into engines: the counters in a workload
+are cumulative for the engine that produced it, so the collector keeps the
+*latest* snapshot per engine source (one shared engine in thread mode, one
+per worker process in process mode) and sums across sources.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ServerStats", "StatsCollector"]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Point-in-time snapshot of a :class:`SegmentationServer`'s behavior."""
+
+    mode: str
+    num_workers: int
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    queue_depth: int
+    in_flight: int
+    batches_dispatched: int
+    mean_batch_size: float
+    latency: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def pending(self) -> int:
+        """Jobs admitted but not yet finished (queued + in flight)."""
+        return self.submitted - self.completed - self.failed
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (used by ``serve-bench``)."""
+        return {
+            "mode": self.mode,
+            "num_workers": self.num_workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "batches_dispatched": self.batches_dispatched,
+            "mean_batch_size": self.mean_batch_size,
+            "latency": dict(self.latency),
+            "cache": dict(self.cache),
+        }
+
+
+def _percentiles(latencies: "deque[float]") -> dict:
+    if not latencies:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+    values = np.asarray(latencies, dtype=np.float64)
+    p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
+    return {
+        "count": int(values.size),
+        "mean": float(values.mean()),
+        "p50": float(p50),
+        "p90": float(p90),
+        "p99": float(p99),
+    }
+
+
+def _aggregate_cache(snapshots: dict) -> dict:
+    totals = {"hits": 0, "misses": 0, "position_grid_builds": 0, "evictions": 0}
+    for snapshot in snapshots.values():
+        for key in totals:
+            totals[key] += int(snapshot.get(key, 0))
+    lookups = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+    totals["engines"] = len(snapshots)
+    return totals
+
+
+class StatsCollector:
+    """Thread-safe counters + latency reservoir + cache snapshot registry."""
+
+    def __init__(self, *, latency_window: int = 4096) -> None:
+        if latency_window < 1:
+            raise ValueError(
+                f"latency_window must be positive, got {latency_window}"
+            )
+        self._lock = threading.Condition()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._batches = 0
+        self._batched_jobs = 0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._cache_snapshots: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_retracted(self) -> None:
+        """Undo one ``record_submitted`` (the enqueue attempt failed).
+
+        Admission is counted *before* the queue put so that ``wait_idle``
+        (and therefore drain/close) can never observe an idle collector
+        while an already-enqueued job is still uncounted; a put that then
+        bounces or hits a closed queue retracts the count here.
+        """
+        with self._lock:
+            self._submitted -= 1
+            self._lock.notify_all()
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_jobs += size
+
+    def record_completed(
+        self, latency_seconds: float, *, cache: dict | None = None, source=None
+    ) -> None:
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(float(latency_seconds))
+            if cache is not None:
+                self._cache_snapshots[source] = dict(cache)
+            self._lock.notify_all()
+
+    def record_failed(self, latency_seconds: float | None = None) -> None:
+        with self._lock:
+            self._failed += 1
+            if latency_seconds is not None:
+                self._latencies.append(float(latency_seconds))
+            self._lock.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def pending(self) -> int:
+        with self._lock:
+            return self._submitted - self._completed - self._failed
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every admitted job has finished (drain barrier)."""
+        with self._lock:
+            return self._lock.wait_for(
+                lambda: self._submitted == self._completed + self._failed,
+                timeout=timeout,
+            )
+
+    def snapshot(
+        self, *, mode: str, num_workers: int, queue_depth: int
+    ) -> ServerStats:
+        with self._lock:
+            pending = self._submitted - self._completed - self._failed
+            return ServerStats(
+                mode=mode,
+                num_workers=num_workers,
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                queue_depth=queue_depth,
+                in_flight=max(0, pending - queue_depth),
+                batches_dispatched=self._batches,
+                mean_batch_size=(
+                    self._batched_jobs / self._batches if self._batches else 0.0
+                ),
+                latency=_percentiles(self._latencies),
+                cache=_aggregate_cache(self._cache_snapshots),
+            )

@@ -153,19 +153,8 @@ class TestKernels:
 
 
 class TestDensePackedParity:
-    def test_assignment_labels_identical(self, rng):
-        dense, packed = DenseBackend(), PackedBackend()
-        hvs = rng.integers(0, 2, size=(500, 777), dtype=np.uint8)
-        # Integer-valued centroids as produced by bundling random members.
-        centroids = np.stack(
-            [
-                hvs[rng.integers(0, 500, size=m)].astype(np.int64).sum(axis=0)
-                for m in (3, 40, 200)
-            ]
-        ).astype(np.float64)
-        labels_dense, _ = dense.assign(dense.pack(hvs), centroids)
-        labels_packed, _ = packed.assign(packed.pack(hvs), centroids)
-        assert np.array_equal(labels_dense, labels_packed)
+    """Backend-specific contracts.  Label-map parity itself is covered by
+    the systematic grid in ``test_parity_sweep.py``."""
 
     def test_packed_rejects_non_integer_centroids(self, rng):
         packed = PackedBackend()
@@ -186,3 +175,31 @@ class TestDensePackedParity:
         reference = packed.pack(hvs[:1]).data[0]
         expected = (hvs ^ hvs[0]).sum(axis=1)
         assert np.array_equal(packed.hamming(storage, reference), expected)
+
+
+class TestPickling:
+    """Process-pool serving pickles backends and storages across workers."""
+
+    def test_backends_pickle_by_name(self):
+        import pickle
+
+        dense = pickle.loads(pickle.dumps(DenseBackend()))
+        assert isinstance(dense, DenseBackend)
+        packed = pickle.loads(pickle.dumps(PackedBackend(unpack_chunk_rows=7)))
+        assert isinstance(packed, PackedBackend)
+        # Constructor parameters survive the round trip.
+        assert packed.unpack_chunk_rows == 7
+
+    @pytest.mark.parametrize("name", ["dense", "packed"])
+    def test_storage_roundtrip_drops_cached_popcounts(self, rng, name):
+        import pickle
+
+        backend = make_backend(name)
+        hvs = rng.integers(0, 2, size=(9, 200), dtype=np.uint8)
+        storage = backend.pack(hvs)
+        expected_counts = storage.row_popcounts()  # populate the cache
+        clone = pickle.loads(pickle.dumps(storage))
+        # The derived cache is recomputed lazily, not shipped.
+        assert clone._row_popcounts is None
+        assert np.array_equal(clone.row_popcounts(), expected_counts)
+        assert np.array_equal(clone.backend.unpack(clone), hvs)

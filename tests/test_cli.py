@@ -42,6 +42,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table1", "--scale", "huge"])
 
+    def test_serve_bench_options(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--mode", "process", "--workers", "2", "--backend", "packed"]
+        )
+        assert args.command == "serve-bench"
+        assert args.mode == "process"
+        assert args.workers == 2
+        assert args.backend == "packed"
+
+    def test_serve_bench_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--mode", "fiber"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -76,6 +89,41 @@ class TestMain:
         out = capsys.readouterr().out
         assert "IoU=" in out
         assert any(path.suffix == ".png" for path in tmp_path.iterdir())
+
+    def test_serve_bench_runs_end_to_end_with_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "serving" / "bench.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--mode",
+                "thread",
+                "--workers",
+                "2",
+                "--images",
+                "4",
+                "--height",
+                "24",
+                "--width",
+                "32",
+                "--dimension",
+                "300",
+                "--iterations",
+                "2",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "server" in out
+        assert "speedup" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["parity_mismatches"] == 0
+        assert payload["server_images_per_second"] > 0
+        assert payload["stats"]["completed"] == 4
+        assert payload["modeled_pi4"]["images_per_second"] > 0
 
     def test_segment_with_packed_backend(self, capsys):
         exit_code = main(

@@ -12,6 +12,7 @@ from repro.device import (
     RASPBERRY_PI_4,
     cnn_baseline_cost,
     seghdc_cost,
+    serving_estimate,
 )
 
 
@@ -148,3 +149,90 @@ class TestEdgeDeviceSimulator:
         error = DeviceOutOfMemoryError(5 * 10**9, 3 * 10**9, "pi")
         assert "5.00 GB" in str(error)
         assert error.device == "pi"
+
+
+class TestServingEstimate:
+    """Concurrency-aware throughput model for the serving worker pool."""
+
+    def _cost(self):
+        return seghdc_cost(64, 64, dimension=1000, num_clusters=2, num_iterations=3)
+
+    def test_compute_bound_workload_scales_to_core_count_and_no_further(self):
+        cost = self._cost()
+        kwargs = dict(
+            compute_throughput_flops=1e8,
+            memory_bandwidth_bytes=1e12,  # bandwidth effectively unlimited
+            num_cores=4,
+        )
+        one = serving_estimate(cost, num_workers=1, **kwargs)
+        four = serving_estimate(cost, num_workers=4, **kwargs)
+        eight = serving_estimate(cost, num_workers=8, **kwargs)
+        assert one.speedup == pytest.approx(1.0)
+        assert four.speedup == pytest.approx(4.0)
+        # Workers beyond the core count add queue depth, not rate.
+        assert eight.images_per_second == pytest.approx(four.images_per_second)
+        assert eight.parallel_workers == 4
+        assert four.bottleneck == "compute"
+
+    def test_memory_bound_workload_does_not_scale(self):
+        cost = self._cost()
+        estimate = serving_estimate(
+            cost,
+            num_workers=4,
+            compute_throughput_flops=1e14,  # compute effectively free
+            memory_bandwidth_bytes=1e8,
+            num_cores=4,
+        )
+        assert estimate.bottleneck == "memory"
+        # The shared memory bus caps the pool at the single-worker rate.
+        assert estimate.speedup == pytest.approx(1.0)
+
+    def test_latency_follows_littles_law(self):
+        cost = self._cost()
+        estimate = serving_estimate(
+            cost,
+            num_workers=4,
+            compute_throughput_flops=1e8,
+            memory_bandwidth_bytes=1e12,
+            num_cores=4,
+        )
+        assert estimate.latency_seconds == pytest.approx(
+            estimate.num_workers / estimate.images_per_second
+        )
+
+    def test_simulator_wrapper_uses_profile_cores_and_checks_memory(self):
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        cost = self._cost()
+        estimate = simulator.estimate_serving(cost, num_workers=8)
+        assert estimate.parallel_workers == RASPBERRY_PI_4.num_cores
+        assert estimate.images_per_second > estimate.serial_images_per_second
+        # A pool whose aggregate working set exceeds usable memory is a
+        # deployment error under strict mode.
+        big = seghdc_cost(
+            520, 696, dimension=10_000, num_clusters=2, num_iterations=10
+        )
+        with pytest.raises(DeviceOutOfMemoryError):
+            simulator.estimate_serving(big, num_workers=4)
+        relaxed = simulator.estimate_serving(big, num_workers=4, strict=False)
+        assert relaxed.peak_memory_bytes > RASPBERRY_PI_4.usable_memory_bytes
+
+    def test_validation(self):
+        cost = self._cost()
+        with pytest.raises(ValueError):
+            serving_estimate(
+                cost,
+                num_workers=0,
+                compute_throughput_flops=1e8,
+                memory_bandwidth_bytes=1e9,
+                num_cores=4,
+            )
+        with pytest.raises(ValueError):
+            serving_estimate(
+                cost,
+                num_workers=2,
+                compute_throughput_flops=0,
+                memory_bandwidth_bytes=1e9,
+                num_cores=4,
+            )
+        with pytest.raises(ValueError):
+            DeviceProfile("x", 1, 1, 1, 1, num_cores=0)

@@ -119,6 +119,75 @@ class TestCaching:
         assert info["hits"] == 1
         assert info["position_grid_builds"] == 2
 
+    def test_byte_budget_exactly_one_grid_retains_it(self):
+        """A budget of exactly one grid's bytes keeps that grid; one byte
+        less trips the oversize path instead."""
+        grid_bytes = 20 * 24 * 400  # dense bytes of a 20x24 grid at d=400
+        engine = SegHDCEngine(_config(), max_cache_bytes=grid_bytes)
+        engine.segment(_two_tone(20, 24))
+        engine.segment(_two_tone(20, 24))
+        info = engine.cache_info()
+        assert info["entries"] == 1
+        assert info["cached_grid_bytes"] == grid_bytes
+        assert info["hits"] == 1
+        assert info["oversize_skips"] == 0
+
+        tight = SegHDCEngine(_config(), max_cache_bytes=grid_bytes - 1)
+        tight.segment(_two_tone(20, 24))
+        tight.segment(_two_tone(20, 24))
+        info = tight.cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0
+        assert info["oversize_skips"] == 2
+        assert info["position_grid_builds"] == 2
+
+    def test_clear_cache_mid_stream(self):
+        """clear_cache between same-shape segments forces exactly one
+        rebuild and leaves subsequent reuse intact."""
+        engine = SegHDCEngine(_config())
+        before = engine.segment(_two_tone())
+        engine.clear_cache()
+        after = engine.segment(_two_tone())
+        info = engine.cache_info()
+        assert info["position_grid_builds"] == 2
+        assert info["misses"] == 2
+        assert info["hits"] == 0
+        engine.segment(_two_tone())
+        assert engine.cache_info()["hits"] == 1
+        # The rebuilt grid is bit-identical: same labels either side.
+        assert np.array_equal(before.labels, after.labels)
+
+    def test_segment_batch_mixed_shapes_exact_counter_accounting(self):
+        """Mixed-shape batch with cache_size=2: every hit/miss/build/eviction
+        is accounted for exactly."""
+        engine = SegHDCEngine(_config(), cache_size=2)
+        shape_a, shape_b, shape_c = (20, 24), (16, 24), (12, 16)
+        batch = [
+            _two_tone(*shape_a),  # miss, build A            -> [A]
+            _two_tone(*shape_b),  # miss, build B            -> [A, B]
+            _two_tone(*shape_a),  # hit                      -> [B, A]
+            _two_tone(*shape_a),  # hit                      -> [B, A]
+            _two_tone(*shape_b),  # hit                      -> [A, B]
+            _two_tone(*shape_c),  # miss, build C, evicts A  -> [B, C]
+        ]
+        results = engine.segment_batch(batch)
+        assert len(results) == 6
+        info = engine.cache_info()
+        assert info["misses"] == 3
+        assert info["hits"] == 3
+        assert info["position_grid_builds"] == 3
+        assert info["evictions"] == 1
+        assert info["entries"] == 2
+        # A was the LRU victim: touching it again is a miss (and its
+        # reinsertion evicts B, the new LRU)...
+        engine.segment(_two_tone(*shape_a))
+        info = engine.cache_info()
+        assert info["misses"] == 4
+        assert info["evictions"] == 2
+        # ...while C is still resident and hits.
+        engine.segment(_two_tone(*shape_c))
+        assert engine.cache_info()["hits"] == 4
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             SegHDCEngine(_config(), cache_size=0)
@@ -150,14 +219,61 @@ class TestSegmentBatch:
             solo = SegHDCEngine(_config(beta=2)).segment(image)
             assert np.array_equal(result.labels, solo.labels)
 
-    @pytest.mark.parametrize("backend", ["dense", "packed"])
-    def test_batch_backends_agree(self, backend):
-        dataset = DSB2018Synthetic(num_images=2, image_shape=(24, 32), seed=5)
-        images = [sample.image for sample in dataset]
-        reference = SegHDCEngine(_config(beta=2)).segment_batch(images)
-        results = SegHDCEngine(_config(beta=2, backend=backend)).segment_batch(images)
-        for expected, observed in zip(reference, results):
-            assert np.array_equal(expected.labels, observed.labels)
+    # Dense-vs-packed batch parity moved to the systematic grid in
+    # test_parity_sweep.py.
+
+
+class TestEngineConcurrency:
+    def test_threads_sharing_one_engine_get_exact_counters_and_labels(self):
+        """N threads hammering one engine: the locked cache guarantees each
+        distinct shape is built exactly once and all counters add up."""
+        import threading
+
+        engine = SegHDCEngine(_config())
+        shapes = [(20, 24), (16, 24)]
+        reference = {
+            shape: SegHDCEngine(_config()).segment(_two_tone(*shape)).labels
+            for shape in shapes
+        }
+        failures: list[str] = []
+
+        def hammer(shape):
+            for _ in range(3):
+                labels = engine.segment(_two_tone(*shape)).labels
+                if not np.array_equal(labels, reference[shape]):
+                    failures.append(f"labels diverged for {shape}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(shapes[i % 2],))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        info = engine.cache_info()
+        assert info["position_grid_builds"] == 2
+        assert info["misses"] == 2
+        assert info["hits"] == 6 * 3 - 2
+        assert info["entries"] == 2
+
+    def test_engine_pickles_with_cold_cache(self):
+        """Process pools pickle engines: locks and cached grids must not
+        ride along, and the clone must still segment identically."""
+        import pickle
+
+        engine = SegHDCEngine(_config(backend="packed"))
+        original = engine.segment(_two_tone())
+        assert engine.cache_info()["entries"] == 1
+        clone = pickle.loads(pickle.dumps(engine))
+        info = clone.cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0
+        assert info["position_grid_builds"] == 0
+        result = clone.segment(_two_tone())
+        assert np.array_equal(result.labels, original.labels)
+        assert clone.cache_info()["position_grid_builds"] == 1
 
 
 class TestSegHDCFacade:

@@ -1,0 +1,45 @@
+"""Golden label-map regression net.
+
+Each ``tests/golden/*.npz`` fixture pins the exact label map of one seeded
+pipeline run (see ``tests/golden/regenerate.py``).  The parity sweep proves
+dense and packed agree with *each other*; these fixtures prove both agree
+with the *committed history*, so a future kernel rewrite cannot silently
+shift outputs even if it shifts both backends identically.  If a change is
+supposed to alter outputs, regenerate the fixtures and justify the diff in
+the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.seghdc import SegHDCConfig, SegHDCEngine
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.npz"))
+
+
+def test_fixture_set_is_nonempty():
+    assert len(FIXTURES) >= 3, "golden fixtures missing — run regenerate.py"
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("backend", ["dense", "packed"])
+def test_pipeline_reproduces_golden_labels(path, backend):
+    fixture = np.load(path, allow_pickle=False)
+    config = SegHDCConfig(
+        **json.loads(str(fixture["config_json"])), backend=backend
+    )
+    result = SegHDCEngine(config).segment(fixture["image"])
+    expected = fixture["labels"]
+    if not np.array_equal(result.labels, expected):
+        diff = int((result.labels != expected).sum())
+        raise AssertionError(
+            f"{path.stem} [{backend}]: {diff}/{expected.size} label(s) "
+            "changed vs the committed golden map — if intentional, run "
+            "tests/golden/regenerate.py and explain the change"
+        )

@@ -1,0 +1,346 @@
+"""Tests for the concurrent segmentation serving layer.
+
+Covers the component contracts (shape-aware batcher, bounded queue), the
+server lifecycle in thread and process modes, error routing, backpressure,
+stats accounting, and — the hard part — a multi-producer stress test
+asserting bit-exact results and exact counter totals under contention.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.seghdc import SegHDCConfig, SegHDCEngine
+from repro.serving import (
+    BoundedJobQueue,
+    SegmentationServer,
+    ServerClosed,
+    ServerSaturated,
+    ShapeBatcher,
+)
+
+
+def _config(**overrides):
+    base = SegHDCConfig(
+        dimension=300, num_clusters=2, num_iterations=2, alpha=0.2, beta=3, seed=0
+    )
+    return base.with_overrides(**overrides)
+
+
+def _image(shape=(20, 24), seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=shape, dtype=np.uint8)
+
+
+@dataclass
+class _FakeJob:
+    name: str
+    shape_key: tuple
+
+
+class TestShapeBatcher:
+    def test_groups_same_shape_across_interleaved_queue(self):
+        pending = deque(
+            [
+                _FakeJob("a1", (2, 2, 1)),
+                _FakeJob("b1", (3, 3, 1)),
+                _FakeJob("a2", (2, 2, 1)),
+                _FakeJob("b2", (3, 3, 1)),
+                _FakeJob("a3", (2, 2, 1)),
+            ]
+        )
+        batch = ShapeBatcher(max_batch_size=8).take_batch(pending)
+        assert [job.name for job in batch] == ["a1", "a2", "a3"]
+        # Non-matching jobs keep their relative order.
+        assert [job.name for job in pending] == ["b1", "b2"]
+
+    def test_respects_max_batch_size(self):
+        pending = deque(
+            [_FakeJob(f"a{i}", (2, 2, 1)) for i in range(5)]
+        )
+        batch = ShapeBatcher(max_batch_size=3).take_batch(pending)
+        assert len(batch) == 3
+        assert [job.name for job in pending] == ["a3", "a4"]
+
+    def test_batch_size_one_is_plain_fifo(self):
+        pending = deque(
+            [_FakeJob("a", (2, 2, 1)), _FakeJob("b", (3, 3, 1))]
+        )
+        batcher = ShapeBatcher(max_batch_size=1)
+        assert [j.name for j in batcher.take_batch(pending)] == ["a"]
+        assert [j.name for j in batcher.take_batch(pending)] == ["b"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ShapeBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ShapeBatcher().take_batch(deque())
+
+
+class TestBoundedJobQueue:
+    def _queue(self, depth=2, batch=4):
+        return BoundedJobQueue(depth, ShapeBatcher(max_batch_size=batch))
+
+    def test_put_take_roundtrip(self):
+        queue = self._queue()
+        assert queue.put(_FakeJob("a", (1, 1, 1)))
+        assert queue.depth() == 1
+        batch = queue.take_batch()
+        assert [job.name for job in batch] == ["a"]
+        assert queue.depth() == 0
+
+    def test_nonblocking_put_bounces_when_full(self):
+        queue = self._queue(depth=1)
+        assert queue.put(_FakeJob("a", (1, 1, 1)))
+        assert not queue.put(_FakeJob("b", (1, 1, 1)), block=False)
+        assert not queue.put(_FakeJob("c", (1, 1, 1)), block=True, timeout=0.01)
+
+    def test_blocked_put_wakes_when_slot_frees(self):
+        queue = self._queue(depth=1)
+        queue.put(_FakeJob("a", (1, 1, 1)))
+        admitted = []
+
+        def blocked_put():
+            admitted.append(queue.put(_FakeJob("b", (1, 1, 1)), timeout=5.0))
+
+        producer = threading.Thread(target=blocked_put)
+        producer.start()
+        time.sleep(0.05)
+        queue.take_batch()
+        producer.join(timeout=5.0)
+        assert admitted == [True]
+        assert queue.depth() == 1
+
+    def test_close_returns_leftovers_and_signals_workers(self):
+        queue = self._queue()
+        queue.put(_FakeJob("a", (1, 1, 1)))
+        leftovers = queue.close()
+        assert [job.name for job in leftovers] == ["a"]
+        assert queue.take_batch() is None
+        with pytest.raises(RuntimeError):
+            queue.put(_FakeJob("b", (1, 1, 1)))
+
+    def test_take_batch_timeout_returns_empty_list(self):
+        assert self._queue().take_batch(timeout=0.01) == []
+
+
+class TestServerThreadMode:
+    def test_results_match_serial_engine_bit_exactly(self):
+        images = [_image(seed=i) for i in range(5)]
+        reference = SegHDCEngine(_config()).segment_batch(images)
+        with SegmentationServer(
+            _config(), mode="thread", num_workers=3, max_batch_size=4
+        ) as server:
+            served = server.segment_batch(images)
+        for expected, observed in zip(reference, served):
+            assert np.array_equal(expected.labels, observed.labels)
+
+    def test_submit_poll_and_workload_annotation(self):
+        with SegmentationServer(_config(), num_workers=1) as server:
+            handle = server.submit(_image())
+            result = handle.result(timeout=30)
+            assert handle.done()
+            assert result.workload["serving_latency_seconds"] > 0
+            assert result.workload["backend"] == "dense"
+
+    def test_mixed_shapes_batch_by_shape_and_share_the_engine_cache(self):
+        """One worker, interleaved shapes: the batcher reorders into two
+        shape runs and the shared engine builds each grid exactly once."""
+        shapes = [(20, 24), (16, 20)]
+        images = [_image(shapes[i % 2], seed=i) for i in range(8)]
+        server = SegmentationServer(
+            _config(), mode="thread", num_workers=1, max_batch_size=8
+        )
+        try:
+            server.segment_batch(images)
+            stats = server.stats()
+            assert stats.completed == 8
+            assert stats.cache["position_grid_builds"] == 2
+            assert stats.cache["hits"] == 6
+            assert stats.cache["hit_rate"] == pytest.approx(6 / 8)
+        finally:
+            server.close()
+
+    def test_invalid_image_rejected_at_submit(self):
+        with SegmentationServer(_config(), num_workers=1) as server:
+            with pytest.raises(ValueError, match="2-D or 3-D"):
+                server.submit(np.zeros(7, dtype=np.uint8))
+            # The rejected submit never entered the counters.
+            assert server.stats().submitted == 0
+
+    def test_worker_error_routed_to_the_failing_handle_only(self):
+        """A 1x1 image fails inside the worker (k=2 needs 2 pixels); the
+        error reaches that handle and the server keeps serving."""
+        with SegmentationServer(_config(), num_workers=1) as server:
+            bad = server.submit(np.array([[3]], dtype=np.uint8))
+            good = server.submit(_image())
+            with pytest.raises(ValueError, match="cannot form 2 clusters"):
+                bad.result(timeout=30)
+            assert good.result(timeout=30).labels.shape == (20, 24)
+            stats = server.stats()
+            assert stats.failed == 1
+            assert stats.completed == 1
+
+    def test_backpressure_rejects_nonblocking_submits(self):
+        server = SegmentationServer(
+            _config(dimension=600, num_iterations=4),
+            num_workers=1,
+            max_queue_depth=1,
+            max_batch_size=1,
+        )
+        try:
+            rejected = 0
+            # Keep shoving until the queue is observably full.
+            for seed in range(40):
+                try:
+                    server.submit(_image((32, 40), seed=seed), block=False)
+                except ServerSaturated:
+                    rejected += 1
+                    break
+            assert rejected == 1
+            assert server.stats().rejected == 1
+            assert server.drain(timeout=60)
+            stats = server.stats()
+            # The bounced submit was retracted: only admitted jobs count.
+            assert stats.submitted == stats.completed
+        finally:
+            server.close()
+
+    def test_close_without_drain_fails_pending_handles(self):
+        server = SegmentationServer(
+            _config(dimension=600, num_iterations=4),
+            num_workers=1,
+            max_batch_size=1,
+            max_queue_depth=16,
+        )
+        handles = [server.submit(_image((32, 40), seed=i)) for i in range(6)]
+        server.close(drain=False)
+        outcomes = {"ok": 0, "closed": 0}
+        for handle in handles:
+            try:
+                handle.result(timeout=30)
+                outcomes["ok"] += 1
+            except ServerClosed:
+                outcomes["closed"] += 1
+        # Everything was either served or explicitly failed — nothing hangs.
+        assert outcomes["ok"] + outcomes["closed"] == 6
+        stats = server.stats()
+        assert stats.completed + stats.failed == 6
+        with pytest.raises(ServerClosed):
+            server.submit(_image())
+
+    def test_close_is_idempotent(self):
+        server = SegmentationServer(_config(), num_workers=1)
+        server.close()
+        server.close()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="mode"):
+            SegmentationServer(_config(), mode="fiber")
+        with pytest.raises(ValueError, match="num_workers"):
+            SegmentationServer(_config(), num_workers=0)
+
+
+class TestServerProcessMode:
+    def test_process_pool_parity_and_per_process_caches(self):
+        images = [_image(seed=i) for i in range(4)]
+        reference = SegHDCEngine(_config()).segment_batch(images)
+        with SegmentationServer(
+            _config(), mode="process", num_workers=2, max_batch_size=2
+        ) as server:
+            served = server.segment_batch(images, timeout=120)
+            stats = server.stats()
+        for expected, observed in zip(reference, served):
+            assert np.array_equal(expected.labels, observed.labels)
+        assert stats.completed == 4
+        # Each worker process reported its own engine's cache snapshot.
+        assert 1 <= stats.cache["engines"] <= 2
+        assert stats.cache["position_grid_builds"] == stats.cache["engines"]
+        assert server.engine is None
+
+
+class TestStressConcurrency:
+    def test_many_producers_one_server_exact_results_and_counters(self):
+        """Satellite: N threads hammering one shared server.  Every job
+        completes, every label map is bit-identical to a single-threaded
+        run, and no counter races (totals add up exactly)."""
+        num_producers, jobs_per_producer = 6, 5
+        total = num_producers * jobs_per_producer
+        shapes = [(20, 24), (16, 20)]
+        config = _config()
+
+        # Single-threaded ground truth, one result per (shape, seed).
+        reference = {}
+        serial_engine = SegHDCEngine(config)
+        for producer_index in range(num_producers):
+            for job_index in range(jobs_per_producer):
+                shape = shapes[(producer_index + job_index) % 2]
+                seed = producer_index * 100 + job_index
+                reference[(shape, seed)] = serial_engine.segment(
+                    _image(shape, seed=seed)
+                ).labels
+
+        server = SegmentationServer(
+            config,
+            mode="thread",
+            num_workers=3,
+            max_queue_depth=8,  # small: forces real backpressure blocking
+            max_batch_size=4,
+        )
+        mismatches: list[str] = []
+        errors: list[BaseException] = []
+
+        def producer(producer_index: int) -> None:
+            try:
+                handles = []
+                for job_index in range(jobs_per_producer):
+                    shape = shapes[(producer_index + job_index) % 2]
+                    seed = producer_index * 100 + job_index
+                    handles.append(
+                        (shape, seed, server.submit(_image(shape, seed=seed)))
+                    )
+                for shape, seed, handle in handles:
+                    labels = handle.result(timeout=120).labels
+                    if not np.array_equal(labels, reference[(shape, seed)]):
+                        mismatches.append(f"{shape}/{seed}")
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=producer, args=(i,))
+            for i in range(num_producers)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert server.drain(timeout=120)
+            stats = server.stats()
+        finally:
+            server.close()
+
+        assert not errors, errors
+        assert not mismatches, mismatches
+        # Totals add up exactly: nothing lost, nothing double-counted.
+        assert stats.submitted == total
+        assert stats.completed == total
+        assert stats.failed == 0
+        assert stats.rejected == 0
+        assert stats.queue_depth == 0
+        assert stats.in_flight == 0
+        assert stats.latency["count"] == total
+        assert stats.latency["p50"] > 0.0
+        # The shared engine built each of the two grids exactly once and
+        # every other lookup hit (cache lock => no duplicate builds).
+        assert stats.cache["position_grid_builds"] == 2
+        assert stats.cache["hits"] == total - 2
+        assert stats.cache["hit_rate"] == pytest.approx((total - 2) / total)
+        # Micro-batching actually happened (jobs > batches).
+        assert 0 < stats.batches_dispatched <= total
