@@ -1,0 +1,78 @@
+"""Unified API tour: registry, spec round-trips, and streaming serving.
+
+Runs both registered segmenters — SegHDC and the Kim et al. CNN baseline —
+through the exact same code paths: built by name from the central registry,
+served by one `SegmentationServer` via the streaming `map()` generator, and
+round-tripped through a JSON spec to show that a spec file reconstructs a
+bit-identical segmenter.
+
+Usage::
+
+    PYTHONPATH=src python examples/unified_api.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.api import RunSpec, available_segmenters, make_segmenter
+from repro.datasets import make_dataset
+from repro.metrics import best_foreground_iou
+from repro.serving import SegmentationServer
+
+SPECS = {
+    "seghdc": {
+        "segmenter": "seghdc",
+        "config": {"dimension": 400, "num_iterations": 3, "beta": 3, "seed": 0},
+    },
+    "cnn_baseline": {
+        "segmenter": "cnn_baseline",
+        "config": {"num_features": 12, "num_layers": 1, "max_iterations": 10, "seed": 0},
+    },
+}
+
+
+def main() -> None:
+    print("registered segmenters:", ", ".join(available_segmenters()))
+    samples = list(
+        make_dataset("dsb2018", num_images=4, image_shape=(32, 40), seed=0)
+    )
+    images = [sample.image for sample in samples]
+
+    for name, spec in SPECS.items():
+        # One server per algorithm; both go through identical submit/map paths.
+        with SegmentationServer(spec, mode="thread", num_workers=2) as server:
+            print(f"\n[{name}] streaming map() results (completion order):")
+            labels_by_index = {}
+            for index, result in server.map(images):
+                labels_by_index[index] = result.labels
+                iou = best_foreground_iou(result.labels, samples[index].mask)
+                print(
+                    f"  image {index}: IoU={iou:.4f} "
+                    f"({result.elapsed_seconds * 1000:.1f} ms)"
+                )
+
+        # Spec files are the serialization seam: a JSON round-trip builds an
+        # equivalent segmenter with bit-identical outputs.
+        rebuilt = make_segmenter(json.loads(json.dumps(spec)))
+        check = rebuilt.segment(images[0])
+        assert np.array_equal(check.labels, labels_by_index[0])
+        print(f"  JSON spec round-trip: bit-identical labels ({name})")
+
+    # A whole run as one declarative document (see `seghdc run --spec ...`).
+    spec = RunSpec(
+        segmenter="seghdc",
+        config={"dimension": 400, "num_iterations": 3, "beta": 3},
+        dataset="dsb2018",
+        num_images=4,
+        image_shape=(32, 40),
+        serving={"mode": "thread", "num_workers": 2},
+    )
+    print("\nRunSpec JSON:")
+    print(spec.to_json())
+
+
+if __name__ == "__main__":
+    main()

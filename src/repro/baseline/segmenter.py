@@ -22,11 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import make_segmenter, register_segmenter
+from repro.api.result import SegmentationResult
 from repro.baseline.losses import softmax_cross_entropy, spatial_continuity_loss
 from repro.baseline.model import KimSegmentationNet
 from repro.baseline.optim import SGD
 from repro.imaging.image import Image, to_float
-from repro.seghdc.pipeline import SegmentationResult
 
 __all__ = ["CNNBaselineConfig", "CNNUnsupervisedSegmenter"]
 
@@ -64,12 +65,54 @@ class CNNBaselineConfig:
                 f"continuity_weight must be non-negative, got {self.continuity_weight}"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every hyper-parameter (see :meth:`from_dict`)."""
+        # Deferred import: see SegHDCConfig.to_dict — avoids a module-level
+        # import cycle through repro.api that deadlocks threaded imports.
+        from repro.api.spec import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "CNNBaselineConfig":
+        """Validated inverse of :meth:`to_dict`.
+
+        Accepts a partial dict (missing fields keep their defaults); unknown
+        keys and bad values raise naming the offending field.
+        """
+        from repro.api.spec import config_from_dict
+
+        return config_from_dict(cls, data)
+
 
 class CNNUnsupervisedSegmenter:
-    """Per-image self-trained CNN segmenter."""
+    """Per-image self-trained CNN segmenter.
+
+    Implements the :class:`repro.api.Segmenter` protocol and is registered
+    as ``"cnn_baseline"``, so it plugs into the serving layer, experiments,
+    and run-spec files exactly like SegHDC.  The segmenter is stateless
+    between calls (every image trains a fresh net), hence trivially
+    thread-safe and cheap to pickle by spec.
+    """
 
     def __init__(self, config: CNNBaselineConfig | None = None) -> None:
         self.config = config or CNNBaselineConfig()
+
+    def describe(self) -> dict:
+        """Spec dict that :func:`make_segmenter` turns back into an
+        equivalent segmenter."""
+        return {"segmenter": "cnn_baseline", "config": self.config.to_dict()}
+
+    def __reduce__(self):
+        # Pickle-by-spec, same seam as SegHDC: the config is the whole state.
+        return (make_segmenter, (self.describe(),))
+
+    def segment_batch(
+        self, images: "list[Image | np.ndarray]"
+    ) -> list[SegmentationResult]:
+        """Segment a sequence of images (each trains its own net); results
+        come back in input order."""
+        return [self.segment(image) for image in images]
 
     def segment(self, image: Image | np.ndarray) -> SegmentationResult:
         """Train on the single image and return its argmax segmentation."""
@@ -132,3 +175,19 @@ class CNNUnsupervisedSegmenter:
             history=history,
             workload=workload,
         )
+
+
+def _make_cnn_baseline(
+    config: CNNBaselineConfig | None = None,
+) -> CNNUnsupervisedSegmenter:
+    return CNNUnsupervisedSegmenter(config)
+
+
+register_segmenter(
+    "cnn_baseline",
+    factory=_make_cnn_baseline,
+    config_cls=CNNBaselineConfig,
+    description="Kim et al. per-image self-trained CNN (the paper's baseline)",
+    overwrite=True,  # module re-import (e.g. after a failed first import) is idempotent
+)
+

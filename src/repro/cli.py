@@ -6,7 +6,9 @@ Examples::
     seghdc table1 --scale quick --output-dir results/
     seghdc figure7 --scale paper --output-dir results/
     seghdc segment --dataset dsb2018 --output-dir results/
+    seghdc segment --segmenter cnn_baseline --iterations 30
     seghdc serve-bench --mode thread --workers 4 --backend packed
+    seghdc run --spec examples/run_spec.json
 """
 
 from __future__ import annotations
@@ -17,6 +19,11 @@ import sys
 import time
 from pathlib import Path
 
+from repro.api import (
+    available_segmenters,
+    execute_run_spec,
+    make_segmenter,
+)
 from repro.datasets import available_datasets, make_dataset
 from repro.hdc.backend import available_backends
 from repro.experiments import (
@@ -25,16 +32,83 @@ from repro.experiments import (
 )
 from repro.experiments.records import ExperimentScale
 from repro.metrics import best_foreground_iou
-from repro.seghdc import SegHDC, SegHDCConfig
+from repro.seghdc import SegHDCConfig
 from repro.viz import ascii_mask, mask_to_grayscale, save_panel
 
 __all__ = ["build_parser", "main"]
 
 
-def _scaled_beta(height: int, width: int) -> int:
-    """Block-decay block size scaled to the image, as in the paper's setup
-    (beta = 26 at 1000px); shared by ``segment`` and ``serve-bench``."""
-    return max(1, 26 * min(height, width) // 1000 + 1)
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    # Default None = "use the config's backend": the flag only overrides the
+    # compute backend when it is explicitly passed, so a spec or paper
+    # default is never silently clobbered.
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="override the HDC compute backend (dense uint8 or bit-packed "
+        "uint64); default: whatever the config specifies",
+    )
+
+
+def _add_dimension_option(
+    parser: argparse.ArgumentParser, default: int
+) -> None:
+    # Same None-sentinel pattern as --backend: the seghdc-only flag errors
+    # when explicitly combined with another segmenter instead of being
+    # silently dropped, while the subcommand's default still applies.
+    parser.add_argument(
+        "--dimension",
+        type=int,
+        default=None,
+        help=f"hypervector dimension (seghdc only; default {default})",
+    )
+    parser.set_defaults(dimension_default=default)
+
+
+def _add_iterations_option(
+    parser: argparse.ArgumentParser, default: int
+) -> None:
+    # None sentinel for the same reason as --backend/--dimension: both
+    # built-ins consume it, but an explicit value with a third-party
+    # segmenter must error instead of being silently dropped.
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="K-Means iterations (seghdc) or training-step budget "
+        f"(cnn_baseline); default {default}",
+    )
+    parser.set_defaults(iterations_default=default)
+
+
+def _effective_iterations(args: argparse.Namespace) -> "int | None":
+    if args.segmenter in ("seghdc", "cnn_baseline"):
+        return (
+            args.iterations if args.iterations is not None
+            else args.iterations_default
+        )
+    return None
+
+
+def _add_segmenter_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--segmenter",
+        default="seghdc",
+        choices=available_segmenters(),
+        help="which registered segmentation algorithm to run",
+    )
+    # The registry-generic escape hatch: the convenience flags above only
+    # cover the built-ins, but any registered segmenter can be configured
+    # with a raw (validated) config dict.
+    parser.add_argument(
+        "--config-json",
+        default=None,
+        metavar="JSON",
+        help="inline JSON object of config overrides for the chosen "
+        "segmenter (works for any registered segmenter; cannot be combined "
+        "with --backend/--dimension/--iterations)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list available experiments and datasets")
+    subparsers.add_parser(
+        "list", help="list available experiments, datasets, and segmenters"
+    )
 
     for name in available_experiments():
         experiment_parser = subparsers.add_parser(name, help=f"run the {name} experiment")
@@ -54,30 +130,34 @@ def build_parser() -> argparse.ArgumentParser:
         experiment_parser.add_argument(
             "--output-dir", default=None, help="directory for CSV/PNG artifacts"
         )
-        experiment_parser.add_argument(
-            "--backend",
-            default="dense",
-            choices=available_backends(),
-            help="HDC compute backend (dense uint8 or bit-packed uint64)",
-        )
+        _add_backend_option(experiment_parser)
 
     segment_parser = subparsers.add_parser(
-        "segment", help="segment one synthetic sample with SegHDC"
+        "segment", help="segment one synthetic sample"
     )
     segment_parser.add_argument(
         "--dataset", default="dsb2018", choices=available_datasets()
     )
     segment_parser.add_argument("--index", type=int, default=0)
-    segment_parser.add_argument("--dimension", type=int, default=2000)
-    segment_parser.add_argument("--iterations", type=int, default=5)
+    _add_dimension_option(segment_parser, default=2000)
+    _add_iterations_option(segment_parser, default=5)
     segment_parser.add_argument("--height", type=int, default=128)
     segment_parser.add_argument("--width", type=int, default=160)
     segment_parser.add_argument("--output-dir", default=None)
-    segment_parser.add_argument(
-        "--backend",
-        default="dense",
-        choices=available_backends(),
-        help="HDC compute backend (dense uint8 or bit-packed uint64)",
+    _add_segmenter_option(segment_parser)
+    _add_backend_option(segment_parser)
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute a declarative run-spec JSON file"
+    )
+    run_parser.add_argument(
+        "--spec", required=True, help="path to a RunSpec JSON file"
+    )
+    run_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the result payload JSON here (overrides the spec's "
+        "'output' field)",
     )
 
     serve_parser = subparsers.add_parser(
@@ -102,20 +182,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--height", type=int, default=64)
     serve_parser.add_argument("--width", type=int, default=64)
-    serve_parser.add_argument("--dimension", type=int, default=1000)
-    serve_parser.add_argument("--iterations", type=int, default=3)
-    serve_parser.add_argument(
-        "--backend",
-        default="dense",
-        choices=available_backends(),
-        help="HDC compute backend (dense uint8 or bit-packed uint64)",
-    )
+    _add_dimension_option(serve_parser, default=1000)
+    _add_iterations_option(serve_parser, default=3)
+    _add_segmenter_option(serve_parser)
+    _add_backend_option(serve_parser)
     serve_parser.add_argument(
         "--output",
         default=None,
         help="write the benchmark result (throughput, stats, estimate) as JSON",
     )
     return parser
+
+
+def _parse_config_json(args: argparse.Namespace) -> "dict | None":
+    """The validated ``--config-json`` overrides dict, or ``None``."""
+    if args.config_json is None:
+        return None
+    for flag, value in (
+        ("--backend", args.backend),
+        ("--dimension", args.dimension),
+        ("--iterations", args.iterations),
+    ):
+        if value is not None:
+            raise SystemExit(
+                f"seghdc: error: {flag} cannot be combined with --config-json"
+            )
+    try:
+        overrides = json.loads(args.config_json)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"seghdc: error: --config-json is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(overrides, dict):
+        raise SystemExit(
+            "seghdc: error: --config-json must be a JSON object of "
+            "config overrides"
+        )
+    return overrides
+
+
+def _segmenter_spec_from_args(args: argparse.Namespace) -> dict:
+    """The ``{"segmenter", "config"}`` spec the CLI flags describe.
+
+    ``--config-json`` supplies *overrides* on top of the same base config
+    the flag path builds (paper defaults + beta scaling for seghdc, the
+    demo iteration budget for cnn_baseline), so tweaking one field never
+    silently resets the rest to bare dataclass defaults.
+    """
+    overrides = _parse_config_json(args)
+    if overrides is None and args.segmenter != "seghdc":
+        # --backend and --dimension are SegHDC concepts; error out rather
+        # than silently ignore an explicitly passed flag.
+        for flag, value in (
+            ("--backend", args.backend), ("--dimension", args.dimension)
+        ):
+            if value is not None:
+                raise SystemExit(
+                    f"seghdc: error: {flag} applies only to --segmenter "
+                    f"seghdc, not {args.segmenter!r}"
+                )
+        if args.segmenter != "cnn_baseline" and args.iterations is not None:
+            # --iterations is consumed by both built-ins but means nothing
+            # to a third-party segmenter's bare spec.
+            raise SystemExit(
+                f"seghdc: error: --iterations applies only to the built-in "
+                f"segmenters (seghdc, cnn_baseline), not {args.segmenter!r}"
+            )
+    if args.segmenter == "seghdc":
+        dimension = (
+            args.dimension if args.dimension is not None
+            else args.dimension_default
+        )
+        config = SegHDCConfig.paper_defaults(args.dataset).with_overrides(
+            dimension=dimension,
+            num_iterations=_effective_iterations(args),
+        ).scaled_for_shape(args.height, args.width)
+        if args.backend is not None:
+            config = config.with_overrides(backend=args.backend)
+        base = config.to_dict()
+    elif args.segmenter == "cnn_baseline":
+        # --iterations caps the per-image training budget; the reference
+        # default of 1000 steps is far too slow for a CLI demo.
+        base = {"max_iterations": _effective_iterations(args)}
+    else:
+        base = {}
+    if overrides is not None:
+        # make_segmenter validates the merged dict against the segmenter's
+        # config class, naming any offending field.
+        base = {**base, **overrides}
+    if not base:
+        return {"segmenter": args.segmenter}
+    return {"segmenter": args.segmenter, "config": base}
 
 
 def _run_segment(args: argparse.Namespace) -> int:
@@ -126,20 +283,20 @@ def _run_segment(args: argparse.Namespace) -> int:
         seed=0,
     )
     sample = dataset[args.index]
-    config = SegHDCConfig.paper_defaults(args.dataset).with_overrides(
-        dimension=args.dimension,
-        num_iterations=args.iterations,
-        beta=_scaled_beta(args.height, args.width),
-        backend=args.backend,
-    )
-    result = SegHDC(config).segment(sample.image)
+    spec = _segmenter_spec_from_args(args)
+    segmenter = make_segmenter(spec)
+    result = segmenter.segment(sample.image)
     iou = best_foreground_iou(result.labels, sample.mask)
-    print(f"dataset={args.dataset} image={sample.image.name}")
     print(
-        f"IoU={iou:.4f}  host latency={result.elapsed_seconds:.2f}s  "
-        f"backend={result.workload['backend']}  "
-        f"hv_storage={result.workload['hv_storage_bytes']} bytes"
+        f"dataset={args.dataset} image={sample.image.name} "
+        f"segmenter={spec['segmenter']}"
     )
+    line = f"IoU={iou:.4f}  host latency={result.elapsed_seconds:.2f}s"
+    if "backend" in result.workload:
+        line += f"  backend={result.workload['backend']}"
+    if "hv_storage_bytes" in result.workload:
+        line += f"  hv_storage={result.workload['hv_storage_bytes']} bytes"
+    print(line)
     print(ascii_mask(result.labels))
     if args.output_dir:
         path = save_panel(
@@ -150,11 +307,31 @@ def _run_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_spec_command(args: argparse.Namespace) -> int:
+    payload = execute_run_spec(args.spec, output=args.output)
+    spec = payload["spec"]
+    serving = spec.get("serving")
+    topology = (
+        f"{serving['mode']} x{serving['num_workers']}" if serving else "serial"
+    )
+    print(
+        f"run: segmenter={spec['segmenter']} dataset={spec['dataset']} "
+        f"images={payload['num_images']} ({topology})"
+    )
+    print(
+        f"mean IoU={payload['mean_iou']:.4f}  "
+        f"{payload['images_per_second']:.2f} images/s  "
+        f"({payload['total_seconds']:.2f}s total)"
+    )
+    if "output_path" in payload:
+        print(f"results JSON written to {payload['output_path']}")
+    return 0
+
+
 def _run_serve_bench(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.device import RASPBERRY_PI_4, EdgeDeviceSimulator, seghdc_cost
-    from repro.seghdc import SegHDCEngine
     from repro.serving import SegmentationServer
 
     dataset = make_dataset(
@@ -164,24 +341,19 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         seed=0,
     )
     images = [sample.image for sample in dataset]
-    config = SegHDCConfig.paper_defaults(args.dataset).with_overrides(
-        dimension=args.dimension,
-        num_iterations=args.iterations,
-        beta=_scaled_beta(args.height, args.width),
-        backend=args.backend,
-    )
+    spec = _segmenter_spec_from_args(args)
     batch_size = args.batch_size
     if batch_size is None:
         batch_size = 1 if args.mode == "thread" else 4
 
-    engine = SegHDCEngine(config)
+    serial_segmenter = make_segmenter(spec)
     serial_start = time.perf_counter()
-    serial_results = [engine.segment(image) for image in images]
+    serial_results = serial_segmenter.segment_batch(images)
     serial_seconds = time.perf_counter() - serial_start
     serial_ips = len(images) / serial_seconds
 
     with SegmentationServer(
-        config,
+        spec,
         mode=args.mode,
         num_workers=args.workers,
         max_batch_size=batch_size,
@@ -196,22 +368,15 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         not np.array_equal(serial.labels, served.labels)
         for serial, served in zip(serial_results, server_results)
     )
-    cost = seghdc_cost(
-        args.height,
-        args.width,
-        dimension=config.dimension,
-        num_clusters=config.num_clusters,
-        num_iterations=config.num_iterations,
-        backend=config.backend,
-    )
-    modeled = EdgeDeviceSimulator(RASPBERRY_PI_4).estimate_serving(
-        cost, num_workers=args.workers, strict=False
-    )
+    config = getattr(serial_segmenter, "config", None)
+    backend = getattr(config, "backend", None)
+    dimension = getattr(config, "dimension", None)
 
     print(
-        f"serve-bench mode={args.mode} workers={args.workers} "
-        f"backend={config.backend} images={len(images)} "
-        f"shape={args.height}x{args.width} d={config.dimension}"
+        f"serve-bench segmenter={spec['segmenter']} mode={args.mode} "
+        f"workers={args.workers} images={len(images)} "
+        f"shape={args.height}x{args.width}"
+        + (f" backend={backend} d={dimension}" if backend else "")
     )
     print(
         f"serial  : {serial_ips:8.2f} images/s  ({serial_seconds:.2f}s total)"
@@ -230,36 +395,56 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         f"mean size {stats.mean_batch_size:.2f}, "
         f"cache hit rate {stats.cache['hit_rate']:.2f}"
     )
-    print(
-        f"modeled : {modeled.images_per_second:.2f} images/s on "
-        f"{RASPBERRY_PI_4.name} ({modeled.bottleneck}-bound, "
-        f"{modeled.speedup:.2f}x over one worker)"
-    )
+
+    modeled = None
+    if spec["segmenter"] == "seghdc":
+        cost = seghdc_cost(
+            args.height,
+            args.width,
+            dimension=config.dimension,
+            num_clusters=config.num_clusters,
+            num_iterations=config.num_iterations,
+            backend=config.backend,
+        )
+        modeled = EdgeDeviceSimulator(RASPBERRY_PI_4).estimate_serving(
+            cost, num_workers=args.workers, strict=False
+        )
+        print(
+            f"modeled : {modeled.images_per_second:.2f} images/s on "
+            f"{RASPBERRY_PI_4.name} ({modeled.bottleneck}-bound, "
+            f"{modeled.speedup:.2f}x over one worker)"
+        )
     if mismatches:
         print(f"PARITY FAILURE: {mismatches} label maps differ from serial")
     if args.output:
         payload = {
+            "segmenter": spec,
             "mode": args.mode,
             "workers": args.workers,
             "batch_size": batch_size,
-            "backend": config.backend,
+            "backend": backend,
             "images": len(images),
             "height": args.height,
             "width": args.width,
-            "dimension": config.dimension,
-            "iterations": config.num_iterations,
+            "dimension": dimension,
+            # Read from the built config, not the flags: --config-json can
+            # set the iteration count without touching --iterations.
+            "iterations": getattr(
+                config, "num_iterations", getattr(config, "max_iterations", None)
+            ),
             "serial_images_per_second": serial_ips,
             "server_images_per_second": server_ips,
             "speedup": server_ips / serial_ips,
             "parity_mismatches": mismatches,
             "stats": stats.as_dict(),
-            "modeled_pi4": {
+        }
+        if modeled is not None:
+            payload["modeled_pi4"] = {
                 "images_per_second": modeled.images_per_second,
                 "latency_seconds": modeled.latency_seconds,
                 "speedup": modeled.speedup,
                 "bottleneck": modeled.bottleneck,
-            },
-        }
+            }
         path = Path(args.output)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(payload, indent=2))
@@ -273,9 +458,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         print("experiments:", ", ".join(available_experiments()))
         print("datasets:", ", ".join(available_datasets()))
+        print("segmenters:", ", ".join(available_segmenters()))
         return 0
     if args.command == "segment":
         return _run_segment(args)
+    if args.command == "run":
+        return _run_spec_command(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
     scale = ExperimentScale.from_name(args.scale)

@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.api import make_segmenter
 from repro.datasets import make_dataset
 from repro.experiments.records import ExperimentScale, ExperimentTable
-from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta
+from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta, _with_backend
 from repro.metrics import best_foreground_iou
-from repro.seghdc import SegHDC, SegHDCConfig
+from repro.seghdc import SegHDCConfig
 
 __all__ = ["AblationResult", "run_encoding_ablation", "run_hyperparameter_ablation"]
 
@@ -50,7 +51,7 @@ class AblationResult:
 
 
 def _sample_and_config(
-    scale: ExperimentScale, dataset_name: str = "dsb2018", backend: str = "dense"
+    scale: ExperimentScale, dataset_name: str = "dsb2018", backend: str | None = None
 ):
     paper_shape = DATASET_PAPER_SHAPES[dataset_name]
     shape = scale.scaled_shape(paper_shape)
@@ -60,10 +61,15 @@ def _sample_and_config(
         dimension=scale.seghdc_dimension,
         num_iterations=scale.seghdc_iterations,
         seed=scale.seed,
-        backend=backend,
     )
+    config = _with_backend(config, backend)
     config = _adapt_beta(config, shape, paper_shape)
     return sample, config
+
+
+def _segment_labels(config: SegHDCConfig, image):
+    """One SegHDC run built through the registry (same path as serving/CLI)."""
+    return make_segmenter("seghdc", config=config).segment(image).labels
 
 
 def run_encoding_ablation(
@@ -71,7 +77,7 @@ def run_encoding_ablation(
     *,
     dataset: str = "dsb2018",
     output_dir: str | Path | None = None,
-    backend: str = "dense",
+    backend: str | None = None,
 ) -> AblationResult:
     """IoU of every position-encoding variant of Fig. 3 on one sample image."""
     if isinstance(scale, str):
@@ -80,7 +86,7 @@ def run_encoding_ablation(
     result = AblationResult(name="encoding ablation", scale=scale.name)
     for variant in _ENCODING_VARIANTS:
         config = base_config.with_overrides(position_encoding=variant)
-        labels = SegHDC(config).segment(sample.image).labels
+        labels = _segment_labels(config, sample.image)
         result.scores[variant] = best_foreground_iou(labels, sample.mask)
     if output_dir is not None:
         result.to_table().to_csv(Path(output_dir) / "ablation_encodings.csv")
@@ -95,7 +101,7 @@ def run_hyperparameter_ablation(
     betas: tuple[int, ...] = (1, 4, 13, 26),
     gammas: tuple[int, ...] = (1, 2, 4),
     output_dir: str | Path | None = None,
-    backend: str = "dense",
+    backend: str | None = None,
 ) -> AblationResult:
     """IoU as a function of alpha, beta, and gamma around the paper's setting.
 
@@ -110,7 +116,7 @@ def run_hyperparameter_ablation(
     result = AblationResult(name="hyper-parameter ablation", scale=scale.name)
     for alpha in alphas:
         config = base_config.with_overrides(alpha=float(alpha))
-        labels = SegHDC(config).segment(sample.image).labels
+        labels = _segment_labels(config, sample.image)
         result.scores[f"alpha={alpha}"] = best_foreground_iou(labels, sample.mask)
     for beta in betas:
         paper_config = SegHDCConfig.paper_defaults(dataset).with_overrides(
@@ -118,13 +124,14 @@ def run_hyperparameter_ablation(
             num_iterations=base_config.num_iterations,
             beta=int(beta),
             seed=base_config.seed,
+            backend=base_config.backend,
         )
         config = _adapt_beta(paper_config, shape, paper_shape)
-        labels = SegHDC(config).segment(sample.image).labels
+        labels = _segment_labels(config, sample.image)
         result.scores[f"beta={beta}"] = best_foreground_iou(labels, sample.mask)
     for gamma in gammas:
         config = base_config.with_overrides(gamma=int(gamma))
-        labels = SegHDC(config).segment(sample.image).labels
+        labels = _segment_labels(config, sample.image)
         result.scores[f"gamma={gamma}"] = best_foreground_iou(labels, sample.mask)
     if output_dir is not None:
         result.to_table().to_csv(Path(output_dir) / "ablation_hyperparameters.csv")

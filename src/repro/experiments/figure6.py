@@ -14,12 +14,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.baseline import CNNBaselineConfig, CNNUnsupervisedSegmenter
+from repro.api import make_segmenter
+from repro.baseline import CNNBaselineConfig
 from repro.datasets import make_dataset
 from repro.experiments.records import ExperimentScale
-from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta
+from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta, _with_backend
 from repro.metrics import best_foreground_iou
-from repro.seghdc import SegHDC, SegHDCConfig
+from repro.seghdc import SegHDCConfig
 from repro.viz import mask_to_grayscale, save_panel
 
 __all__ = ["Figure6Panel", "Figure6Result", "run_figure6"]
@@ -66,7 +67,7 @@ def run_figure6(
     datasets: tuple[str, ...] = ("bbbc005", "dsb2018", "monuseg"),
     sample_index: int = 0,
     output_dir: str | Path | None = None,
-    backend: str = "dense",
+    backend: str | None = None,
 ) -> Figure6Result:
     """Reproduce the qualitative comparison of Figure 6."""
     if isinstance(scale, str):
@@ -85,19 +86,25 @@ def run_figure6(
             dimension=scale.seghdc_dimension,
             num_iterations=scale.seghdc_iterations,
             seed=scale.seed,
-            backend=backend,
         )
+        seghdc_config = _with_backend(seghdc_config, backend)
         seghdc_config = _adapt_beta(
             seghdc_config, shape, DATASET_PAPER_SHAPES[dataset_name]
         )
-        seghdc_labels = SegHDC(seghdc_config).segment(sample.image).labels
+        seghdc_labels = (
+            make_segmenter("seghdc", config=seghdc_config).segment(sample.image).labels
+        )
         baseline_config = CNNBaselineConfig(
             num_features=scale.baseline_features,
             num_layers=scale.baseline_layers,
             max_iterations=scale.baseline_iterations,
             seed=scale.seed,
         )
-        baseline_labels = CNNUnsupervisedSegmenter(baseline_config).segment(sample.image).labels
+        baseline_labels = (
+            make_segmenter("cnn_baseline", config=baseline_config)
+            .segment(sample.image)
+            .labels
+        )
         panel = Figure6Panel(
             dataset=dataset_name,
             baseline_iou=best_foreground_iou(baseline_labels, sample.mask),

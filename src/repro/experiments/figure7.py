@@ -16,12 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.api import make_segmenter
 from repro.datasets import make_dataset
 from repro.device import EdgeDeviceSimulator, RASPBERRY_PI_4
 from repro.experiments.records import ExperimentScale, ExperimentTable
-from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta
+from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta, _with_backend
 from repro.metrics import best_foreground_iou
-from repro.seghdc import SegHDC, SegHDCConfig
+from repro.seghdc import SegHDCConfig
 
 __all__ = ["Figure7Point", "Figure7Result", "run_figure7"]
 
@@ -75,7 +76,7 @@ def run_figure7(
     scale: ExperimentScale | str = "quick",
     *,
     output_dir: str | Path | None = None,
-    backend: str = "dense",
+    backend: str | None = None,
 ) -> Figure7Result:
     """Reproduce both sweeps of Figure 7 on a DSB2018-like sample image."""
     if isinstance(scale, str):
@@ -85,8 +86,9 @@ def run_figure7(
     shape = scale.scaled_shape(paper_shape)
     dataset = make_dataset("dsb2018", num_images=1, image_shape=shape, seed=scale.seed)
     sample = dataset[0]
-    base_config = SegHDCConfig.paper_defaults("dsb2018").with_overrides(
-        seed=scale.seed, backend=backend
+    base_config = _with_backend(
+        SegHDCConfig.paper_defaults("dsb2018").with_overrides(seed=scale.seed),
+        backend,
     )
     base_config = _adapt_beta(base_config, shape, paper_shape)
     result = Figure7Result(scale=scale.name)
@@ -97,14 +99,14 @@ def run_figure7(
         config = base_config.with_overrides(
             dimension=sweep_dimension, num_iterations=int(iterations)
         )
-        run = SegHDC(config).segment(sample.image)
+        run = make_segmenter("seghdc", config=config).segment(sample.image)
         pi = simulator.estimate_seghdc(
             paper_shape[0],
             paper_shape[1],
             dimension=_PAPER_SWEEP_DIMENSION,
             num_clusters=config.num_clusters,
             num_iterations=int(iterations),
-            backend=backend,
+            backend=config.backend,
         )
         result.iteration_sweep.append(
             Figure7Point(
@@ -121,14 +123,14 @@ def run_figure7(
         config = base_config.with_overrides(
             dimension=int(dimension), num_iterations=sweep_iterations
         )
-        run = SegHDC(config).segment(sample.image)
+        run = make_segmenter("seghdc", config=config).segment(sample.image)
         pi = simulator.estimate_seghdc(
             paper_shape[0],
             paper_shape[1],
             dimension=int(dimension),
             num_clusters=config.num_clusters,
             num_iterations=_PAPER_SWEEP_ITERATIONS,
-            backend=backend,
+            backend=config.backend,
         )
         result.dimension_sweep.append(
             Figure7Point(

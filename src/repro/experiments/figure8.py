@@ -14,11 +14,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import make_segmenter
 from repro.datasets import make_dataset
 from repro.experiments.records import ExperimentScale, ExperimentTable
-from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta
+from repro.experiments.table1 import DATASET_PAPER_SHAPES, _adapt_beta, _with_backend
 from repro.metrics import best_foreground_iou
-from repro.seghdc import SegHDC, SegHDCConfig
+from repro.seghdc import SegHDCConfig
 from repro.viz import mask_to_grayscale, save_panel
 
 __all__ = ["Figure8Result", "run_figure8"]
@@ -60,7 +61,7 @@ def run_figure8(
     *,
     iterations: int = 4,
     output_dir: str | Path | None = None,
-    backend: str = "dense",
+    backend: str | None = None,
 ) -> Figure8Result:
     """Reproduce Figure 8: per-iteration masks on the DSB2018 sample image."""
     if isinstance(scale, str):
@@ -76,10 +77,10 @@ def run_figure8(
         num_iterations=iterations,
         record_history=True,
         seed=scale.seed,
-        backend=backend,
     )
+    config = _with_backend(config, backend)
     config = _adapt_beta(config, shape, paper_shape)
-    run = SegHDC(config).segment(sample.image)
+    run = make_segmenter("seghdc", config=config).segment(sample.image)
     result = Figure8Result(
         scale=scale.name, ground_truth=sample.mask, image=sample.image.pixels
     )

@@ -35,13 +35,14 @@ def run_experiment(
     *,
     scale: ExperimentScale | str = "quick",
     output_dir: str | Path | None = None,
-    backend: str = "dense",
+    backend: str | None = None,
 ):
     """Run one experiment by name and return its result object.
 
-    ``backend`` selects the HDC compute backend (``"dense"`` or
-    ``"packed"``) used for every SegHDC run inside the experiment; the
-    device-model latency columns use the matching cost model.
+    ``backend`` overrides the HDC compute backend (``"dense"`` or
+    ``"packed"``) for every SegHDC run inside the experiment; ``None`` (the
+    default) keeps each config's own backend choice.  The device-model
+    latency columns use the cost model matching the effective backend.
     """
     key = name.lower()
     if key not in _EXPERIMENTS:

@@ -22,12 +22,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.baseline import CNNBaselineConfig, CNNUnsupervisedSegmenter
+from repro.api import make_segmenter
+from repro.baseline import CNNBaselineConfig
 from repro.datasets import make_dataset
 from repro.datasets.base import SegmentationSample
 from repro.experiments.records import ExperimentScale, ExperimentTable
 from repro.metrics import best_foreground_iou, evaluate_dataset
-from repro.seghdc import SegHDC, SegHDCConfig
+from repro.seghdc import SegHDCConfig
 
 __all__ = ["Table1Result", "run_table1", "DATASET_PAPER_SHAPES", "PAPER_TABLE1"]
 
@@ -94,19 +95,26 @@ def _adapt_beta(config: SegHDCConfig, shape: tuple[int, int], paper_shape: tuple
     return config.with_overrides(beta=beta)
 
 
+def _with_backend(config: SegHDCConfig, backend: str | None) -> SegHDCConfig:
+    """Apply an explicit compute-backend override; ``None`` (the CLI and
+    experiment default) keeps the config's own backend choice.  Shared by
+    every experiment so none of them can silently clobber a config."""
+    return config if backend is None else config.with_overrides(backend=backend)
+
+
 def _seghdc_config(
     dataset: str,
     variant: str,
     scale: ExperimentScale,
     shape: tuple[int, int],
-    backend: str = "dense",
+    backend: str | None = None,
 ) -> SegHDCConfig:
     config = SegHDCConfig.paper_defaults(dataset).with_overrides(
         dimension=scale.seghdc_dimension,
         num_iterations=scale.seghdc_iterations,
         seed=scale.seed,
-        backend=backend,
     )
+    config = _with_backend(config, backend)
     config = _adapt_beta(config, shape, DATASET_PAPER_SHAPES[dataset])
     if variant == "rpos":
         config = config.with_overrides(position_encoding="random")
@@ -122,9 +130,14 @@ def _segment_with(
     dataset: str,
     scale: ExperimentScale,
     shape: tuple[int, int],
-    backend: str = "dense",
+    backend: str | None = None,
 ):
-    """Build the per-sample segmentation callable for one method."""
+    """Build the per-sample segmentation callable for one method.
+
+    Both methods are constructed through the central registry, so the
+    experiment harness exercises the same build path as serving, run-specs,
+    and the CLI.
+    """
     if method == "baseline":
         config = CNNBaselineConfig(
             num_features=scale.baseline_features,
@@ -132,17 +145,13 @@ def _segment_with(
             max_iterations=scale.baseline_iterations,
             seed=scale.seed,
         )
-        segmenter = CNNUnsupervisedSegmenter(config)
-
-        def run(sample: SegmentationSample) -> np.ndarray:
-            return segmenter.segment(sample.image).labels
-
-        return run
-    config = _seghdc_config(dataset, method, scale, shape, backend)
-    pipeline = SegHDC(config)
+        segmenter = make_segmenter("cnn_baseline", config=config)
+    else:
+        config = _seghdc_config(dataset, method, scale, shape, backend)
+        segmenter = make_segmenter("seghdc", config=config)
 
     def run(sample: SegmentationSample) -> np.ndarray:
-        return pipeline.segment(sample.image).labels
+        return segmenter.segment(sample.image).labels
 
     return run
 
@@ -153,9 +162,13 @@ def run_table1(
     datasets: tuple[str, ...] = ("bbbc005", "dsb2018", "monuseg"),
     methods: tuple[str, ...] = _METHODS,
     output_dir: str | Path | None = None,
-    backend: str = "dense",
+    backend: str | None = None,
 ) -> Table1Result:
-    """Reproduce Table I at the requested scale."""
+    """Reproduce Table I at the requested scale.
+
+    ``backend=None`` keeps each config's own compute backend; passing a
+    name overrides it for every SegHDC run.
+    """
     if isinstance(scale, str):
         scale = ExperimentScale.from_name(scale)
     unknown = set(methods) - set(_METHODS)

@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.baseline import CNNBaselineConfig, CNNUnsupervisedSegmenter
+from repro.api import make_segmenter
+from repro.baseline import CNNBaselineConfig
 from repro.datasets import make_dataset
 from repro.device import (
     DeviceOutOfMemoryError,
@@ -28,9 +29,9 @@ from repro.device import (
     RASPBERRY_PI_4,
 )
 from repro.experiments.records import ExperimentScale, ExperimentTable
-from repro.experiments.table1 import _adapt_beta
+from repro.experiments.table1 import _adapt_beta, _with_backend
 from repro.metrics import best_foreground_iou
-from repro.seghdc import SegHDC, SegHDCConfig
+from repro.seghdc import SegHDCConfig
 
 __all__ = ["Table2Result", "Table2Row", "run_table2", "PAPER_TABLE2"]
 
@@ -126,7 +127,7 @@ def run_table2(
     *,
     output_dir: str | Path | None = None,
     run_baseline_segmentation: bool = True,
-    backend: str = "dense",
+    backend: str | None = None,
 ) -> Table2Result:
     """Reproduce Table II at the requested scale.
 
@@ -161,10 +162,10 @@ def run_table2(
             num_iterations=settings["iterations"],
             alpha=alpha,
             seed=scale.seed,
-            backend=backend,
         )
+        config = _with_backend(config, backend)
         config = _adapt_beta(config, shape, paper_shape[:2])
-        seghdc_run = SegHDC(config).segment(sample.image)
+        seghdc_run = make_segmenter("seghdc", config=config).segment(sample.image)
         seghdc_iou = best_foreground_iou(seghdc_run.labels, sample.mask)
 
         baseline_iou: float | None = None
@@ -176,7 +177,9 @@ def run_table2(
                 max_iterations=scale.baseline_iterations,
                 seed=scale.seed,
             )
-            baseline_run = CNNUnsupervisedSegmenter(baseline_config).segment(sample.image)
+            baseline_run = make_segmenter(
+                "cnn_baseline", config=baseline_config
+            ).segment(sample.image)
             baseline_iou = best_foreground_iou(baseline_run.labels, sample.mask)
             baseline_host = baseline_run.elapsed_seconds
 
@@ -188,7 +191,7 @@ def run_table2(
             num_clusters=config.num_clusters,
             num_iterations=settings["iterations"],
             channels=settings["channels"],
-            backend=backend,
+            backend=config.backend,
         )
         baseline_oom = False
         baseline_pi_seconds: float | None = None

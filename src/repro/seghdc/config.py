@@ -9,7 +9,7 @@ latency experiments in Table II use 800 / 2000 dimensions instead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.hdc.backend import available_backends
 
@@ -113,6 +113,47 @@ class SegHDCConfig:
     def with_overrides(self, **kwargs) -> "SegHDCConfig":
         """A copy of the config with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every hyper-parameter (see :meth:`from_dict`)."""
+        # Deferred import: a module-level edge into repro.api would close an
+        # import cycle (repro.api -> registry -> this package) that
+        # deadlocks concurrent first imports on the module locks.
+        from repro.api.spec import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "SegHDCConfig":
+        """Validated inverse of :meth:`to_dict`.
+
+        Accepts a partial dict (missing fields keep their defaults); unknown
+        keys and bad values raise naming the offending field.
+        """
+        from repro.api.spec import config_from_dict
+
+        return config_from_dict(cls, data)
+
+    def scaled_for_shape(self, height: int, width: int) -> "SegHDCConfig":
+        """A copy with ``beta`` rescaled to an image of the given size.
+
+        The paper tunes the block-decay block size at roughly 1000-pixel
+        images (``beta = 21`` on BBBC005, ``26`` on DSB2018 / MoNuSeg); for
+        smaller or larger inputs the block must shrink or grow with the
+        image so blocks keep their relative footprint:
+        ``beta' = max(1, beta * min(height, width) // 1000 + 1)``.
+
+        Scaling starts from the config's *own* ``beta``.  (The historical
+        CLI helper this replaces hard-coded 26 for every dataset, so CLI
+        runs on BBBC005 — whose paper beta is 21 — now get a slightly
+        smaller, dataset-faithful block size.)
+        """
+        if height < 1 or width < 1:
+            raise ValueError(
+                f"image size must be positive, got {height}x{width}"
+            )
+        beta = max(1, self.beta * min(height, width) // 1000 + 1)
+        return self.with_overrides(beta=beta)
 
     @classmethod
     def paper_defaults(cls, dataset: str) -> "SegHDCConfig":

@@ -45,10 +45,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.result import SegmentationResult, normalize_image
 from repro.hdc.backend import HDCBackend, HVStorage, make_backend
 from repro.hdc.hypervector import HypervectorSpace
 from repro.imaging.image import Image, to_grayscale
@@ -58,56 +59,9 @@ from repro.seghdc.config import SegHDCConfig
 from repro.seghdc.pixel_producer import PixelHVProducer
 from repro.seghdc.position_encoder import PositionEncoder, make_position_encoder
 
+# SegmentationResult and normalize_image moved to repro.api.result (their
+# canonical home); re-exported here for backward compatibility.
 __all__ = ["SegHDCEngine", "SegmentationResult", "normalize_image"]
-
-
-def normalize_image(image: "Image | np.ndarray") -> tuple[np.ndarray, tuple[int, int, int]]:
-    """Pixel array + ``(height, width, channels)`` key of one input image.
-
-    The single definition of what the pipeline accepts: the engine uses it
-    per segment call and the serving layer uses it at admission time, so
-    both reject the same inputs with the same error and key shape-aware
-    caches/batches identically.
-    """
-    pixels = image.pixels if isinstance(image, Image) else np.asarray(image)
-    if pixels.ndim not in (2, 3):
-        raise ValueError(f"expected a 2-D or 3-D image, got shape {pixels.shape}")
-    height, width = pixels.shape[:2]
-    channels = 1 if pixels.ndim == 2 else pixels.shape[2]
-    return pixels, (height, width, channels)
-
-
-@dataclass
-class SegmentationResult:
-    """Output of one SegHDC (or baseline) segmentation run.
-
-    ``labels`` is the (H, W) int array of cluster indices.  ``history`` holds
-    per-iteration label maps when the config requested history recording.
-    ``workload`` summarises the quantities the edge-device cost model needs
-    (image size, HV dimension, cluster count, iterations) plus the compute
-    backend, the HV storage footprint, and the engine's cache counters at
-    the end of the run.
-    """
-
-    labels: np.ndarray
-    elapsed_seconds: float
-    num_clusters: int
-    history: list[np.ndarray] = field(default_factory=list)
-    workload: dict = field(default_factory=dict)
-
-    @property
-    def shape(self) -> tuple[int, int]:
-        return self.labels.shape
-
-    def labels_after(self, iteration: int) -> np.ndarray:
-        """Label map after ``iteration`` (1-based); requires recorded history."""
-        if not self.history:
-            raise ValueError("history was not recorded for this run")
-        if not (1 <= iteration <= len(self.history)):
-            raise ValueError(
-                f"iteration {iteration} out of range 1..{len(self.history)}"
-            )
-        return self.history[iteration - 1]
 
 
 @dataclass

@@ -1,17 +1,21 @@
-"""Throughput serving layer over the SegHDC engine.
+"""Throughput serving layer over any registered segmenter.
 
 The paper's pipeline is embarrassingly parallel per image; this package
-turns :class:`repro.seghdc.SegHDCEngine` into a long-lived concurrent
-service:
+turns any :class:`repro.api.Segmenter` (SegHDC, the CNN baseline, or a
+user-registered algorithm) into a long-lived concurrent service:
 
 * :class:`SegmentationServer` — worker pool (thread or process mode) with a
-  bounded submit/poll/drain API and backpressure;
+  bounded submit/poll/drain API, backpressure, and a streaming
+  :meth:`~SegmentationServer.map` generator;
+* :class:`repro.api.ServingOptions` (re-exported here) — the declarative
+  form of the server's topology, consumed by ``SegmentationServer.from_options``;
 * :class:`repro.serving.batcher.ShapeBatcher` — shape-aware micro-batching
   so each worker hits the engine's cached encoder grid;
 * :class:`repro.serving.stats.ServerStats` — queue depth, end-to-end latency
   percentiles, and cache hit rates aggregated from result workloads.
 """
 
+from repro.api.spec import ServingOptions
 from repro.serving.batcher import ShapeBatcher
 from repro.serving.jobqueue import BoundedJobQueue
 from repro.serving.server import (
@@ -31,6 +35,7 @@ __all__ = [
     "ServerSaturated",
     "ServerStats",
     "ServingError",
+    "ServingOptions",
     "ShapeBatcher",
     "StatsCollector",
 ]

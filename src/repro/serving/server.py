@@ -1,50 +1,65 @@
-"""Concurrent segmentation serving on top of :class:`SegHDCEngine`.
+"""Concurrent segmentation serving over any registered :class:`Segmenter`.
 
-:class:`SegmentationServer` turns the batch engine into a long-lived service:
+:class:`SegmentationServer` turns a segmenter into a long-lived service:
 callers submit images and get :class:`JobHandle` futures back, a bounded
 queue applies backpressure, a shape-aware micro-batcher groups same-shape
-requests so every worker hits the engine's cached encoder grid, and a stats
-collector aggregates queue depth, end-to-end latency percentiles, and cache
-hit rates from the result workloads.
+requests so every worker hits the engine's cached encoder grid (for
+segmenters that cache by shape, like SegHDC), and a stats collector
+aggregates queue depth, end-to-end latency percentiles, and cache hit rates
+from the result workloads.
+
+The server is algorithm-agnostic: the first argument can be a
+``SegHDCConfig`` (historical API), a registered segmenter name or spec dict
+(``{"segmenter": "cnn_baseline", "config": {...}}``), or any
+:class:`repro.api.Segmenter` instance.  SegHDC and the CNN baseline go
+through the exact same submit/poll, ``segment_batch``, and ``map`` paths.
 
 Two execution modes share the queueing/batching front end:
 
-* ``mode="thread"`` — N worker threads call **one shared engine** whose LRU
-  cache is lock-protected.  The numpy kernels (XOR binds, the float32
-  assignment matmul, popcounts) release the GIL, so same-machine threads
-  overlap on multi-core hosts with zero serialization cost for the grids.
+* ``mode="thread"`` — N worker threads call **one shared segmenter**.  For
+  SegHDC the engine's LRU cache is lock-protected and the numpy kernels
+  (XOR binds, the float32 assignment matmul, popcounts) release the GIL, so
+  same-machine threads overlap on multi-core hosts with zero serialization
+  cost for the grids.  A user-supplied segmenter instance must be
+  thread-safe in this mode.
 * ``mode="process"`` — micro-batches are shipped to a
-  ``ProcessPoolExecutor`` whose initializer builds **one engine per worker
-  process** from the pickled config.  Each process warms its own grid cache
-  (the engine's ``__getstate__`` drops caches and locks), results are
-  pickled back, and per-process cache counters are aggregated through the
+  ``ProcessPoolExecutor`` whose initializer builds **one segmenter per
+  worker process** from the spec dict (``segmenter.describe()`` →
+  ``make_segmenter``), the pickle-by-spec seam of the API.  Each SegHDC
+  worker warms its own grid cache, results are pickled back, and
+  per-process cache counters are aggregated through the
   ``workload["cache"]`` snapshots.  This mode sidesteps the GIL entirely at
   the cost of serializing images and label maps across process boundaries.
 
 Ordering: results are delivered per job through its handle, so callers that
 need input order simply keep their handles in order
-(:meth:`SegmentationServer.segment_batch` does exactly that).  The dispatch
-order itself is *not* strictly FIFO — same-shape jobs may overtake older
-jobs of a different shape, see :class:`repro.serving.batcher.ShapeBatcher`.
+(:meth:`SegmentationServer.segment_batch` does exactly that), or use the
+``(index, result)`` pairs :meth:`SegmentationServer.map` yields.  The
+dispatch order itself is *not* strictly FIFO — same-shape jobs may overtake
+older jobs of a different shape, see
+:class:`repro.serving.batcher.ShapeBatcher`.
 """
 
 from __future__ import annotations
 
+import importlib
 import os
+import queue as queue_module
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
+from repro.api.protocol import Segmenter
+from repro.api.registry import make_segmenter, segmenter_entry
+from repro.api.result import SegmentationResult, normalize_image
+from repro.api.spec import ServingOptions
 from repro.imaging.image import Image
 from repro.seghdc.config import SegHDCConfig
-from repro.seghdc.engine import (
-    SegHDCEngine,
-    SegmentationResult,
-    normalize_image,
-)
+from repro.seghdc.pipeline import SegHDC
 from repro.serving.batcher import ShapeBatcher
 from repro.serving.jobqueue import BoundedJobQueue
 from repro.serving.stats import ServerStats, StatsCollector
@@ -80,6 +95,8 @@ class JobHandle:
         self._event = threading.Event()
         self._result: SegmentationResult | None = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._callback_lock = threading.Lock()
 
     def done(self) -> bool:
         """Non-blocking poll: has the job finished (successfully or not)?"""
@@ -94,13 +111,30 @@ class JobHandle:
         assert self._result is not None
         return self._result
 
+    def _on_done(self, callback) -> None:
+        """Run ``callback(handle)`` once the job finishes (immediately if it
+        already has).  Internal plumbing for :meth:`SegmentationServer.map`."""
+        with self._callback_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _fire_callbacks(self) -> None:
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
     def _set_result(self, result: SegmentationResult) -> None:
         self._result = result
         self._event.set()
+        self._fire_callbacks()
 
     def _set_error(self, error: BaseException) -> None:
         self._error = error
         self._event.set()
+        self._fire_callbacks()
 
 
 @dataclass
@@ -117,13 +151,40 @@ class _Job:
 # ---------------------------------------------------------------------- #
 # process-mode worker side (module level so it pickles by reference)
 # ---------------------------------------------------------------------- #
-_PROCESS_ENGINE: SegHDCEngine | None = None
+_PROCESS_SEGMENTER: Segmenter | None = None
 
 
-def _init_process_worker(config: SegHDCConfig, engine_kwargs: dict) -> None:
-    """Pool initializer: one engine (and grid cache) per worker process."""
-    global _PROCESS_ENGINE
-    _PROCESS_ENGINE = SegHDCEngine(config, **engine_kwargs)
+def _provider_module(spec: Mapping) -> "str | None":
+    """The module whose import registers the spec's segmenter, if shippable.
+
+    Under the ``spawn`` start method a worker process starts with a fresh
+    registry that only self-imports the built-ins, so a third-party
+    segmenter's registering module must be re-imported in the child before
+    ``make_segmenter`` can resolve the spec.  ``__main__`` is not a stable
+    import target across process boundaries, so it is omitted (fork-based
+    pools inherit the parent's registry anyway).
+    """
+    try:
+        module = segmenter_entry(spec["segmenter"]).factory.__module__
+    except Exception:
+        return None
+    return None if module == "__main__" else module
+
+
+def _init_process_worker(spec: dict, provider_module: "str | None" = None) -> None:
+    """Pool initializer: one segmenter per worker process, built by spec.
+
+    The spec dict is what ``segmenter.describe()`` returned on the server
+    side — the registry rebuilds an equivalent cold segmenter, so heavy
+    state (cached grids, locks) never crosses the process boundary.
+    ``provider_module`` is imported first so segmenters that self-register
+    at import time (the registry convention) resolve even when the worker
+    did not inherit the parent's registry (spawn start method).
+    """
+    global _PROCESS_SEGMENTER
+    if provider_module:
+        importlib.import_module(provider_module)
+    _PROCESS_SEGMENTER = make_segmenter(spec)
 
 
 def _run_process_microbatch(batch: "list[np.ndarray]") -> list:
@@ -134,11 +195,11 @@ def _run_process_microbatch(batch: "list[np.ndarray]") -> list:
     The worker's pid is stamped into the workload so the collector can keep
     one cache snapshot per process.
     """
-    assert _PROCESS_ENGINE is not None, "pool initializer did not run"
+    assert _PROCESS_SEGMENTER is not None, "pool initializer did not run"
     entries: list = []
     for pixels in batch:
         try:
-            result = _PROCESS_ENGINE.segment(pixels)
+            result = _PROCESS_SEGMENTER.segment(pixels)
             result.workload["serving_worker"] = os.getpid()
             entries.append(("ok", result))
         except Exception as exc:  # noqa: BLE001 - shipped back to the caller
@@ -147,7 +208,7 @@ def _run_process_microbatch(batch: "list[np.ndarray]") -> list:
 
 
 class SegmentationServer:
-    """Worker pool + bounded queue + micro-batcher over the SegHDC engine.
+    """Worker pool + bounded queue + micro-batcher over any segmenter.
 
     Usage::
 
@@ -156,10 +217,20 @@ class SegmentationServer:
             labels = [handle.result().labels for handle in handles]
             server.stats().latency["p99"]
 
+        # any registered segmenter, same paths
+        with SegmentationServer({"segmenter": "cnn_baseline"}) as server:
+            for index, result in server.map(stream_of_images):
+                ...
+
     Parameters
     ----------
-    config:
-        Pipeline hyper-parameters shared by every worker.
+    segmenter:
+        What to serve: a :class:`SegHDCConfig` (historical API — the server
+        builds a SegHDC), a registered segmenter name or spec dict (built
+        through :func:`repro.api.make_segmenter`), or a ready
+        :class:`repro.api.Segmenter` instance (which must be thread-safe in
+        thread mode and spec-picklable — ``describe()`` — in process mode).
+        ``None`` serves a default-config SegHDC.
     mode:
         ``"thread"`` (shared engine, GIL-releasing kernels) or ``"process"``
         (one engine per worker process; see the module docstring).
@@ -182,13 +253,15 @@ class SegmentationServer:
         Number of most-recent end-to-end latencies kept for percentiles.
     engine_kwargs:
         Extra :class:`SegHDCEngine` parameters (``cache_size``,
-        ``max_cache_bytes``, ``band_rows``) applied to every engine.
+        ``max_cache_bytes``, ``band_rows``) applied when the server builds a
+        SegHDC from a config or spec; rejected for ready instances.
     """
 
     def __init__(
         self,
-        config: SegHDCConfig | None = None,
+        segmenter: "Segmenter | SegHDCConfig | Mapping | str | None" = None,
         *,
+        config: "SegHDCConfig | None" = None,
         mode: str = "thread",
         num_workers: int = 2,
         max_queue_depth: int = 64,
@@ -196,14 +269,22 @@ class SegmentationServer:
         latency_window: int = 4096,
         engine_kwargs: dict | None = None,
     ) -> None:
+        if config is not None:
+            # Backward-compatible alias: the first parameter was named
+            # ``config`` when the server only wrapped SegHDC.
+            if segmenter is not None:
+                raise TypeError(
+                    "pass either segmenter or config (deprecated alias), "
+                    "not both"
+                )
+            segmenter = config
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         if num_workers < 1:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
         self.mode = mode
         self.num_workers = int(num_workers)
-        self._config = config or SegHDCConfig()
-        self._engine_kwargs = dict(engine_kwargs or {})
+        self._segmenter = self._resolve_segmenter(segmenter, engine_kwargs)
         self._collector = StatsCollector(latency_window=latency_window)
         self._queue = BoundedJobQueue(max_queue_depth, ShapeBatcher(max_batch_size))
         self._closed = False
@@ -211,15 +292,13 @@ class SegmentationServer:
         self._next_job_id = 0
         self._id_lock = threading.Lock()
 
-        self._engine: SegHDCEngine | None = None
         self._pool: ProcessPoolExecutor | None = None
-        if mode == "thread":
-            self._engine = SegHDCEngine(self._config, **self._engine_kwargs)
-        else:
+        if mode == "process":
+            spec = self._segmenter.describe()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.num_workers,
                 initializer=_init_process_worker,
-                initargs=(self._config, self._engine_kwargs),
+                initargs=(spec, _provider_module(spec)),
             )
         self._workers = [
             threading.Thread(
@@ -232,17 +311,81 @@ class SegmentationServer:
         for worker in self._workers:
             worker.start()
 
+    @classmethod
+    def from_options(
+        cls,
+        segmenter: "Segmenter | SegHDCConfig | Mapping | str | None" = None,
+        options: "ServingOptions | Mapping | None" = None,
+        *,
+        engine_kwargs: dict | None = None,
+    ) -> "SegmentationServer":
+        """Build a server from declarative :class:`ServingOptions` (the form
+        a :class:`repro.api.RunSpec` carries)."""
+        if options is None:
+            options = ServingOptions()
+        elif isinstance(options, Mapping):
+            options = ServingOptions.from_dict(options)
+        return cls(segmenter, engine_kwargs=engine_kwargs, **options.server_kwargs())
+
+    @staticmethod
+    def _resolve_segmenter(segmenter, engine_kwargs) -> Segmenter:
+        kwargs = dict(engine_kwargs or {})
+        if segmenter is None or isinstance(segmenter, SegHDCConfig):
+            return SegHDC(segmenter, **kwargs)
+        if isinstance(segmenter, (str, Mapping)):
+            spec = {"segmenter": segmenter} if isinstance(segmenter, str) else dict(segmenter)
+            built_spec = dict(spec)
+            if kwargs:
+                built_spec["options"] = {**(spec.get("options") or {}), **kwargs}
+            try:
+                return make_segmenter(built_spec)
+            except TypeError as exc:
+                if kwargs:
+                    # Blame the engine kwargs only when they are actually
+                    # the problem: if the spec fails without them too, the
+                    # original error is the real one (e.g. a bad config).
+                    try:
+                        make_segmenter(spec)
+                    except Exception:
+                        raise exc from None
+                    raise ValueError(
+                        f"engine_kwargs {sorted(kwargs)} are not supported "
+                        f"by segmenter {spec.get('segmenter')!r}: {exc}"
+                    ) from exc
+                raise
+        if isinstance(segmenter, Segmenter):
+            if kwargs:
+                raise ValueError(
+                    "engine_kwargs only apply when the server builds the "
+                    "segmenter from a config or spec, not to a ready instance"
+                )
+            return segmenter
+        raise TypeError(
+            "segmenter must be a SegHDCConfig, a registered name/spec dict, "
+            f"or a Segmenter instance, got {type(segmenter).__name__}"
+        )
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     @property
-    def config(self) -> SegHDCConfig:
-        return self._config
+    def segmenter(self) -> Segmenter:
+        """The served segmenter (in process mode: the template whose spec
+        seeded the worker processes)."""
+        return self._segmenter
 
     @property
-    def engine(self) -> SegHDCEngine | None:
-        """The shared engine (thread mode only; ``None`` in process mode)."""
-        return self._engine
+    def config(self):
+        """The segmenter's config, when it exposes one."""
+        return getattr(self._segmenter, "config", None)
+
+    @property
+    def engine(self):
+        """The shared SegHDC engine (thread mode only; ``None`` in process
+        mode or for segmenters without an engine)."""
+        if self.mode != "thread":
+            return None
+        return getattr(self._segmenter, "engine", None)
 
     def __enter__(self) -> "SegmentationServer":
         return self
@@ -335,6 +478,109 @@ class SegmentationServer:
         handles = [self.submit(image, block=True) for image in images]
         return [handle.result(timeout) for handle in handles]
 
+    def map(
+        self,
+        images: "Iterable[Image | np.ndarray]",
+        *,
+        timeout: float | None = None,
+    ) -> "Iterator[tuple[int, SegmentationResult]]":
+        """Streaming generator: submit as you iterate, yield as they finish.
+
+        ``images`` may be any (possibly lazy/unbounded-producer) iterable; a
+        feeder thread pulls from it and submits with blocking backpressure,
+        while the generator yields ``(index, result)`` pairs **in completion
+        order** — a fast small image overtakes a slow large one, and the
+        caller starts consuming results while later images are still being
+        submitted.  ``index`` is the image's position in the input.
+
+        ``timeout`` bounds the wait for *each next* completion, counted
+        only while at least one job is in flight — time spent idle because
+        a lazy producer has not yielded the next image does not run the
+        clock, so a slow camera feed cannot spuriously time out a healthy
+        server.  A failed job re-raises its error at the yield point; an
+        error while pulling from ``images`` (or submitting, e.g. the server
+        closing) is raised after the already-submitted jobs have been
+        yielded.  Closing or
+        abandoning the generator early (``break``, ``close()``, an
+        exception in the loop body) stops the feeder before its next
+        submit, so an unbounded producer does not keep occupying the
+        server; jobs already submitted still run to completion.
+
+        Backpressure works in both directions: submission blocks on the
+        server's ``max_queue_depth``, and the feeder also caps jobs
+        *in flight* (submitted but not yet yielded) at ``max_queue_depth``,
+        so a consumer slower than the workers stalls submission instead of
+        letting finished results pile up without bound.
+        """
+        done: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+        feed_error: list[BaseException] = []
+        stop = threading.Event()
+        _SUBMITTED = object()  # sentinel carrying the final submit count
+        # Consumer-side backpressure: one slot per in-flight job, returned
+        # when the consumer takes the result at the yield point.
+        in_flight = threading.Semaphore(self._queue.max_depth)
+
+        submitted = [0]  # feeder-side submit count, read by the consumer
+
+        def feed() -> None:
+            count = 0
+            try:
+                for index, image in enumerate(images):
+                    while not in_flight.acquire(timeout=0.1):
+                        if stop.is_set():
+                            return  # the finally still reports the count
+                    if stop.is_set():
+                        break
+                    handle = self.submit(image, block=True)
+                    handle._on_done(
+                        lambda finished, i=index: done.put((i, finished))
+                    )
+                    count += 1
+                    submitted[0] = count
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                feed_error.append(exc)
+            finally:
+                done.put((_SUBMITTED, count))
+
+        feeder = threading.Thread(target=feed, name="seghdc-map-feeder", daemon=True)
+        feeder.start()
+        yielded = 0
+        expected: int | None = None
+        try:
+            while expected is None or yielded < expected:
+                waited = 0.0
+                while True:
+                    poll = None if timeout is None else min(timeout, 0.1)
+                    try:
+                        index, payload = done.get(timeout=poll)
+                        break
+                    except queue_module.Empty:
+                        pending = (
+                            expected if expected is not None else submitted[0]
+                        ) - yielded
+                        if pending <= 0:
+                            # Idle: waiting on the producer, not the server
+                            # — the timeout clock does not run.
+                            waited = 0.0
+                            continue
+                        waited += poll
+                        if waited >= timeout:
+                            raise TimeoutError(
+                                f"map: no result within {timeout}s with "
+                                f"{pending} job(s) in flight "
+                                f"({yielded} yielded so far)"
+                            ) from None
+                if index is _SUBMITTED:
+                    expected = payload
+                    continue
+                yielded += 1
+                in_flight.release()
+                yield index, payload.result(0)
+        finally:
+            stop.set()
+        if feed_error:
+            raise feed_error[0]
+
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every admitted job has finished; ``False`` on timeout."""
         return self._collector.wait_idle(timeout)
@@ -346,10 +592,12 @@ class SegmentationServer:
             num_workers=self.num_workers,
             queue_depth=self._queue.depth(),
         )
-        if self._engine is not None:
-            # Thread mode: the shared engine's counters are authoritative and
-            # current even before the first result lands.
-            cache = dict(self._engine.cache_info())
+        engine = self.engine
+        if engine is not None and hasattr(engine, "cache_info"):
+            # Thread mode with a caching engine (SegHDC): the shared engine's
+            # counters are authoritative and current even before the first
+            # result lands.
+            cache = dict(engine.cache_info())
             lookups = cache.get("hits", 0) + cache.get("misses", 0)
             cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
             cache["engines"] = 1
@@ -373,10 +621,9 @@ class SegmentationServer:
                 self._run_batch_process(batch)
 
     def _run_batch_threaded(self, batch: "list[_Job]") -> None:
-        assert self._engine is not None
         for job in batch:
             try:
-                result = self._engine.segment(job.pixels)
+                result = self._segmenter.segment(job.pixels)
             except Exception as exc:  # noqa: BLE001 - delivered via handle
                 self._collector.record_failed(
                     time.perf_counter() - job.submitted_at

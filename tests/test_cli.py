@@ -17,6 +17,9 @@ class TestParser:
         assert args.command == "table1"
         assert args.scale == "quick"
         assert args.output_dir is None
+        # The backend flag defaults to None = "use the config's backend";
+        # it only overrides a spec/config choice when explicitly passed.
+        assert args.backend is None
 
     def test_segment_command_options(self):
         args = build_parser().parse_args(
@@ -25,7 +28,171 @@ class TestParser:
         assert args.dataset == "bbbc005"
         assert args.dimension == 500
         assert args.height == 40
-        assert args.backend == "dense"
+        assert args.backend is None
+        assert args.segmenter == "seghdc"
+
+    def test_backend_with_non_seghdc_segmenter_errors(self):
+        with pytest.raises(SystemExit, match="--backend applies only"):
+            main(
+                [
+                    "segment",
+                    "--segmenter",
+                    "cnn_baseline",
+                    "--backend",
+                    "packed",
+                    "--height",
+                    "16",
+                    "--width",
+                    "20",
+                ]
+            )
+
+    def test_dimension_with_non_seghdc_segmenter_errors(self):
+        with pytest.raises(SystemExit, match="--dimension applies only"):
+            main(
+                [
+                    "segment",
+                    "--segmenter",
+                    "cnn_baseline",
+                    "--dimension",
+                    "4000",
+                    "--height",
+                    "16",
+                    "--width",
+                    "20",
+                ]
+            )
+
+    def test_iterations_with_third_party_segmenter_errors(self):
+        from repro.api import register_segmenter
+        from repro.seghdc import SegHDC, SegHDCConfig
+
+        register_segmenter(
+            "thirdparty_test",
+            factory=lambda config=None, **kw: SegHDC(config, **kw),
+            config_cls=SegHDCConfig,
+            overwrite=True,
+        )
+        try:
+            with pytest.raises(SystemExit, match="--iterations applies only"):
+                main(
+                    [
+                        "segment",
+                        "--segmenter",
+                        "thirdparty_test",
+                        "--iterations",
+                        "50",
+                        "--height",
+                        "16",
+                        "--width",
+                        "20",
+                    ]
+                )
+        finally:
+            from repro.api import registry as _registry
+
+            _registry._REGISTRY.pop("thirdparty_test", None)
+
+    def test_config_json_configures_any_segmenter(self, capsys):
+        exit_code = main(
+            [
+                "segment",
+                "--segmenter",
+                "cnn_baseline",
+                "--config-json",
+                '{"max_iterations": 2}',
+                "--height",
+                "16",
+                "--width",
+                "20",
+            ]
+        )
+        assert exit_code == 0
+        assert "IoU=" in capsys.readouterr().out
+
+    def test_config_json_rejects_invalid_json_and_flag_combinations(self):
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["segment", "--config-json", "{oops"])
+        with pytest.raises(SystemExit, match="must be a JSON object"):
+            main(["segment", "--config-json", "[1, 2]"])
+        with pytest.raises(SystemExit, match="--dimension cannot be combined"):
+            main(
+                [
+                    "segment",
+                    "--dimension",
+                    "400",
+                    "--config-json",
+                    '{"dimension": 400}',
+                ]
+            )
+
+    def test_config_json_bad_field_names_the_field(self):
+        with pytest.raises(ValueError, match="'dimenson'"):
+            main(["segment", "--config-json", '{"dimenson": 400}'])
+
+    def test_config_json_overrides_apply_on_top_of_the_flag_path_base(self):
+        """--config-json tweaks fields on the same base the flag path
+        builds (paper defaults + beta scaling), not bare dataclass
+        defaults."""
+        from repro.cli import _segmenter_spec_from_args
+        from repro.seghdc import SegHDCConfig
+
+        args = build_parser().parse_args(
+            [
+                "segment",
+                "--dataset",
+                "monuseg",
+                "--config-json",
+                '{"backend": "packed"}',
+                "--height",
+                "32",
+                "--width",
+                "40",
+            ]
+        )
+        cfg = _segmenter_spec_from_args(args)["config"]
+        expected_base = SegHDCConfig.paper_defaults("monuseg").with_overrides(
+            dimension=args.dimension_default,
+            num_iterations=args.iterations_default,
+        ).scaled_for_shape(32, 40)
+        assert cfg["backend"] == "packed"
+        assert cfg["num_clusters"] == expected_base.num_clusters
+        assert cfg["dimension"] == expected_base.dimension
+        assert cfg["beta"] == expected_base.beta
+        # An explicit override still wins over the scaled base value.
+        args2 = build_parser().parse_args(
+            ["segment", "--config-json", '{"beta": 9}']
+        )
+        assert _segmenter_spec_from_args(args2)["config"]["beta"] == 9
+
+    def test_dimension_default_applies_per_subcommand(self):
+        # --dimension is a None sentinel (like --backend) so an explicit
+        # value with another segmenter can error; the seghdc defaults still
+        # come from each subcommand.
+        segment_args = build_parser().parse_args(["segment"])
+        assert segment_args.dimension is None
+        assert segment_args.dimension_default == 2000
+        serve_args = build_parser().parse_args(["serve-bench"])
+        assert serve_args.dimension is None
+        assert serve_args.dimension_default == 1000
+
+    def test_segmenter_option(self):
+        args = build_parser().parse_args(["segment", "--segmenter", "cnn_baseline"])
+        assert args.segmenter == "cnn_baseline"
+        args = build_parser().parse_args(
+            ["serve-bench", "--segmenter", "cnn_baseline"]
+        )
+        assert args.segmenter == "cnn_baseline"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["segment", "--segmenter", "watershed"])
+
+    def test_run_command_options(self):
+        args = build_parser().parse_args(["run", "--spec", "spec.json"])
+        assert args.command == "run"
+        assert args.spec == "spec.json"
+        assert args.output is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])  # --spec is required
 
     @pytest.mark.parametrize("backend", ["dense", "packed"])
     def test_backend_option(self, backend):
@@ -66,6 +233,7 @@ class TestMain:
         out = capsys.readouterr().out
         assert "table1" in out
         assert "bbbc005" in out
+        assert "cnn_baseline" in out and "seghdc" in out
 
     def test_segment_runs_end_to_end(self, capsys, tmp_path):
         exit_code = main(
@@ -124,6 +292,106 @@ class TestMain:
         assert payload["server_images_per_second"] > 0
         assert payload["stats"]["completed"] == 4
         assert payload["modeled_pi4"]["images_per_second"] > 0
+
+    def test_segment_with_cnn_baseline_segmenter(self, capsys):
+        exit_code = main(
+            [
+                "segment",
+                "--segmenter",
+                "cnn_baseline",
+                "--iterations",
+                "3",
+                "--height",
+                "32",
+                "--width",
+                "40",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "segmenter=cnn_baseline" in out
+        assert "IoU=" in out
+
+    def test_run_spec_end_to_end(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "segmenter": "seghdc",
+                    "config": {"dimension": 300, "num_iterations": 2, "beta": 3},
+                    "dataset": "dsb2018",
+                    "num_images": 2,
+                    "image_shape": [24, 32],
+                    "serving": {"mode": "thread", "num_workers": 2},
+                }
+            )
+        )
+        out_path = tmp_path / "out" / "result.json"
+        assert main(["run", "--spec", str(spec_path), "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean IoU=" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["num_images"] == 2
+        assert payload["spec"]["segmenter"] == "seghdc"
+        assert len(payload["per_image"]) == 2
+        assert payload["serving"]["completed"] == 2
+
+    def test_run_spec_uses_spec_output_field(self, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "segmenter": "cnn_baseline",
+                    "config": {"num_features": 8, "num_layers": 1, "max_iterations": 2},
+                    "dataset": "dsb2018",
+                    "num_images": 1,
+                    "image_shape": [16, 20],
+                    "output": "results/out.json",
+                }
+            )
+        )
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        payload = json.loads((tmp_path / "results" / "out.json").read_text())
+        assert payload["spec"]["segmenter"] == "cnn_baseline"
+        assert "serving" not in payload  # serial run: no server stats
+
+    def test_serve_bench_with_cnn_baseline(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--segmenter",
+                "cnn_baseline",
+                "--mode",
+                "thread",
+                "--workers",
+                "2",
+                "--images",
+                "3",
+                "--height",
+                "16",
+                "--width",
+                "20",
+                "--iterations",
+                "2",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "segmenter=cnn_baseline" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["parity_mismatches"] == 0
+        assert payload["segmenter"]["segmenter"] == "cnn_baseline"
+        assert "modeled_pi4" not in payload  # cost model is SegHDC-only
 
     def test_segment_with_packed_backend(self, capsys):
         exit_code = main(

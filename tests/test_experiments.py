@@ -257,6 +257,25 @@ class TestAblations:
         assert "gamma=1" in result.scores
         assert (tmp_path / "ablation_hyperparameters.csv").exists()
 
+    def test_hyperparameter_ablation_backend_reaches_every_row(self, monkeypatch):
+        """An explicit backend override must also apply to the beta rows,
+        which rebuild their config from paper_defaults."""
+        from repro.experiments import ablations
+
+        seen_backends = []
+        original = ablations._segment_labels
+
+        def recording(config, image):
+            seen_backends.append(config.backend)
+            return original(config, image)
+
+        monkeypatch.setattr(ablations, "_segment_labels", recording)
+        run_hyperparameter_ablation(
+            tiny_scale(), alphas=(0.2,), betas=(1, 26), gammas=(1,),
+            backend="packed",
+        )
+        assert seen_backends and all(b == "packed" for b in seen_backends)
+
     def test_empty_ablation_best_setting_raises(self):
         from repro.experiments.ablations import AblationResult
 

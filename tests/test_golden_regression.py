@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.api import make_segmenter
 from repro.seghdc import SegHDCConfig, SegHDCEngine
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -43,3 +44,18 @@ def test_pipeline_reproduces_golden_labels(path, backend):
             "changed vs the committed golden map — if intentional, run "
             "tests/golden/regenerate.py and explain the change"
         )
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_spec_roundtrip_reproduces_golden_labels(path):
+    """A JSON spec round-trip through ``make_segmenter`` is bit-identical to
+    direct construction, pinned against the committed golden label maps."""
+    fixture = np.load(path, allow_pickle=False)
+    config = SegHDCConfig(**json.loads(str(fixture["config_json"])))
+    spec_json = json.dumps({"segmenter": "seghdc", "config": config.to_dict()})
+    segmenter = make_segmenter(json.loads(spec_json))
+    assert segmenter.config == config
+    result = segmenter.segment(fixture["image"])
+    assert np.array_equal(result.labels, fixture["labels"]), (
+        f"{path.stem}: spec-built segmenter diverged from the golden map"
+    )

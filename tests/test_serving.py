@@ -2,12 +2,15 @@
 
 Covers the component contracts (shape-aware batcher, bounded queue), the
 server lifecycle in thread and process modes, error routing, backpressure,
-stats accounting, and — the hard part — a multi-producer stress test
-asserting bit-exact results and exact counter totals under contention.
+stats accounting, the unified-API paths (any registered segmenter through
+the same submit/poll and streaming ``map()`` machinery), and — the hard
+part — a multi-producer stress test asserting bit-exact results and exact
+counter totals under contention.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from collections import deque
@@ -16,12 +19,14 @@ from dataclasses import dataclass
 import numpy as np
 import pytest
 
-from repro.seghdc import SegHDCConfig, SegHDCEngine
+from repro.baseline import CNNBaselineConfig, CNNUnsupervisedSegmenter
+from repro.seghdc import SegHDC, SegHDCConfig, SegHDCEngine
 from repro.serving import (
     BoundedJobQueue,
     SegmentationServer,
     ServerClosed,
     ServerSaturated,
+    ServingOptions,
     ShapeBatcher,
 )
 
@@ -263,6 +268,265 @@ class TestServerProcessMode:
         assert 1 <= stats.cache["engines"] <= 2
         assert stats.cache["position_grid_builds"] == stats.cache["engines"]
         assert server.engine is None
+
+
+def _cnn_config(**overrides):
+    base = dict(num_features=8, num_layers=1, max_iterations=3, seed=0)
+    base.update(overrides)
+    return CNNBaselineConfig(**base)
+
+
+def _cnn_spec(**overrides):
+    return {"segmenter": "cnn_baseline", "config": _cnn_config(**overrides).to_dict()}
+
+
+class TestUnifiedSegmenterServing:
+    """Acceptance: the CNN baseline rides the same submit/poll and ``map``
+    paths as SegHDC, in both thread and process mode, bit-exactly."""
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_cnn_baseline_submit_poll_parity(self, mode):
+        images = [_image((16, 20), seed=i) for i in range(3)]
+        reference = CNNUnsupervisedSegmenter(_cnn_config()).segment_batch(images)
+        with SegmentationServer(
+            _cnn_spec(), mode=mode, num_workers=2, max_batch_size=2
+        ) as server:
+            handles = [server.submit(image) for image in images]
+            served = [handle.result(timeout=120) for handle in handles]
+        for expected, observed in zip(reference, served):
+            assert np.array_equal(expected.labels, observed.labels)
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    @pytest.mark.parametrize("segmenter", ["seghdc", "cnn_baseline"])
+    def test_map_parity_for_both_segmenters(self, mode, segmenter):
+        images = [_image((16, 20), seed=i) for i in range(4)]
+        if segmenter == "seghdc":
+            spec = {"segmenter": "seghdc", "config": _config().to_dict()}
+            reference = SegHDCEngine(_config()).segment_batch(images)
+        else:
+            spec = _cnn_spec()
+            reference = CNNUnsupervisedSegmenter(_cnn_config()).segment_batch(images)
+        with SegmentationServer(
+            spec, mode=mode, num_workers=2, max_batch_size=2
+        ) as server:
+            collected = dict(server.map(images, timeout=120))
+        assert sorted(collected) == list(range(len(images)))
+        for index, expected in enumerate(reference):
+            assert np.array_equal(expected.labels, collected[index].labels)
+
+    def test_map_submits_lazily_under_backpressure(self):
+        """A queue of depth 1 with many more images would deadlock if map
+        tried to submit everything before yielding; the feeder/consumer
+        split keeps it streaming."""
+        images = (_image((16, 20), seed=i) for i in range(8))  # lazy generator
+        with SegmentationServer(
+            _config(), mode="thread", num_workers=1, max_queue_depth=1,
+            max_batch_size=1,
+        ) as server:
+            seen = sum(1 for _ in server.map(images, timeout=120))
+        assert seen == 8
+
+    def test_map_yields_results_before_the_input_is_exhausted(self):
+        """Streaming, not batch: with a slow producer, earlier results are
+        already yielded while later images have not been submitted yet."""
+        first_yield_seen = threading.Event()
+
+        def producer():
+            yield _image((16, 20), seed=0)
+            # Wait (bounded) until the consumer saw result 0: proves results
+            # flow while the input iterable is still being produced.
+            assert first_yield_seen.wait(timeout=60)
+            yield _image((16, 20), seed=1)
+
+        with SegmentationServer(_config(), num_workers=1) as server:
+            indices = []
+            for index, _result in server.map(producer(), timeout=120):
+                indices.append(index)
+                first_yield_seen.set()
+        assert sorted(indices) == [0, 1]
+
+    def test_map_reraises_job_errors_at_the_yield_point(self):
+        images = [_image((16, 20)), np.array([[3]], dtype=np.uint8)]
+        with SegmentationServer(_config(), num_workers=1) as server:
+            with pytest.raises(ValueError, match="cannot form 2 clusters"):
+                for _ in server.map(images, timeout=120):
+                    pass
+
+    def test_map_empty_iterable(self):
+        with SegmentationServer(_config(), num_workers=1) as server:
+            assert list(server.map([])) == []
+
+    def test_abandoning_map_stops_the_feeder(self):
+        """Breaking out of map() must stop the feeder before its next
+        submit — an unbounded producer must not keep occupying the server."""
+        pulled = []
+
+        def unbounded():
+            seed = 0
+            while True:
+                pulled.append(seed)
+                yield _image((16, 20), seed=seed)
+                seed += 1
+
+        with SegmentationServer(
+            _config(), num_workers=1, max_queue_depth=2, max_batch_size=1
+        ) as server:
+            for _index, _result in server.map(unbounded(), timeout=120):
+                break  # abandon after the first result
+            assert server.drain(timeout=120)
+            submitted_after_break = server.stats().submitted
+            time.sleep(0.2)  # give a runaway feeder time to misbehave
+            assert server.stats().submitted <= submitted_after_break + 1
+        # The producer was only pulled for jobs submitted before the stop
+        # flag was observed, not drained forever.
+        assert len(pulled) <= submitted_after_break + 2
+
+    def test_map_timeout_does_not_run_while_waiting_on_the_producer(self):
+        """The timeout bounds completion latency, not producer latency: a
+        producer pause far longer than the timeout must not raise while no
+        job is in flight."""
+
+        def slow_producer():
+            yield _image((16, 20), seed=0)
+            time.sleep(0.8)  # idle gap >> timeout, with zero jobs in flight
+            yield _image((16, 20), seed=1)
+
+        with SegmentationServer(_config(), num_workers=1) as server:
+            indices = sorted(
+                index for index, _result in server.map(
+                    slow_producer(), timeout=0.3
+                )
+            )
+        assert indices == [0, 1]
+
+    def test_map_bounds_in_flight_results_for_a_slow_consumer(self):
+        """A consumer slower than the workers must stall the feeder: jobs in
+        flight (submitted but not yet yielded) stay within max_queue_depth,
+        so finished label maps cannot pile up without bound."""
+        depth = 3
+        pulled = []
+
+        def producer():
+            for seed in range(20):
+                pulled.append(seed)
+                yield _image((16, 20), seed=seed)
+
+        with SegmentationServer(
+            _config(), num_workers=2, max_queue_depth=depth, max_batch_size=1
+        ) as server:
+            yielded = 0
+            for _index, _result in server.map(producer(), timeout=120):
+                yielded += 1
+                # +1: the producer is pulled one image ahead of the
+                # in-flight gate.
+                assert len(pulled) <= yielded + depth + 1
+                time.sleep(0.02)  # slower than the workers
+        assert yielded == 20
+
+    def test_process_worker_init_imports_the_registering_module(
+        self, tmp_path, monkeypatch
+    ):
+        """Spawn-start workers begin with a fresh registry holding only the
+        built-ins; the initializer must import a third-party segmenter's
+        registering module before resolving the spec."""
+        from repro.api import registry as registry_module
+        from repro.serving import server as server_module
+
+        module_name = "thirdparty_spawn_fixture"
+        (tmp_path / f"{module_name}.py").write_text(
+            "from repro.api import register_segmenter\n"
+            "from repro.seghdc import SegHDC, SegHDCConfig\n"
+            "register_segmenter(\n"
+            "    'thirdparty_spawn',\n"
+            "    factory=lambda config=None, **kw: SegHDC(config, **kw),\n"
+            "    config_cls=SegHDCConfig,\n"
+            "    overwrite=True,\n"
+            ")\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        spec = {"segmenter": "thirdparty_spawn"}
+        try:
+            # Simulate the fresh-registry child: the name is unknown until
+            # the provider module is imported.
+            registry_module._REGISTRY.pop("thirdparty_spawn", None)
+            with pytest.raises(ValueError, match="unknown segmenter"):
+                server_module.make_segmenter(spec)
+            server_module._init_process_worker(spec, module_name)
+            # Importing the provider module registered the name, so the
+            # spec resolved to a working segmenter.
+            assert isinstance(server_module._PROCESS_SEGMENTER, SegHDC)
+            # The built-ins ship their registering modules too.
+            assert server_module._provider_module(
+                {"segmenter": "seghdc"}
+            ) == "repro.seghdc.pipeline"
+        finally:
+            server_module._PROCESS_SEGMENTER = None
+            registry_module._REGISTRY.pop("thirdparty_spawn", None)
+            sys.modules.pop(module_name, None)
+
+    def test_engine_kwargs_on_non_seghdc_spec_raise_cleanly(self):
+        with pytest.raises(ValueError, match="engine_kwargs.*cnn_baseline"):
+            SegmentationServer(
+                {"segmenter": "cnn_baseline"}, engine_kwargs={"cache_size": 2}
+            )
+
+    def test_bad_config_with_engine_kwargs_blames_the_config(self):
+        """A TypeError caused by a bad config must not be rewrapped as an
+        engine_kwargs error just because engine kwargs were also passed."""
+        with pytest.raises(TypeError, match="expects a SegHDCConfig"):
+            SegmentationServer(
+                {"segmenter": "seghdc", "config": 42},
+                engine_kwargs={"cache_size": 2},
+            )
+
+    def test_segmenter_instance_served_directly(self):
+        segmenter = CNNUnsupervisedSegmenter(_cnn_config())
+        image = _image((16, 20))
+        expected = segmenter.segment(image).labels
+        with SegmentationServer(segmenter, mode="thread", num_workers=2) as server:
+            assert np.array_equal(
+                server.submit(image).result(timeout=60).labels, expected
+            )
+            assert server.segmenter is segmenter
+
+    def test_config_keyword_alias_still_works(self):
+        """PR-2 callers used SegmentationServer(config=...); the renamed
+        first parameter keeps that spelling as a deprecated alias."""
+        with SegmentationServer(config=_config(), num_workers=1) as server:
+            assert server.config == _config()
+        with pytest.raises(TypeError, match="not both"):
+            SegmentationServer(_config(), config=_config())
+
+    def test_server_accepts_registered_name(self):
+        with SegmentationServer("cnn_baseline", num_workers=1) as server:
+            assert isinstance(server.segmenter, CNNUnsupervisedSegmenter)
+            assert server.config == CNNBaselineConfig()
+
+    def test_from_options_builds_the_described_topology(self):
+        options = ServingOptions(mode="thread", num_workers=3, max_batch_size=2)
+        with SegmentationServer.from_options(_config(), options) as server:
+            stats = server.stats()
+            assert stats.mode == "thread"
+            assert stats.num_workers == 3
+
+    def test_engine_kwargs_rejected_for_ready_instances(self):
+        with pytest.raises(ValueError, match="engine_kwargs"):
+            SegmentationServer(
+                SegHDC(_config()), engine_kwargs={"cache_size": 2}
+            )
+
+    def test_rejects_non_segmenter_objects(self):
+        with pytest.raises(TypeError, match="Segmenter"):
+            SegmentationServer(object())
+
+    def test_thread_mode_engine_exposed_for_seghdc_only(self):
+        with SegmentationServer(_config(), num_workers=1) as seghdc_server:
+            assert seghdc_server.engine is seghdc_server.segmenter.engine
+        with SegmentationServer(_cnn_spec(), num_workers=1) as cnn_server:
+            assert cnn_server.engine is None
+            cnn_server.segment_batch([_image((16, 20))])
+            # No engine cache to report, but stats still work.
+            assert cnn_server.stats().completed == 1
 
 
 class TestStressConcurrency:
