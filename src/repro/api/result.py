@@ -54,6 +54,7 @@ class SegmentationResult:
 
     @property
     def shape(self) -> tuple[int, int]:
+        """The ``(height, width)`` shape of the label map."""
         return self.labels.shape
 
     def labels_after(self, iteration: int) -> np.ndarray:

@@ -145,10 +145,12 @@ class ServingOptions:
                 )
 
     def to_dict(self) -> dict:
+        """JSON-ready dict of the serving options."""
         return config_to_dict(self)
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ServingOptions":
+        """Validated inverse of :meth:`to_dict`."""
         return config_from_dict(cls, data)
 
     def server_kwargs(self) -> dict:
@@ -269,6 +271,7 @@ class RunSpec:
     # serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
+        """JSON-ready dict of the spec (optional fields only when set)."""
         data = {
             "segmenter": self.segmenter,
             "config": dict(self.config),
@@ -285,6 +288,7 @@ class RunSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":
+        """Validated spec from a mapping; unknown keys raise."""
         if not isinstance(data, Mapping):
             raise TypeError(
                 f"RunSpec must be built from a mapping, got {type(data).__name__}"
@@ -300,13 +304,16 @@ class RunSpec:
         return cls(**dict(data))
 
     def to_json(self, *, indent: int = 2) -> str:
+        """The spec as an indented JSON string."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "RunSpec":
+        """Parse and validate a spec from JSON text."""
         return cls.from_dict(json.loads(text))
 
     def save(self, path: "str | Path") -> Path:
+        """Write the spec as JSON to ``path`` (parents created)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(self.to_json() + "\n")
@@ -314,4 +321,5 @@ class RunSpec:
 
     @classmethod
     def load(cls, path: "str | Path") -> "RunSpec":
+        """Load and validate a spec from a JSON file."""
         return cls.from_json(Path(path).read_text())

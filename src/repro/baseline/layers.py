@@ -40,9 +40,11 @@ class Layer(ABC):
         return []
 
     def train(self) -> None:
+        """Enter training mode (batch norm uses batch statistics)."""
         self.training = True
 
     def eval(self) -> None:
+        """Enter inference mode (batch norm uses running statistics)."""
         self.training = False
 
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
@@ -82,6 +84,7 @@ class Conv2d(Layer):
         self._input_shape: tuple[int, int, int, int] | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """im2col convolution; caches the column matrix for backward."""
         arr = np.asarray(inputs, dtype=np.float64)
         if arr.ndim != 4 or arr.shape[1] != self.in_channels:
             raise ValueError(
@@ -97,6 +100,7 @@ class Conv2d(Layer):
         return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Weight/bias/input gradients from the cached columns."""
         if self._cols is None or self._input_shape is None:
             raise RuntimeError("backward called before forward")
         grad = np.asarray(grad_output, dtype=np.float64)
@@ -115,9 +119,11 @@ class Conv2d(Layer):
         )
 
     def parameters(self) -> list[np.ndarray]:
+        """Weight and bias arrays."""
         return [self.weight, self.bias]
 
     def gradients(self) -> list[np.ndarray]:
+        """Gradients matching :meth:`parameters`."""
         return [self.grad_weight, self.grad_bias]
 
 
@@ -139,6 +145,7 @@ class BatchNorm2d(Layer):
         self._cache: tuple | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Normalise per channel (batch stats in training mode)."""
         arr = np.asarray(inputs, dtype=np.float64)
         if arr.ndim != 4 or arr.shape[1] != self.num_channels:
             raise ValueError(
@@ -163,6 +170,7 @@ class BatchNorm2d(Layer):
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Standard batch-norm backward over batch and spatial axes."""
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         normalized, inv_std, shape = self._cache
@@ -181,9 +189,11 @@ class BatchNorm2d(Layer):
         return grad_input
 
     def parameters(self) -> list[np.ndarray]:
+        """Scale (gamma) and shift (beta) arrays."""
         return [self.gamma, self.beta]
 
     def gradients(self) -> list[np.ndarray]:
+        """Gradients matching :meth:`parameters`."""
         return [self.grad_gamma, self.grad_beta]
 
 
@@ -194,11 +204,13 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Zero negative activations; caches the mask for backward."""
         arr = np.asarray(inputs, dtype=np.float64)
         self._mask = arr > 0
         return arr * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Gradients gated by the cached positive mask."""
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return np.asarray(grad_output, dtype=np.float64) * self._mask
@@ -213,35 +225,41 @@ class Sequential(Layer):
         self.layers = list(layers)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Apply every layer in order."""
         out = inputs
         for layer in self.layers:
             out = layer.forward(out)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate gradients through the layers in reverse."""
         grad = grad_output
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad
 
     def parameters(self) -> list[np.ndarray]:
+        """Concatenated parameters of every layer, in order."""
         params: list[np.ndarray] = []
         for layer in self.layers:
             params.extend(layer.parameters())
         return params
 
     def gradients(self) -> list[np.ndarray]:
+        """Concatenated gradients matching :meth:`parameters`."""
         grads: list[np.ndarray] = []
         for layer in self.layers:
             grads.extend(layer.gradients())
         return grads
 
     def train(self) -> None:
+        """Put every layer in training mode."""
         for layer in self.layers:
             layer.train()
         self.training = True
 
     def eval(self) -> None:
+        """Put every layer in inference mode."""
         for layer in self.layers:
             layer.eval()
         self.training = False

@@ -71,9 +71,11 @@ class KimSegmentationNet:
         return self.network.backward(grad_responses)
 
     def parameters(self) -> list[np.ndarray]:
+        """Trainable parameters of the feature net and the heads."""
         return self.network.parameters()
 
     def gradients(self) -> list[np.ndarray]:
+        """Gradients matching :meth:`parameters`."""
         return self.network.gradients()
 
     def predict_labels(self, images: np.ndarray) -> np.ndarray:

@@ -25,7 +25,7 @@ from repro.api import (
     make_segmenter,
 )
 from repro.datasets import available_datasets, make_dataset
-from repro.hdc.backend import available_backends
+from repro.hdc.backend import available_backends, make_backend
 from repro.experiments import (
     available_experiments,
     run_experiment,
@@ -112,6 +112,7 @@ def _add_segmenter_option(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``seghdc`` argument parser (one subcommand per experiment)."""
     parser = argparse.ArgumentParser(
         prog="seghdc",
         description="SegHDC reproduction: experiments and one-off segmentation runs.",
@@ -405,6 +406,10 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             num_clusters=config.num_clusters,
             num_iterations=config.num_iterations,
             backend=config.backend,
+            # The modeled line must describe the configuration actually
+            # benchmarked, bundling tunables included.
+            counter_depth=config.counter_depth,
+            bundle_chunk_rows=config.bundle_chunk_rows,
         )
         modeled = EdgeDeviceSimulator(RASPBERRY_PI_4).estimate_serving(
             cost, num_workers=args.workers, strict=False
@@ -453,12 +458,28 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
         print("experiments:", ", ".join(available_experiments()))
         print("datasets:", ", ".join(available_datasets()))
         print("segmenters:", ", ".join(available_segmenters()))
+        backends = []
+        for name in available_backends():
+            caps = make_backend(name).capabilities()
+            details = [caps["storage"]] if "storage" in caps else []
+            if caps["tunables"]:
+                details.append(
+                    ", ".join(
+                        f"{key}={value}"
+                        for key, value in sorted(caps["tunables"].items())
+                    )
+                )
+            backends.append(
+                f"{name} [{'; '.join(details)}]" if details else name
+            )
+        print("backends:", ", ".join(backends))
         return 0
     if args.command == "segment":
         return _run_segment(args)

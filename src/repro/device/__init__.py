@@ -28,6 +28,7 @@ from repro.device.cost_model import (
     ServingEstimate,
     WorkloadCost,
     cnn_baseline_cost,
+    packed_bundle_cost,
     seghdc_cost,
     serving_estimate,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ServingEstimate",
     "WorkloadCost",
     "cnn_baseline_cost",
+    "packed_bundle_cost",
     "seghdc_cost",
     "serving_estimate",
 ]

@@ -16,13 +16,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.hdc.backend import available_backends
+from repro.hdc.backend import available_backends, validate_bundling_tunables
 from repro.hdc.hypervector import packed_words_per_hv
 
 __all__ = [
     "ServingEstimate",
     "WorkloadCost",
     "cnn_baseline_cost",
+    "packed_bundle_cost",
     "seghdc_cost",
     "serving_estimate",
 ]
@@ -50,6 +51,56 @@ class WorkloadCost:
             raise ValueError("cost components must be non-negative")
 
 
+def packed_bundle_cost(
+    num_rows: int,
+    dimension: int,
+    *,
+    counter_depth: int = 16,
+    bundle_chunk_rows: int = 16384,
+) -> WorkloadCost:
+    """Cost of one bit-sliced bundle of ``num_rows`` packed member HVs.
+
+    Mirrors :meth:`repro.hdc.backend.PackedBackend.bundle_masked`, with
+    ``w = ceil(d / 64)`` words per row:
+
+    * **Carry-save compression**: every 3:2 pass spends 5 word operations
+      (two XORs, two ANDs, one OR) per group of three planes and removes a
+      third of the planes at a weight level, so reducing ``m`` rows costs
+      ``5 * w * m * (1 + 2/3 + (2/3)^2 + ...) ~= 5 * m * w`` word
+      operations in total.
+    * **Flush**: at most two planes per weight level survive per block; a
+      block of ``min(bundle_chunk_rows, 2^counter_depth - 1)`` rows has at
+      most ``counter_depth`` levels, so each flush unpacks
+      ``<= 2 * counter_depth`` single rows of ``d`` bits.
+    * **Traffic**: the gather reads the ``m * w * 8`` packed member bytes
+      once and the compression touches each intermediate plane a
+      geometrically decaying number of times, ~3x the member bytes in
+      total; the dense ``(m, d)`` round-trip of the replaced unpack path
+      (``9 * m * d / 8`` bytes written + re-read) never happens.
+    """
+    if num_rows < 0:
+        raise ValueError(f"num_rows must be non-negative, got {num_rows}")
+    if dimension < 1:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    validate_bundling_tunables(counter_depth, bundle_chunk_rows)
+    words = packed_words_per_hv(dimension)
+    block = min(bundle_chunk_rows, (1 << counter_depth) - 1)
+    num_blocks = math.ceil(num_rows / block) if num_rows else 0
+    compress_ops = 5.0 * num_rows * words
+    flush_ops = num_blocks * 2.0 * counter_depth * dimension
+    packed_bytes = num_rows * words * _WORD_BYTES
+    block_rows = min(num_rows, block)
+    return WorkloadCost(
+        operations=compress_ops + flush_ops,
+        bytes_moved=3.0 * packed_bytes,
+        # One gathered block plus its shrinking compression planes (the
+        # geometric series sums to ~2x the block) is resident at a time.
+        peak_memory_bytes=2.0 * block_rows * words * _WORD_BYTES
+        + dimension * 8,  # the int64 totals
+        kind="hdc",
+    )
+
+
 def seghdc_cost(
     height: int,
     width: int,
@@ -59,6 +110,8 @@ def seghdc_cost(
     num_iterations: int,
     channels: int = 3,
     backend: str = "dense",
+    counter_depth: int = 16,
+    bundle_chunk_rows: int = 16384,
 ) -> WorkloadCost:
     """Cost of one SegHDC run under the chosen compute backend.
 
@@ -83,11 +136,17 @@ def seghdc_cost(
     * Clustering, per iteration: the assignment decomposes the integer
       centroids into ``p ~ ceil(log2(N))`` bit-planes and performs an AND +
       popcount per word per plane per cluster -> ``2 * N * w * p * k`` word
-      operations; the centroid update unpacks each member row once
-      (``N * d / 8`` byte operations).
+      operations; the centroid update runs the bit-sliced vertical-count
+      bundle over every member row once per iteration — see
+      :func:`packed_bundle_cost` for the formula (~``5 * N * w`` word
+      operations plus the per-block flush, instead of the replaced
+      ``N * d / 8`` dense unpack round-trip).
     * Memory: the packed pixel matrix and position grid are ``N * w * 8``
       bytes each (8x smaller than dense); one dense color band and the
       integer dot-product chunk are the transient extras.
+
+    ``counter_depth`` / ``bundle_chunk_rows`` mirror the packed backend's
+    bundling tunables and only affect the packed formula.
     """
     if height <= 0 or width <= 0:
         raise ValueError("image dimensions must be positive")
@@ -116,14 +175,25 @@ def seghdc_cost(
         pack_ops = num_pixels * dimension / 8.0  # packbits of the color bands
         encode_ops = 2.0 * num_pixels * words + pack_ops
         assign_ops = 2.0 * num_pixels * words * bit_planes * num_clusters
-        update_ops = num_pixels * dimension / 8.0  # chunked unpack + sum
-        operations = encode_ops + num_iterations * (assign_ops + update_ops)
+        # Every pixel row is bundled into exactly one centroid per
+        # iteration, so the per-iteration bundling cost is one bit-sliced
+        # bundle over all N rows regardless of the cluster count.
+        bundle = packed_bundle_cost(
+            num_pixels,
+            dimension,
+            counter_depth=counter_depth,
+            bundle_chunk_rows=bundle_chunk_rows,
+        )
+        operations = encode_ops + num_iterations * (assign_ops + bundle.operations)
 
         hv_matrix_bytes = num_pixels * words * _WORD_BYTES
         # The assignment is cache-blocked: one packed chunk (a few MB) stays
         # resident across all plane/cluster passes, so each iteration streams
-        # the packed matrix once for the assignment and once for the update.
-        bytes_moved = hv_matrix_bytes * (1 + 2 * num_iterations)
+        # the packed matrix once for the assignment; the bit-sliced update
+        # touches ~3x the packed member bytes (see packed_bundle_cost).
+        bytes_moved = hv_matrix_bytes * (1 + num_iterations) + (
+            num_iterations * bundle.bytes_moved
+        )
         band_bytes = min(num_pixels, 64 * width) * dimension * _HV_BYTES
         peak_memory = (
             2.0 * hv_matrix_bytes  # packed position grid + packed pixel matrix

@@ -32,6 +32,7 @@ class EnergyEstimate:
 
     @property
     def energy_watt_hours(self) -> float:
+        """The consumed energy in watt-hours."""
         return self.energy_joules / 3600.0
 
 
@@ -48,6 +49,7 @@ class EnergyModel:
 
     @property
     def busy_power_watts(self) -> float:
+        """Total draw while computing (idle + active power)."""
         return self.idle_power_watts + self.active_power_watts
 
     def estimate(self, run: EdgeRunEstimate) -> EnergyEstimate:

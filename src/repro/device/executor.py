@@ -39,6 +39,7 @@ class EdgeRunEstimate:
 
     @property
     def peak_memory_gb(self) -> float:
+        """Peak working set in gibibytes."""
         return self.peak_memory_bytes / 1024**3
 
 
@@ -130,6 +131,8 @@ class EdgeDeviceSimulator:
         num_iterations: int,
         channels: int = 3,
         backend: str = "dense",
+        counter_depth: int = 16,
+        bundle_chunk_rows: int = 16384,
         strict: bool = True,
     ) -> EdgeRunEstimate:
         """Convenience wrapper: cost-model + estimate for a SegHDC run.
@@ -137,6 +140,8 @@ class EdgeDeviceSimulator:
         ``backend`` selects the compute-backend cost model: the packed
         backend trades the float32 assignment for word-wide AND/popcount
         operations and shrinks the resident HV matrices ~8x.
+        ``counter_depth`` / ``bundle_chunk_rows`` mirror the packed
+        backend's bundling tunables (ignored under ``backend="dense"``).
         """
         cost = seghdc_cost(
             height,
@@ -146,6 +151,8 @@ class EdgeDeviceSimulator:
             num_iterations=num_iterations,
             channels=channels,
             backend=backend,
+            counter_depth=counter_depth,
+            bundle_chunk_rows=bundle_chunk_rows,
         )
         return self.estimate(cost, strict=strict)
 

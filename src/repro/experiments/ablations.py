@@ -37,6 +37,7 @@ class AblationResult:
     scores: dict[str, float] = field(default_factory=dict)
 
     def to_table(self) -> ExperimentTable:
+        """The per-setting IoU scores as an :class:`ExperimentTable`."""
         table = ExperimentTable(
             title=f"{self.name} (scale={self.scale})", columns=["iou"]
         )
@@ -45,6 +46,7 @@ class AblationResult:
         return table
 
     def best_setting(self) -> str:
+        """The setting name with the highest IoU."""
         if not self.scores:
             raise ValueError("no ablation scores recorded")
         return max(self.scores, key=self.scores.get)

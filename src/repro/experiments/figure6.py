@@ -42,10 +42,12 @@ class Figure6Panel:
 
 @dataclass
 class Figure6Result:
+    """Per-dataset qualitative panels of Figure 6."""
     scale: str
     panels: list[Figure6Panel] = field(default_factory=list)
 
     def panel(self, dataset: str) -> Figure6Panel:
+        """The panel for ``dataset`` (``KeyError`` if absent)."""
         for panel in self.panels:
             if panel.dataset == dataset:
                 return panel

@@ -42,11 +42,13 @@ class Figure7Point:
 
 @dataclass
 class Figure7Result:
+    """Iteration and dimension sweeps of Figure 7 (a and b)."""
     scale: str
     iteration_sweep: list[Figure7Point] = field(default_factory=list)
     dimension_sweep: list[Figure7Point] = field(default_factory=list)
 
     def to_tables(self) -> tuple[ExperimentTable, ExperimentTable]:
+        """The two sweeps as ``(iterations, dimensions)`` tables."""
         iteration_table = ExperimentTable(
             title=f"Figure 7a (scale={self.scale})",
             columns=["iou", "host_seconds", "pi_seconds"],

@@ -27,6 +27,7 @@ __all__ = ["Figure8Result", "run_figure8"]
 
 @dataclass
 class Figure8Result:
+    """Per-iteration masks and IoU trajectory of Figure 8."""
     scale: str
     iou_per_iteration: list[float] = field(default_factory=list)
     masks: list[np.ndarray] = field(default_factory=list)
@@ -48,6 +49,7 @@ class Figure8Result:
         return float(counts.max() / first.size)
 
     def to_table(self) -> ExperimentTable:
+        """IoU after each iteration as an :class:`ExperimentTable`."""
         table = ExperimentTable(
             title=f"Figure 8 (scale={self.scale})", columns=["iou"]
         )

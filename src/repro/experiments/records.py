@@ -41,6 +41,7 @@ class ExperimentScale:
 
     @classmethod
     def quick(cls) -> "ExperimentScale":
+        """Minutes-scale settings for CI and local smoke runs."""
         return cls(
             name="quick",
             images_per_dataset=2,
@@ -56,6 +57,7 @@ class ExperimentScale:
 
     @classmethod
     def paper(cls) -> "ExperimentScale":
+        """The full experimental scale of the paper."""
         return cls(
             name="paper",
             images_per_dataset=25,
@@ -71,6 +73,7 @@ class ExperimentScale:
 
     @classmethod
     def from_name(cls, name: str) -> "ExperimentScale":
+        """Resolve ``"quick"`` / ``"paper"`` to a scale."""
         key = name.lower()
         if key == "quick":
             return cls.quick()
@@ -103,15 +106,18 @@ class ExperimentTable:
     rows: list[TableRow] = field(default_factory=list)
 
     def add_row(self, label: str, **values: float | str) -> None:
+        """Append a labelled row; unknown column names raise."""
         unknown = set(values) - set(self.columns)
         if unknown:
             raise KeyError(f"unknown columns {sorted(unknown)}; table has {self.columns}")
         self.rows.append(TableRow(label=label, values=dict(values)))
 
     def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
         return format_markdown_table(self)
 
     def to_csv(self, path: str | Path) -> Path:
+        """Write the table to ``path`` as CSV and return the path."""
         return write_csv(self, path)
 
 

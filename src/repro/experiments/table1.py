@@ -67,6 +67,7 @@ class Table1Result:
         return row["seghdc"] - row["baseline"]
 
     def to_table(self) -> ExperimentTable:
+        """The IoU comparison as an :class:`ExperimentTable`."""
         table = ExperimentTable(
             title=f"Table I (scale={self.scale})",
             columns=["baseline", "rpos", "rcolor", "seghdc", "improvement", "paper_seghdc"],

@@ -72,6 +72,7 @@ class Table2Row:
 
     @property
     def modelled_speedup(self) -> float | None:
+        """Baseline-over-SegHDC Pi latency ratio (None on OOM)."""
         if self.baseline_pi_seconds is None or self.baseline_oom_on_pi:
             return None
         return self.baseline_pi_seconds / self.seghdc_pi_seconds
@@ -79,16 +80,19 @@ class Table2Row:
 
 @dataclass
 class Table2Result:
+    """Per-dataset latency/OOM rows of Table II."""
     scale: str
     rows: list[Table2Row] = field(default_factory=list)
 
     def row(self, dataset: str) -> Table2Row:
+        """The row for ``dataset`` (``KeyError`` if absent)."""
         for row in self.rows:
             if row.dataset == dataset:
                 return row
         raise KeyError(f"no Table II row for dataset {dataset!r}")
 
     def to_table(self) -> ExperimentTable:
+        """The latency comparison as an :class:`ExperimentTable`."""
         table = ExperimentTable(
             title=f"Table II (scale={self.scale})",
             columns=[

@@ -24,16 +24,23 @@ raw bits directly:
   Popcounts use ``np.bitwise_count`` when available and otherwise fall back
   to a 16-bit lookup table (the classic embedded-friendly kernel).  Hamming
   distances between packed HVs use the same popcount primitive on XORed
-  words.
+  words.  Masked bundling — the centroid update — is a **bit-sliced
+  vertical-count kernel**: member rows are compressed with word-wide 3:2
+  carry-save adders into a small set of weighted bit-planes (a distributed
+  binary counter per dimension) that is flushed into the ``int64`` totals,
+  so the centroid update never materialises the dense ``(n, d)`` matrix
+  (see :meth:`PackedBackend.bundle_masked` for the math).
 
-Because the packed dot products are exact integers, the packed assignment
-selects the same argmax centroid as the dense float path (up to float32
-rounding of near-ties, which do not occur on realistic images), so both
-backends produce identical label maps for a fixed seed.
+Because the packed dot products and the bit-sliced bundle sums are exact
+integers, the packed backend selects the same argmax centroid and produces
+the same centroid bundles as the dense float path (up to float32 rounding
+of near-ties in the assignment, which do not occur on realistic images), so
+both backends produce identical label maps for a fixed seed.
 """
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -54,7 +61,37 @@ __all__ = [
     "make_backend",
     "popcount_words",
     "popcount16_table",
+    "validate_bundling_tunables",
 ]
+
+
+def validate_bundling_tunables(
+    counter_depth: int, bundle_chunk_rows: int
+) -> tuple[int, int]:
+    """Bounds-check the bit-sliced bundling tunables; returns them as ints.
+
+    Single source of truth for the legal tunable ranges —
+    :class:`PackedBackend`, ``SegHDCConfig``, and the device model's
+    ``packed_bundle_cost`` all validate through here, so the kernel, the
+    config layer, and the cost formula can never disagree about what is a
+    valid ``counter_depth`` (the ``<= 62`` bound keeps every plane weight
+    ``2^j`` representable in ``int64``).
+    """
+    for name, value in (
+        ("counter_depth", counter_depth),
+        ("bundle_chunk_rows", bundle_chunk_rows),
+    ):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"{name} must be an int, got {value!r}")
+    if not (1 <= counter_depth <= 62):
+        raise ValueError(
+            f"counter_depth must be in [1, 62], got {counter_depth}"
+        )
+    if bundle_chunk_rows < 1:
+        raise ValueError(
+            f"bundle_chunk_rows must be positive, got {bundle_chunk_rows}"
+        )
+    return int(counter_depth), int(bundle_chunk_rows)
 
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 _POPCOUNT16: np.ndarray | None = None
@@ -119,10 +156,12 @@ class HVStorage:
 
     @property
     def num_rows(self) -> int:
+        """Number of hypervector rows stored."""
         return self.data.shape[0]
 
     @property
     def nbytes(self) -> int:
+        """Backing-array footprint in bytes."""
         return int(self.data.nbytes)
 
     def row_popcounts(self) -> np.ndarray:
@@ -218,7 +257,29 @@ class HDCBackend(ABC):
     # ------------------------------------------------------------------ #
     @abstractmethod
     def bundle_masked(self, storage: HVStorage, mask: np.ndarray) -> np.ndarray:
-        """Element-wise ``int64`` sum of the rows selected by ``mask``."""
+        """Element-wise ``int64`` sum of the rows selected by ``mask``.
+
+        This is the centroid-update kernel of the HD K-Means clusterer: the
+        new centroid of a cluster is the bundle (per-dimension sum) of its
+        member hypervectors.  All backends must return bit-identical sums
+        for the same logical rows — the packed/dense parity contract covers
+        bundling as well as assignment.
+        """
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def capabilities(self) -> dict:
+        """Machine-readable description of this backend's storage + tunables.
+
+        Backends override this to declare their storage dtype under
+        ``"storage"`` and their constructor tunables with current values
+        under ``"tunables"``, so callers (the CLI ``list`` command,
+        benchmark metadata, serving dashboards) can report the exact kernel
+        configuration.  The base entry deliberately names no storage — that
+        is a property of the concrete backend, not of the seam.
+        """
+        return {"name": self.name, "tunables": {}}
 
     def __reduce__(self):
         """Pickle backends by name, not by state.
@@ -242,21 +303,29 @@ class DenseBackend(HDCBackend):
 
     name = "dense"
 
+    def capabilities(self) -> dict:
+        """uint8 storage, no tunables."""
+        return {"name": self.name, "storage": "uint8", "tunables": {}}
+
     def pack(self, dense_hvs: np.ndarray) -> HVStorage:
+        """Validate and wrap a ``(n, d)`` uint8 matrix as-is."""
         arr = np.asarray(dense_hvs, dtype=np.uint8)
         if arr.ndim != 2:
             raise ValueError(f"expected a (n, d) matrix, got shape {arr.shape}")
         return HVStorage(arr, arr.shape[1], self)
 
     def unpack(self, storage: HVStorage, indices: np.ndarray | None = None) -> np.ndarray:
+        """Rows are already dense; return (a view of) them."""
         if indices is None:
             return storage.data
         return storage.data[indices]
 
     def count_row_bits(self, storage: HVStorage) -> np.ndarray:
+        """Per-row sums of the 0/1 bytes."""
         return storage.data.sum(axis=1, dtype=np.int64)
 
     def bind_position_grid(self, row_hvs: np.ndarray, col_hvs: np.ndarray) -> HVStorage:
+        """Broadcast XOR of row HVs against column HVs."""
         rows = np.asarray(row_hvs, dtype=np.uint8)
         cols = np.asarray(col_hvs, dtype=np.uint8)
         height, dimension = rows.shape
@@ -271,6 +340,7 @@ class DenseBackend(HDCBackend):
         *,
         chunk_size: int = 8192,
     ) -> tuple[np.ndarray, float]:
+        """Chunked float32 cosine assignment (the historical path)."""
         hvs = storage.data
         num_pixels = hvs.shape[0]
         labels = np.empty(num_pixels, dtype=np.int32)
@@ -296,41 +366,92 @@ class DenseBackend(HDCBackend):
         return labels, total_distance
 
     def bundle_masked(self, storage: HVStorage, mask: np.ndarray) -> np.ndarray:
+        """Fancy-index the member rows and sum them as ``int64``."""
         return storage.data[mask].astype(np.int64).sum(axis=0)
 
 
 class PackedBackend(HDCBackend):
-    """Bit-packed ``uint64`` storage with integer-only kernels."""
+    """Bit-packed ``uint64`` storage with integer-only kernels.
+
+    Parameters
+    ----------
+    counter_depth:
+        Maximum bit-width ``k`` of the vertical (per-dimension) counters the
+        bit-sliced bundling kernel accumulates before flushing into the
+        ``int64`` totals.  One accumulation block holds at most ``2^k - 1``
+        member rows, so no distributed counter ever needs more than ``k``
+        bit-planes (see :meth:`bundle_masked` for the invariant).  Must be
+        in ``[1, 62]`` so plane weights stay representable in ``int64``.
+    bundle_chunk_rows:
+        Member rows gathered per numpy slab while bundling; bounds the
+        transient packed working set of the kernel.  The effective block
+        size is ``min(bundle_chunk_rows, 2^counter_depth - 1)``.
+    unpack_chunk_rows:
+        Rows per chunk of the *reference* bundling path
+        (:meth:`bundle_masked_unpacked`), the historical dense round-trip
+        kept as the correctness/throughput baseline of the bit-sliced
+        kernel.
+    """
 
     name = "packed"
 
-    def __init__(self, *, unpack_chunk_rows: int = 8192) -> None:
+    def __init__(
+        self,
+        *,
+        counter_depth: int = 16,
+        bundle_chunk_rows: int = 16384,
+        unpack_chunk_rows: int = 8192,
+    ) -> None:
+        self.counter_depth, self.bundle_chunk_rows = validate_bundling_tunables(
+            counter_depth, bundle_chunk_rows
+        )
         if unpack_chunk_rows < 1:
             raise ValueError(
                 f"unpack_chunk_rows must be positive, got {unpack_chunk_rows}"
             )
         self.unpack_chunk_rows = int(unpack_chunk_rows)
 
+    def capabilities(self) -> dict:
+        """Packed storage + the bit-sliced bundling tunables."""
+        return {
+            "name": self.name,
+            "storage": "uint64",
+            "tunables": {
+                "counter_depth": self.counter_depth,
+                "bundle_chunk_rows": self.bundle_chunk_rows,
+                "unpack_chunk_rows": self.unpack_chunk_rows,
+            },
+        }
+
     def __reduce__(self):
-        return (_rebuild_packed_backend, (self.unpack_chunk_rows,))
+        return (
+            _rebuild_packed_backend,
+            (self.counter_depth, self.bundle_chunk_rows, self.unpack_chunk_rows),
+        )
 
     def pack(self, dense_hvs: np.ndarray) -> HVStorage:
+        """Bit-pack a ``(n, d)`` uint8 matrix into uint64 words."""
         arr = np.asarray(dense_hvs, dtype=np.uint8)
         if arr.ndim != 2:
             raise ValueError(f"expected a (n, d) matrix, got shape {arr.shape}")
         return HVStorage(pack_hvs(arr), arr.shape[1], self)
 
     def unpack(self, storage: HVStorage, indices: np.ndarray | None = None) -> np.ndarray:
+        """Recover dense 0/1 rows from the packed words."""
         words = storage.data if indices is None else storage.data[indices]
         return unpack_hvs(words, storage.dimension)
 
     def count_row_bits(self, storage: HVStorage) -> np.ndarray:
+        """Per-row popcounts of the packed words."""
         return popcount_words(storage.data)
 
     def bind_position_grid(self, row_hvs: np.ndarray, col_hvs: np.ndarray) -> HVStorage:
-        # packbits(a ^ b) == packbits(a) ^ packbits(b): pack the small per-row
-        # and per-column tables first and XOR words, never materialising the
-        # dense (H, W, d) grid.
+        """Word-wide XOR of packed row HVs against packed column HVs.
+
+        packbits(a ^ b) == packbits(a) ^ packbits(b): pack the small per-row
+        and per-column tables first and XOR words, never materialising the
+        dense (H, W, d) grid.
+        """
         rows = pack_hvs(np.asarray(row_hvs, dtype=np.uint8))
         cols = pack_hvs(np.asarray(col_hvs, dtype=np.uint8))
         height, words = rows.shape
@@ -373,6 +494,7 @@ class PackedBackend(HDCBackend):
         *,
         chunk_size: int = 8192,
     ) -> tuple[np.ndarray, float]:
+        """Integer cosine assignment via AND + popcount bit-planes."""
         words = storage.data
         num_pixels = words.shape[0]
         num_clusters = centroids.shape[0]
@@ -404,6 +526,115 @@ class PackedBackend(HDCBackend):
         return labels, total_distance
 
     def bundle_masked(self, storage: HVStorage, mask: np.ndarray) -> np.ndarray:
+        """Bit-sliced vertical-count bundle of the rows selected by ``mask``.
+
+        The kernel sums the selected packed rows per dimension without ever
+        unpacking them to the dense ``(m, d)`` uint8 matrix.
+
+        **Bit-plane layout.**  A packed row is ``w = ceil(d / 64)`` uint64
+        words; bit ``b`` of word ``i`` of every member row forms one
+        *vertical* bit column, and the per-dimension member count is the sum
+        of that column.  The kernel represents partial counts as *weighted
+        bit-planes*: a plane of weight ``2^j`` is a ``(w,)`` word row whose
+        set bits each contribute ``2^j`` to their dimension's count.  The
+        member rows themselves enter as planes of weight ``2^0``, and the
+        plane set of one block is exactly a binary counter per dimension,
+        distributed across planes (the "vertical counter").
+
+        **Word-wide carry-save adds.**  Three planes of equal weight ``2^j``
+        are compressed into two with one full-adder step applied to all 64
+        columns of a word at once::
+
+            sum   = a ^ b ^ c                    # weight 2^j
+            carry = (a & b) | ((a ^ b) & c)      # weight 2^(j+1)
+
+        Each 3:2 pass removes a third of the planes at a weight level, so
+        reducing ``m`` member rows costs ~``5 * m * w`` word operations in
+        total (a geometric series over passes) and is vectorised across
+        planes.  When at most two planes remain at a weight level they are
+        unpacked — ``2 * ceil(log2(m))`` single rows, not ``m`` — scaled by
+        their weight, and added to the ``int64`` totals.
+
+        **Invariants and overflow bounds.**  One accumulation block holds at
+        most ``min(bundle_chunk_rows, 2^counter_depth - 1)`` member rows, so
+        every per-dimension count inside a block is below
+        ``2^counter_depth`` and no vertical counter ever needs a plane of
+        weight ``>= 2^counter_depth``; with ``counter_depth <= 62`` every
+        plane weight is an exact ``int64``.  Larger member sets are split
+        across blocks and flushed into the ``int64`` accumulator, which
+        cannot overflow before ``2^63`` total member rows.  Padding bits of
+        the last word are zero in every stored row, stay zero through XOR /
+        AND / OR, and are truncated by the flush unpack, so ``d`` not being
+        a multiple of 64 never perturbs the counts.
+
+        **Parity contract.**  The kernel is exact integer arithmetic, so its
+        output is bit-identical to :meth:`DenseBackend.bundle_masked` (and
+        to the retained :meth:`bundle_masked_unpacked` reference path) for
+        the same logical rows — asserted per kernel by the bundling tests
+        and end-to-end by the dense/packed parity sweep and golden fixtures.
+        """
+        indices = np.flatnonzero(np.asarray(mask))
+        total = np.zeros(storage.dimension, dtype=np.int64)
+        block = min(self.bundle_chunk_rows, (1 << self.counter_depth) - 1)
+        for start in range(0, indices.size, block):
+            rows = storage.data[indices[start : start + block]]
+            self._accumulate_block(rows, total, storage.dimension)
+        return total
+
+    @staticmethod
+    def _accumulate_block(
+        planes: np.ndarray, total: np.ndarray, dimension: int
+    ) -> None:
+        """Flush one block of weight-1 packed rows into ``total`` (in place).
+
+        ``buckets`` maps the weight exponent ``j`` to the stack of pending
+        planes of weight ``2^j``; 3:2 carry-save passes drain each level and
+        push carries one level up until every level holds at most two
+        planes, which are unpacked and added with their weight.
+        """
+        buckets: dict[int, np.ndarray] = {0: planes}
+        while buckets:
+            weight = min(buckets)
+            stack = buckets.pop(weight)
+            carries: list[np.ndarray] = []
+            while stack.shape[0] >= 3:
+                full = (stack.shape[0] // 3) * 3
+                a, b, c = stack[0:full:3], stack[1:full:3], stack[2:full:3]
+                half = a ^ b
+                carries.append((a & b) | (half & c))
+                compressed = half ^ c
+                tail = stack[full:]
+                stack = (
+                    np.concatenate([compressed, tail])
+                    if tail.shape[0]
+                    else compressed
+                )
+            for plane in stack:  # at most two planes survive per level
+                total += np.int64(1 << weight) * unpack_hvs(
+                    plane[None, :], dimension
+                )[0]
+            if carries:
+                merged = (
+                    carries[0] if len(carries) == 1 else np.concatenate(carries)
+                )
+                pending = buckets.get(weight + 1)
+                buckets[weight + 1] = (
+                    merged
+                    if pending is None
+                    else np.concatenate([pending, merged])
+                )
+
+    def bundle_masked_unpacked(
+        self, storage: HVStorage, mask: np.ndarray
+    ) -> np.ndarray:
+        """Reference bundling path: chunked unpack to dense, then sum.
+
+        This is the historical implementation the bit-sliced kernel
+        replaced.  It is retained (not dead code) as the independent oracle
+        of the bundling tests and as the baseline the throughput harness
+        (``benchmarks/test_bundling_throughput.py``) measures the >= 2x
+        speedup of :meth:`bundle_masked` against.
+        """
         indices = np.flatnonzero(np.asarray(mask))
         total = np.zeros(storage.dimension, dtype=np.int64)
         for start in range(0, indices.size, self.unpack_chunk_rows):
@@ -417,9 +648,15 @@ class PackedBackend(HDCBackend):
         return popcount_words(storage.data ^ reference_row[None, :])
 
 
-def _rebuild_packed_backend(unpack_chunk_rows: int) -> "PackedBackend":
+def _rebuild_packed_backend(
+    counter_depth: int, bundle_chunk_rows: int, unpack_chunk_rows: int
+) -> "PackedBackend":
     """Unpickle helper preserving :class:`PackedBackend` constructor state."""
-    return PackedBackend(unpack_chunk_rows=unpack_chunk_rows)
+    return PackedBackend(
+        counter_depth=counter_depth,
+        bundle_chunk_rows=bundle_chunk_rows,
+        unpack_chunk_rows=unpack_chunk_rows,
+    )
 
 
 _BACKENDS = {
@@ -433,13 +670,47 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_BACKENDS))
 
 
-def make_backend(name: str | HDCBackend) -> HDCBackend:
-    """Build a compute backend by name (``"dense"`` or ``"packed"``)."""
+def make_backend(name: str | HDCBackend, **options) -> HDCBackend:
+    """Build a compute backend by name (``"dense"`` or ``"packed"``).
+
+    Keyword ``options`` are forwarded to the backend's constructor — the
+    tunable surface each backend documents in its ``capabilities()`` (for
+    ``"packed"``: ``counter_depth``, ``bundle_chunk_rows``,
+    ``unpack_chunk_rows``).  An option the backend does not accept raises
+    ``ValueError`` naming the backend, so a typo in a config or spec fails
+    loudly instead of silently running defaults.  Passing an already-built
+    backend instance returns it unchanged and rejects options (the instance
+    already fixed its tunables).
+    """
     if isinstance(name, HDCBackend):
+        if options:
+            raise ValueError(
+                f"cannot apply options {sorted(options)} to an already-built "
+                f"{name.name!r} backend instance"
+            )
         return name
     key = str(name).lower()
     if key not in _BACKENDS:
         raise ValueError(
             f"unknown backend {name!r}; available: {', '.join(available_backends())}"
         )
-    return _BACKENDS[key]()
+    cls = _BACKENDS[key]
+    if options:
+        # Reject unknown option *names* before calling the constructor, so
+        # a bad value for a supported tunable surfaces as the constructor's
+        # own validation error, not as a bogus "option does not exist".
+        parameters = inspect.signature(cls.__init__).parameters
+        accepted = {
+            param_name
+            for param_name, param in parameters.items()
+            if param_name != "self"
+            and param.kind
+            in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY)
+        }
+        unknown = sorted(set(options) - accepted)
+        if unknown:
+            raise ValueError(
+                f"backend {key!r} does not accept options {unknown}; "
+                f"see its capabilities() for the supported tunables"
+            )
+    return cls(**options)

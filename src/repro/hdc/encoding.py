@@ -74,10 +74,12 @@ class PrefixFlipEncoder:
 
     @property
     def dimension(self) -> int:
+        """Dimension of the base hypervector."""
         return self.base.size
 
     @property
     def region_size(self) -> int:
+        """Width of the flip region in elements."""
         return self.region_stop - self.region_start
 
     def flip_count(self, level: int) -> int:

@@ -82,22 +82,27 @@ class Image:
 
     @property
     def height(self) -> int:
+        """Image height in pixels."""
         return self.pixels.shape[0]
 
     @property
     def width(self) -> int:
+        """Image width in pixels."""
         return self.pixels.shape[1]
 
     @property
     def channels(self) -> int:
+        """Number of color channels (1 for grayscale)."""
         return 1 if self.pixels.ndim == 2 else self.pixels.shape[2]
 
     @property
     def shape(self) -> tuple[int, ...]:
+        """The raw pixel-array shape."""
         return self.pixels.shape
 
     @property
     def num_pixels(self) -> int:
+        """Total pixel count (``height * width``)."""
         return self.height * self.width
 
     def grayscale(self) -> np.ndarray:
@@ -109,6 +114,7 @@ class Image:
         return to_rgb(self.pixels)
 
     def copy(self) -> "Image":
+        """Deep copy (pixels and metadata are not shared)."""
         return Image(self.pixels.copy(), name=self.name, metadata=dict(self.metadata))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

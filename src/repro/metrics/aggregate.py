@@ -21,25 +21,31 @@ class DatasetScore:
 
     @property
     def mean(self) -> float:
+        """Mean per-image score (0.0 when empty)."""
         return float(np.mean(self.per_image)) if self.per_image else 0.0
 
     @property
     def std(self) -> float:
+        """Standard deviation of the per-image scores."""
         return float(np.std(self.per_image)) if self.per_image else 0.0
 
     @property
     def minimum(self) -> float:
+        """Lowest per-image score."""
         return float(np.min(self.per_image)) if self.per_image else 0.0
 
     @property
     def maximum(self) -> float:
+        """Highest per-image score."""
         return float(np.max(self.per_image)) if self.per_image else 0.0
 
     @property
     def count(self) -> int:
+        """Number of scored images."""
         return len(self.per_image)
 
     def summary(self) -> dict[str, float]:
+        """The aggregate statistics as a flat JSON-ready dict."""
         return {
             "mean_iou": self.mean,
             "std_iou": self.std,

@@ -28,16 +28,19 @@ class InstanceMatchResult:
 
     @property
     def precision(self) -> float:
+        """Matched instances over all predicted instances."""
         denominator = self.true_positives + self.false_positives
         return self.true_positives / denominator if denominator else 0.0
 
     @property
     def recall(self) -> float:
+        """Matched instances over all ground-truth instances."""
         denominator = self.true_positives + self.false_negatives
         return self.true_positives / denominator if denominator else 0.0
 
     @property
     def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
         precision = self.precision
         recall = self.recall
         if precision + recall == 0.0:
@@ -46,6 +49,7 @@ class InstanceMatchResult:
 
     @property
     def mean_matched_iou(self) -> float:
+        """Mean IoU over the matched instance pairs."""
         return float(np.mean(self.matched_ious)) if self.matched_ious else 0.0
 
 

@@ -3,6 +3,12 @@
 This is the paper's primary contribution: the four-component pipeline of
 position encoder, color encoder, pixel-HV producer, and HD K-Means clusterer.
 The public entry point is :class:`SegHDC` configured by :class:`SegHDCConfig`.
+
+:class:`SegmentationResult` (and its companion ``normalize_image``) is *not*
+native to this package: its canonical home is :mod:`repro.api.result`, where
+every registered segmenter's results live.  It is re-exported here — and from
+:mod:`repro.seghdc.engine` / :mod:`repro.seghdc.pipeline` — purely for
+backward compatibility with pre-registry imports.
 """
 
 from repro.seghdc.config import SegHDCConfig

@@ -72,6 +72,7 @@ class ColorEncoder(ABC):
 
     @property
     def dimension(self) -> int:
+        """Total hypervector dimension across channels."""
         return self.space.dimension
 
     @abstractmethod
@@ -176,6 +177,7 @@ class ManhattanColorEncoder(ColorEncoder):
 
     @property
     def levels(self) -> int:
+        """Number of quantisation levels actually used."""
         return self._levels
 
     @property
@@ -184,6 +186,7 @@ class ManhattanColorEncoder(ColorEncoder):
         return list(self._units)
 
     def level_tables(self) -> list[np.ndarray]:
+        """Flip-prefix level tables, built lazily per channel."""
         if self._tables is None:
             tables = []
             for base, unit, dim in zip(
@@ -234,9 +237,11 @@ class RandomColorEncoder(ColorEncoder):
 
     @property
     def levels(self) -> int:
+        """Number of quantisation levels actually used."""
         return self._levels
 
     def level_tables(self) -> list[np.ndarray]:
+        """Independent random level tables (the RColor ablation)."""
         return self._tables
 
 

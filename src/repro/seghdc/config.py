@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.hdc.backend import available_backends
+from repro.hdc.backend import available_backends, validate_bundling_tunables
 
 __all__ = ["SegHDCConfig"]
 
@@ -53,11 +53,23 @@ class SegHDCConfig:
         Compute backend for HV storage and kernels: ``"dense"`` (one byte
         per bit, bit-exact with the historical implementation) or
         ``"packed"`` (uint64 bit-packing, ~8x less memory, integer-only
-        assignment).  The packed assignment is exact integer arithmetic,
-        so the two backends produce identical label maps except in the
-        theoretical case of a near-tie that float32 rounding of the dense
-        path resolves differently (never observed on the reference
-        datasets, and pinned by the parity tests for fixed seeds).
+        assignment and bit-sliced bundling).  The packed kernels are exact
+        integer arithmetic, so the two backends produce identical label
+        maps except in the theoretical case of a near-tie that float32
+        rounding of the dense path resolves differently (never observed on
+        the reference datasets, and pinned by the parity tests for fixed
+        seeds).
+    counter_depth:
+        Packed-backend tunable: bit-width ``k`` of the vertical counters of
+        the bit-sliced bundling kernel; one accumulation block holds at
+        most ``2^k - 1`` member rows before flushing (see
+        :meth:`repro.hdc.backend.PackedBackend.bundle_masked`).  Ignored by
+        the dense backend.  Reachable from the CLI via ``--config-json
+        '{"counter_depth": 8}'``.
+    bundle_chunk_rows:
+        Packed-backend tunable: member rows gathered per numpy slab while
+        bundling, bounding the kernel's transient working set.  Ignored by
+        the dense backend.
     """
 
     dimension: int = 10_000
@@ -72,6 +84,8 @@ class SegHDCConfig:
     seed: int = 0
     record_history: bool = False
     backend: str = "dense"
+    counter_depth: int = 16
+    bundle_chunk_rows: int = 16384
 
     def __post_init__(self) -> None:
         if self.dimension < 6:
@@ -109,6 +123,21 @@ class SegHDCConfig:
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {available_backends()}"
             )
+        validate_bundling_tunables(self.counter_depth, self.bundle_chunk_rows)
+
+    def backend_options(self) -> dict:
+        """Constructor options for :func:`repro.hdc.backend.make_backend`.
+
+        Only the packed backend has tunables today; the dense backend takes
+        none, so its options dict is empty and the tunable fields of this
+        config are inert under ``backend="dense"``.
+        """
+        if self.backend == "packed":
+            return {
+                "counter_depth": self.counter_depth,
+                "bundle_chunk_rows": self.bundle_chunk_rows,
+            }
+        return {}
 
     def with_overrides(self, **kwargs) -> "SegHDCConfig":
         """A copy of the config with the given fields replaced."""

@@ -119,7 +119,12 @@ class SegHDCEngine:
         if band_rows < 1:
             raise ValueError(f"band_rows must be positive, got {band_rows}")
         self._config = config or SegHDCConfig()
-        self.backend: HDCBackend = make_backend(self._config.backend)
+        # The config's tunable surface (counter_depth, bundle_chunk_rows for
+        # the packed backend) reaches the kernels here, so a --config-json
+        # or run-spec override configures the bit-sliced bundling kernel.
+        self.backend: HDCBackend = make_backend(
+            self._config.backend, **self._config.backend_options()
+        )
         self.cache_size = int(cache_size)
         self.max_cache_bytes = int(max_cache_bytes)
         self.band_rows = int(band_rows)
@@ -279,6 +284,7 @@ class SegHDCEngine:
             "num_iterations": config.num_iterations,
             "num_pixels": height * width,
             "backend": self.backend.name,
+            "backend_capabilities": self.backend.capabilities(),
             "hv_storage_bytes": pixel_storage.nbytes,
             "cache": self.cache_info(),
         }

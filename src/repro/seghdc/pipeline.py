@@ -23,6 +23,8 @@ from repro.imaging.image import Image
 from repro.seghdc.config import SegHDCConfig
 from repro.seghdc.engine import SegHDCEngine
 
+# SegmentationResult's canonical home is repro.api.result; the name stays in
+# __all__ only as a backward-compatible re-export for pre-registry callers.
 __all__ = ["SegHDC", "SegmentationResult"]
 
 
@@ -46,6 +48,7 @@ class SegHDC:
 
     @property
     def config(self) -> SegHDCConfig:
+        """The pipeline configuration (setting it swaps in a fresh engine)."""
         return self._config
 
     @config.setter

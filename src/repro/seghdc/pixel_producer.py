@@ -34,6 +34,7 @@ class PixelHVProducer:
 
     @property
     def dimension(self) -> int:
+        """Hypervector dimension shared by both encoders."""
         return self.position_encoder.dimension
 
     def produce_pixel(self, row: int, column: int, value) -> np.ndarray:

@@ -53,6 +53,7 @@ class PositionEncoder(ABC):
 
     @property
     def dimension(self) -> int:
+        """Hypervector dimension of the owning space."""
         return self.space.dimension
 
     @abstractmethod
@@ -157,6 +158,7 @@ class BlockDecayPositionEncoder(PositionEncoder):
         return hvs
 
     def row_hypervectors(self) -> np.ndarray:
+        """Block-decay row HVs (flips in the first half), cached."""
         if self._row_hvs is None:
             flips = [self.row_flip_count(row) for row in range(self.height)]
             # Rows flip inside the first half of the HV.
@@ -164,6 +166,7 @@ class BlockDecayPositionEncoder(PositionEncoder):
         return self._row_hvs
 
     def column_hypervectors(self) -> np.ndarray:
+        """Block-decay column HVs (flips in the second half), cached."""
         if self._col_hvs is None:
             flips = [self.column_flip_count(col) for col in range(self.width)]
             # Columns flip inside the second half of the HV.
@@ -207,6 +210,7 @@ class UniformPositionEncoder(PositionEncoder):
         self._col_hvs: np.ndarray | None = None
 
     def row_hypervectors(self) -> np.ndarray:
+        """Prefix-flip row HVs with a uniform per-row unit, cached."""
         if self._row_hvs is None:
             hvs = np.tile(self._row_base, (self.height, 1))
             for row in range(self.height):
@@ -217,6 +221,7 @@ class UniformPositionEncoder(PositionEncoder):
         return self._row_hvs
 
     def column_hypervectors(self) -> np.ndarray:
+        """Prefix-flip column HVs with a uniform per-column unit, cached."""
         if self._col_hvs is None:
             hvs = np.tile(self._col_base, (self.width, 1))
             for col in range(self.width):
@@ -241,9 +246,11 @@ class RandomPositionEncoder(PositionEncoder):
         self._col_hvs = space.random_batch(width)
 
     def row_hypervectors(self) -> np.ndarray:
+        """Independent random row HVs (the RPos ablation)."""
         return self._row_hvs
 
     def column_hypervectors(self) -> np.ndarray:
+        """Independent random column HVs (the RPos ablation)."""
         return self._col_hvs
 
 

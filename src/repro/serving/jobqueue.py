@@ -39,11 +39,13 @@ class BoundedJobQueue:
         self._closed = False
 
     def depth(self) -> int:
+        """Number of jobs currently waiting (thread-safe)."""
         with self._cond:
             return len(self._pending)
 
     @property
     def closed(self) -> bool:
+        """True once the queue stopped accepting jobs."""
         with self._cond:
             return self._closed
 

@@ -112,6 +112,7 @@ class StatsCollector:
     # recording
     # ------------------------------------------------------------------ #
     def record_submitted(self) -> None:
+        """Count one admitted job."""
         with self._lock:
             self._submitted += 1
 
@@ -128,10 +129,12 @@ class StatsCollector:
             self._lock.notify_all()
 
     def record_rejected(self) -> None:
+        """Count one job bounced by backpressure."""
         with self._lock:
             self._rejected += 1
 
     def record_batch(self, size: int) -> None:
+        """Count one dispatched micro-batch of ``size`` jobs."""
         with self._lock:
             self._batches += 1
             self._batched_jobs += size
@@ -139,6 +142,7 @@ class StatsCollector:
     def record_completed(
         self, latency_seconds: float, *, cache: dict | None = None, source=None
     ) -> None:
+        """Count one success with its latency and cache snapshot."""
         with self._lock:
             self._completed += 1
             self._latencies.append(float(latency_seconds))
@@ -147,6 +151,7 @@ class StatsCollector:
             self._lock.notify_all()
 
     def record_failed(self, latency_seconds: float | None = None) -> None:
+        """Count one failure (latency recorded when known)."""
         with self._lock:
             self._failed += 1
             if latency_seconds is not None:
@@ -157,6 +162,7 @@ class StatsCollector:
     # reading
     # ------------------------------------------------------------------ #
     def pending(self) -> int:
+        """Admitted jobs not yet completed or failed."""
         with self._lock:
             return self._submitted - self._completed - self._failed
 
@@ -171,6 +177,7 @@ class StatsCollector:
     def snapshot(
         self, *, mode: str, num_workers: int, queue_depth: int
     ) -> ServerStats:
+        """Immutable :class:`ServerStats` of the current counters."""
         with self._lock:
             pending = self._submitted - self._completed - self._failed
             return ServerStats(

@@ -1,0 +1,321 @@
+"""Tests for the bit-sliced vertical-count bundling kernel and its plumbing.
+
+The kernel itself (``PackedBackend.bundle_masked``) is held to bit-exactness
+against two independent oracles — the dense uint8 sum and the retained
+chunked-unpack reference path — across the edge cases that stress its
+invariants: empty and all-member masks, dimensions that are not multiples of
+64 (padding bits), single-row storage, and member counts that cross the
+``2^counter_depth - 1`` block capacity (counter overflow boundary).  The
+plumbing tests cover the tunable surface: ``make_backend`` options,
+``SegHDCConfig.backend_options``, the engine threading, the CLI, and the
+device-model bundling formula.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.hdc import DenseBackend, PackedBackend, make_backend
+from repro.seghdc import SegHDCConfig, SegHDCEngine
+
+
+def _random_hvs(rng, rows, dimension):
+    return rng.integers(0, 2, size=(rows, dimension), dtype=np.uint8)
+
+
+def _assert_bundle_exact(packed, hvs, mask):
+    """The bit-sliced kernel must match both oracles bit for bit."""
+    dense_total = DenseBackend().bundle_masked(DenseBackend().pack(hvs), mask)
+    storage = packed.pack(hvs)
+    sliced_total = packed.bundle_masked(storage, mask)
+    unpack_total = packed.bundle_masked_unpacked(storage, mask)
+    assert sliced_total.dtype == np.int64
+    assert np.array_equal(sliced_total, dense_total)
+    assert np.array_equal(sliced_total, unpack_total)
+
+
+class TestBitSlicedKernel:
+    @pytest.mark.parametrize("dimension", [64, 65, 100, 333, 1000])
+    def test_random_masks_match_oracles(self, rng, dimension):
+        hvs = _random_hvs(rng, 57, dimension)
+        mask = rng.integers(0, 2, size=57).astype(bool)
+        _assert_bundle_exact(PackedBackend(), hvs, mask)
+
+    def test_empty_mask_is_zero(self, rng):
+        packed = PackedBackend()
+        storage = packed.pack(_random_hvs(rng, 10, 100))
+        total = packed.bundle_masked(storage, np.zeros(10, dtype=bool))
+        assert total.shape == (100,)
+        assert total.dtype == np.int64
+        assert not total.any()
+
+    def test_all_member_mask(self, rng):
+        hvs = _random_hvs(rng, 40, 130)
+        mask = np.ones(40, dtype=bool)
+        _assert_bundle_exact(PackedBackend(), hvs, mask)
+        packed = PackedBackend()
+        total = packed.bundle_masked(packed.pack(hvs), mask)
+        assert np.array_equal(total, hvs.astype(np.int64).sum(axis=0))
+
+    def test_single_row_storage(self, rng):
+        hvs = _random_hvs(rng, 1, 77)
+        packed = PackedBackend()
+        total = packed.bundle_masked(packed.pack(hvs), np.array([True]))
+        assert np.array_equal(total, hvs[0].astype(np.int64))
+        _assert_bundle_exact(packed, hvs, np.array([False]))
+
+    def test_padding_bits_never_leak(self):
+        # d = 65: the second word carries 63 padding bits.  All-ones rows
+        # make any padding leak visible as a count > the member count.
+        hvs = np.ones((9, 65), dtype=np.uint8)
+        packed = PackedBackend()
+        total = packed.bundle_masked(packed.pack(hvs), np.ones(9, dtype=bool))
+        assert total.shape == (65,)
+        assert (total == 9).all()
+
+    @pytest.mark.parametrize("members", [7, 8, 9, 20, 63])
+    def test_counter_overflow_boundary(self, rng, members):
+        """counter_depth=3 caps a block at 2^3 - 1 = 7 members; member sets
+        at, just above, and far above the capacity must all stay exact."""
+        packed = PackedBackend(counter_depth=3)
+        hvs = np.ones((members, 70), dtype=np.uint8)  # worst case: every
+        mask = np.ones(members, dtype=bool)           # counter saturates
+        total = packed.bundle_masked(packed.pack(hvs), mask)
+        assert (total == members).all()
+        random_hvs = _random_hvs(rng, members, 70)
+        _assert_bundle_exact(packed, random_hvs, mask)
+
+    def test_chunk_boundary_splits_are_exact(self, rng):
+        hvs = _random_hvs(rng, 23, 90)
+        mask = rng.integers(0, 2, size=23).astype(bool)
+        baseline = PackedBackend().bundle_masked(PackedBackend().pack(hvs), mask)
+        for chunk_rows in (1, 2, 5, 23, 1000):
+            packed = PackedBackend(bundle_chunk_rows=chunk_rows)
+            total = packed.bundle_masked(packed.pack(hvs), mask)
+            assert np.array_equal(total, baseline), f"chunk_rows={chunk_rows}"
+
+    @pytest.mark.parametrize("depth", [1, 2, 5, 62])
+    def test_every_counter_depth_is_exact(self, rng, depth):
+        hvs = _random_hvs(rng, 31, 128)
+        mask = rng.integers(0, 2, size=31).astype(bool)
+        _assert_bundle_exact(PackedBackend(counter_depth=depth), hvs, mask)
+
+    def test_integer_mask_accepted(self, rng):
+        hvs = _random_hvs(rng, 12, 64)
+        labels = rng.integers(0, 2, size=12)
+        packed = PackedBackend()
+        total = packed.bundle_masked(packed.pack(hvs), labels == 1)
+        assert np.array_equal(total, hvs[labels == 1].astype(np.int64).sum(axis=0))
+
+
+class TestTunableSurface:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="counter_depth"):
+            PackedBackend(counter_depth=0)
+        with pytest.raises(ValueError, match="counter_depth"):
+            PackedBackend(counter_depth=63)
+        with pytest.raises(ValueError, match="bundle_chunk_rows"):
+            PackedBackend(bundle_chunk_rows=0)
+
+    def test_make_backend_forwards_options(self):
+        packed = make_backend("packed", counter_depth=4, bundle_chunk_rows=32)
+        assert packed.counter_depth == 4
+        assert packed.bundle_chunk_rows == 32
+
+    def test_make_backend_rejects_unknown_options(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            make_backend("packed", lane_width=9)
+        with pytest.raises(ValueError, match="does not accept"):
+            make_backend("dense", counter_depth=8)
+
+    def test_make_backend_reports_bad_values_not_bad_names(self):
+        """A wrong-typed value for a *supported* tunable must surface as the
+        constructor's validation error, not as 'option does not exist'."""
+        with pytest.raises(ValueError, match="counter_depth must be an int"):
+            make_backend("packed", counter_depth="8")
+
+    def test_make_backend_rejects_options_on_instances(self):
+        with pytest.raises(ValueError, match="already-built"):
+            make_backend(PackedBackend(), counter_depth=8)
+
+    def test_capabilities_report_tunables(self):
+        caps = PackedBackend(counter_depth=5, bundle_chunk_rows=99).capabilities()
+        assert caps["name"] == "packed"
+        assert caps["storage"] == "uint64"
+        assert caps["tunables"]["counter_depth"] == 5
+        assert caps["tunables"]["bundle_chunk_rows"] == 99
+        dense_caps = DenseBackend().capabilities()
+        assert dense_caps == {"name": "dense", "storage": "uint8", "tunables": {}}
+
+    def test_pickle_preserves_bundling_tunables(self):
+        clone = pickle.loads(
+            pickle.dumps(
+                PackedBackend(
+                    counter_depth=7, bundle_chunk_rows=11, unpack_chunk_rows=13
+                )
+            )
+        )
+        assert clone.counter_depth == 7
+        assert clone.bundle_chunk_rows == 11
+        assert clone.unpack_chunk_rows == 13
+
+
+class TestConfigPlumbing:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="counter_depth"):
+            SegHDCConfig(counter_depth=0)
+        with pytest.raises(ValueError, match="bundle_chunk_rows"):
+            SegHDCConfig(bundle_chunk_rows=-1)
+
+    def test_backend_options_only_for_packed(self):
+        dense = SegHDCConfig(dimension=64, counter_depth=4)
+        assert dense.backend_options() == {}
+        packed = SegHDCConfig(
+            dimension=64, backend="packed", counter_depth=4, bundle_chunk_rows=7
+        )
+        assert packed.backend_options() == {
+            "counter_depth": 4,
+            "bundle_chunk_rows": 7,
+        }
+
+    def test_engine_threads_tunables_to_backend(self):
+        config = SegHDCConfig(
+            dimension=64,
+            backend="packed",
+            counter_depth=6,
+            bundle_chunk_rows=123,
+        )
+        engine = SegHDCEngine(config)
+        assert engine.backend.counter_depth == 6
+        assert engine.backend.bundle_chunk_rows == 123
+
+    def test_tunables_roundtrip_through_spec(self):
+        config = SegHDCConfig(
+            dimension=64, backend="packed", counter_depth=9, bundle_chunk_rows=50
+        )
+        data = config.to_dict()
+        assert data["counter_depth"] == 9
+        assert data["bundle_chunk_rows"] == 50
+        assert SegHDCConfig.from_dict(data) == config
+
+    def test_tunables_do_not_change_labels(self, rng):
+        """The tunables only trade throughput; label maps must not move."""
+        image = rng.integers(0, 256, size=(12, 14), dtype=np.uint8)
+        base = SegHDCConfig(
+            dimension=128, num_iterations=3, beta=2, seed=0, backend="packed"
+        )
+        reference = SegHDCEngine(base).segment(image).labels
+        tuned = base.with_overrides(counter_depth=3, bundle_chunk_rows=5)
+        assert np.array_equal(
+            SegHDCEngine(tuned).segment(image).labels, reference
+        )
+
+    def test_workload_records_backend_capabilities(self, rng):
+        image = rng.integers(0, 256, size=(8, 9), dtype=np.uint8)
+        config = SegHDCConfig(
+            dimension=64, num_iterations=1, beta=2, backend="packed",
+            counter_depth=5,
+        )
+        workload = SegHDCEngine(config).segment(image).workload
+        caps = workload["backend_capabilities"]
+        assert caps["name"] == "packed"
+        assert caps["tunables"]["counter_depth"] == 5
+
+    def test_config_json_reaches_kernel_through_registry(self):
+        from repro.api import make_segmenter
+
+        segmenter = make_segmenter(
+            {
+                "segmenter": "seghdc",
+                "config": {
+                    "dimension": 64,
+                    "backend": "packed",
+                    "counter_depth": 4,
+                },
+            }
+        )
+        assert segmenter.engine.backend.counter_depth == 4
+
+
+class TestBundleCostModel:
+    def test_formula_validation(self):
+        from repro.device import packed_bundle_cost
+
+        with pytest.raises(ValueError, match="num_rows"):
+            packed_bundle_cost(-1, 64)
+        with pytest.raises(ValueError, match="counter_depth"):
+            packed_bundle_cost(10, 64, counter_depth=0)
+        assert packed_bundle_cost(0, 64).operations == 0.0
+
+    def test_cost_scales_with_rows_and_dimension(self):
+        from repro.device import packed_bundle_cost
+
+        small = packed_bundle_cost(1000, 1024)
+        more_rows = packed_bundle_cost(4000, 1024)
+        wider = packed_bundle_cost(1000, 4096)
+        assert more_rows.operations > small.operations
+        assert wider.operations > small.operations
+        assert more_rows.bytes_moved > small.bytes_moved
+
+    def test_shallow_counters_flush_more(self):
+        from repro.device import packed_bundle_cost
+
+        deep = packed_bundle_cost(10_000, 2048, counter_depth=16)
+        shallow = packed_bundle_cost(10_000, 2048, counter_depth=2)
+        assert shallow.operations > deep.operations
+
+    def test_bitsliced_update_is_cheaper_than_unpack_roundtrip(self):
+        """The modelled packed bundle must undercut the replaced dense
+        round-trip's traffic (the win the kernel was built for)."""
+        from repro.device import packed_bundle_cost
+
+        rows, dimension = 10_000, 4096
+        cost = packed_bundle_cost(rows, dimension)
+        unpack_roundtrip_bytes = 2 * rows * dimension  # dense write + re-read
+        assert cost.bytes_moved < unpack_roundtrip_bytes
+
+    def test_seghdc_cost_accepts_bundle_tunables(self):
+        from repro.device import seghdc_cost
+
+        base = seghdc_cost(
+            64, 64, dimension=1024, num_clusters=2, num_iterations=3,
+            backend="packed",
+        )
+        shallow = seghdc_cost(
+            64, 64, dimension=1024, num_clusters=2, num_iterations=3,
+            backend="packed", counter_depth=2,
+        )
+        assert shallow.operations > base.operations
+
+
+class TestCLISurface:
+    def test_list_shows_backend_capabilities(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "backends:" in out
+        assert "counter_depth=16" in out
+
+    def test_config_json_sets_counter_depth(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "segment",
+                "--dataset",
+                "dsb2018",
+                "--height",
+                "16",
+                "--width",
+                "20",
+                "--config-json",
+                '{"dimension": 64, "num_iterations": 1, "backend": "packed",'
+                ' "counter_depth": 4}',
+            ]
+        )
+        assert exit_code == 0
+        assert "backend=packed" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Docstring-coverage gate over ``src/repro`` (tier-1 enforced).
+
+``tools/check_docstrings.py`` is the stdlib stand-in for ``interrogate``:
+it counts modules, classes, and public functions/methods and fails below a
+threshold.  Running it here (not only in CI) means an undocumented public
+definition fails the local suite with the exact ``path:line`` to fix.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docstrings.py"
+THRESHOLD = "95"
+
+
+def _run(*arguments: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *arguments],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_src_repro_meets_threshold():
+    result = _run("--fail-under", THRESHOLD, "src/repro")
+    assert result.returncode == 0, (
+        f"docstring coverage below {THRESHOLD}%:\n{result.stdout}{result.stderr}"
+    )
+    assert "docstring coverage:" in result.stdout
+
+
+def test_checker_flags_undocumented_definitions(tmp_path):
+    """The gate must actually bite: an undocumented module + function fails."""
+    bad = tmp_path / "bad.py"
+    bad.write_text("def exposed():\n    return 1\n")
+    result = _run("--fail-under", "50", str(bad))
+    assert result.returncode == 1
+    assert "undocumented module bad" in result.stdout
+    assert "undocumented function exposed" in result.stdout
+
+
+def test_checker_skips_private_and_property_setters(tmp_path):
+    """Private names and ``@x.setter`` accessors are not counted."""
+    source = '\n'.join(
+        [
+            '"""Module doc."""',
+            "class Widget:",
+            '    """Class doc."""',
+            "    @property",
+            "    def size(self):",
+            '        """Getter doc."""',
+            "        return self._size",
+            "    @size.setter",
+            "    def size(self, value):",
+            "        self._size = value",
+            "    def _helper(self):",
+            "        return None",
+            "class _Private:",
+            "    def undocumented(self):",
+            "        return None",
+            "",
+        ]
+    )
+    good = tmp_path / "good.py"
+    good.write_text(source)
+    result = _run("--fail-under", "100", str(good))
+    assert result.returncode == 0, result.stdout + result.stderr

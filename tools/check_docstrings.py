@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate (stdlib-only ``interrogate`` stand-in).
+
+Walks a source tree, parses every ``*.py`` file with :mod:`ast`, and counts
+the definitions that should carry a docstring:
+
+* modules (``__init__.py`` included),
+* classes,
+* public functions and methods — any ``def`` at module or class level whose
+  name does not start with ``_`` (dunders other than module/class context are
+  treated as private; function-nested helpers and ``@x.setter`` /
+  ``@x.deleter`` property accessors, whose getter carries the docstring, are
+  skipped).
+
+Coverage is ``documented / required``.  With ``--fail-under`` the script
+exits non-zero when coverage falls below the threshold, printing every
+missing docstring as ``path:line: kind name`` so the gate's output is
+directly actionable.  CI runs this over ``src/repro``; no third-party
+dependency is needed, which keeps the gate alive on minimal containers.
+
+Usage::
+
+    python tools/check_docstrings.py --fail-under 95 src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["DocstringReport", "collect_report", "main"]
+
+
+@dataclass
+class DocstringReport:
+    """Counts plus the list of definitions missing a docstring."""
+
+    required: int = 0
+    documented: int = 0
+    missing: list = field(default_factory=list)  # (path, lineno, kind, name)
+
+    @property
+    def coverage(self) -> float:
+        """Documented fraction in percent (100.0 for an empty tree)."""
+        if self.required == 0:
+            return 100.0
+        return 100.0 * self.documented / self.required
+
+    def merge(self, other: "DocstringReport") -> None:
+        """Fold another file's counts into this aggregate (in place)."""
+        self.required += other.required
+        self.documented += other.documented
+        self.missing.extend(other.missing)
+
+
+def _count_node(report: DocstringReport, path: Path, node, kind: str, name: str) -> None:
+    report.required += 1
+    if ast.get_docstring(node) is not None:
+        report.documented += 1
+    else:
+        lineno = getattr(node, "lineno", 1)
+        report.missing.append((path, lineno, kind, name))
+
+
+def _visit_body(report: DocstringReport, path: Path, parent, prefix: str) -> None:
+    """Count class and public function definitions one level down."""
+    for node in parent.body:
+        if isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue  # private classes (and their methods) document at will
+            qualified = f"{prefix}{node.name}"
+            _count_node(report, path, node, "class", qualified)
+            _visit_body(report, path, node, f"{qualified}.")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_"):
+                continue  # private helpers and dunders document at will
+            if _is_property_accessor(node):
+                continue
+            _count_node(report, path, node, "function", f"{prefix}{node.name}")
+
+
+def _is_property_accessor(node) -> bool:
+    """True for ``@x.setter`` / ``@x.deleter`` definitions."""
+    return any(
+        isinstance(decorator, ast.Attribute)
+        and decorator.attr in ("setter", "deleter")
+        for decorator in node.decorator_list
+    )
+
+
+def check_file(path: Path) -> DocstringReport:
+    """Docstring report for one python file."""
+    report = DocstringReport()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    _count_node(report, path, tree, "module", path.stem)
+    _visit_body(report, path, tree, "")
+    return report
+
+
+def collect_report(roots: "list[Path]") -> DocstringReport:
+    """Aggregate docstring report over every ``*.py`` file under ``roots``."""
+    total = DocstringReport()
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        if not files:
+            raise FileNotFoundError(f"no python files under {root}")
+        for file in files:
+            total.merge(check_file(file))
+    return total
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="+", type=Path, help="files or directories")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=95.0,
+        metavar="PCT",
+        help="minimum acceptable coverage percentage (default: 95)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the missing-docstring list"
+    )
+    args = parser.parse_args(argv)
+    report = collect_report(args.roots)
+    if report.missing and not args.quiet:
+        for path, lineno, kind, name in report.missing:
+            print(f"{path}:{lineno}: undocumented {kind} {name}")
+    print(
+        f"docstring coverage: {report.coverage:.1f}% "
+        f"({report.documented}/{report.required} documented, "
+        f"threshold {args.fail_under:.1f}%)"
+    )
+    if report.coverage < args.fail_under:
+        print("FAILED: coverage below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
