@@ -11,8 +11,10 @@ checks run everywhere.
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -104,6 +106,29 @@ def test_scaling_profile_and_bit_exactness(benchmark, backend):
             f"  [{backend}] {workers} workers: {ips:7.2f} images/s "
             f"({ips / serial_ips:.2f}x)"
         )
+    payload = {
+        "benchmark": "serving_scaling",
+        "backend": backend,
+        "cpus": _CPUS,
+        "images": BATCH,
+        "shape": list(SHAPE),
+        "serial_images_per_second": round(serial_ips, 2),
+        "workers": {
+            str(workers): {
+                "images_per_second": round(ips, 2),
+                "speedup": round(ips / serial_ips, 2),
+            }
+            for workers, ips in rows.items()
+        },
+    }
+    print("  BENCH " + json.dumps(payload))
+    output = os.environ.get("SERVING_BENCH_JSON")
+    if output:
+        # One file per backend parametrization: <stem>_<backend><suffix>.
+        path = Path(output)
+        path = path.with_name(f"{path.stem}_{backend}{path.suffix}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.mark.parametrize("backend", ["dense", "packed"])

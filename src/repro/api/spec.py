@@ -130,6 +130,7 @@ class ServingOptions:
     max_queue_depth: int = 64
     max_batch_size: int = 8
     latency_window: int = 4096
+    share_grid_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in ("thread", "process"):

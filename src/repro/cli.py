@@ -8,6 +8,7 @@ Examples::
     seghdc segment --dataset dsb2018 --output-dir results/
     seghdc segment --segmenter cnn_baseline --iterations 30
     seghdc serve-bench --mode thread --workers 4 --backend packed
+    seghdc serve --port 8080 --mode process --workers 4
     seghdc run --spec examples/run_spec.json
 """
 
@@ -192,6 +193,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the benchmark result (throughput, stats, estimate) as JSON",
     )
+
+    http_parser = subparsers.add_parser(
+        "serve",
+        help="serve segmentation over HTTP (POST /v1/segment, /v1/run-spec; "
+        "GET /v1/segmenters, /healthz, /stats)",
+    )
+    http_parser.add_argument("--host", default="127.0.0.1")
+    http_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port to bind (0 picks an ephemeral port, printed on boot)",
+    )
+    http_parser.add_argument(
+        "--mode", default="thread", choices=("thread", "process")
+    )
+    http_parser.add_argument("--workers", type=int, default=2)
+    http_parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        help="backpressure bound of the wrapped SegmentationServer",
+    )
+    http_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="micro-batch bound; defaults to 1 in thread mode and 4 in "
+        "process mode (same rationale as serve-bench)",
+    )
+    http_parser.add_argument(
+        "--no-shared-grids",
+        action="store_true",
+        help="disable the process-mode cross-engine shared grid cache "
+        "(workers build their own encoder grids again)",
+    )
+    http_parser.add_argument(
+        "--dataset",
+        default="dsb2018",
+        choices=available_datasets(),
+        help="dataset whose paper defaults seed the SegHDC config",
+    )
+    http_parser.add_argument(
+        "--height",
+        type=int,
+        default=64,
+        help="nominal image height used to scale the SegHDC block size "
+        "(requests may carry any shape)",
+    )
+    http_parser.add_argument(
+        "--width", type=int, default=64, help="nominal image width (see --height)"
+    )
+    _add_dimension_option(http_parser, default=1000)
+    _add_iterations_option(http_parser, default=3)
+    _add_segmenter_option(http_parser)
+    _add_backend_option(http_parser)
     return parser
 
 
@@ -370,8 +427,16 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         for serial, served in zip(serial_results, server_results)
     )
     config = getattr(serial_segmenter, "config", None)
-    backend = getattr(config, "backend", None)
-    dimension = getattr(config, "dimension", None)
+    # Resolved values come from the *served* workload, not the request-side
+    # flags: the same CLI invocation (one config dict) is reused across
+    # backends in CI, and the workload records what the engine actually ran
+    # — backend name plus its capabilities() (tunables included).
+    served_workload = server_results[0].workload if server_results else {}
+    backend = served_workload.get("backend", getattr(config, "backend", None))
+    backend_capabilities = served_workload.get("backend_capabilities")
+    dimension = served_workload.get(
+        "dimension", getattr(config, "dimension", None)
+    )
 
     print(
         f"serve-bench segmenter={spec['segmenter']} mode={args.mode} "
@@ -432,6 +497,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             "height": args.height,
             "width": args.width,
             "dimension": dimension,
+            "backend_capabilities": backend_capabilities,
             # Read from the built config, not the flags: --config-json can
             # set the iteration count without touching --iterations.
             "iterations": getattr(
@@ -455,6 +521,54 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         path.write_text(json.dumps(payload, indent=2))
         print(f"benchmark JSON written to {path}")
     return 1 if mismatches else 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.api import ServingOptions
+    from repro.serving import SegmentationHTTPServer
+
+    spec = _segmenter_spec_from_args(args)
+    batch_size = args.batch_size
+    if batch_size is None:
+        batch_size = 1 if args.mode == "thread" else 4
+    options = ServingOptions(
+        mode=args.mode,
+        num_workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        max_batch_size=batch_size,
+        share_grid_cache=not args.no_shared_grids,
+    )
+    with SegmentationHTTPServer(
+        spec, host=args.host, port=args.port, serving=options
+    ) as server:
+        print(
+            f"seghdc serve: {spec['segmenter']} on "
+            f"http://{server.host}:{server.port} "
+            f"({args.mode} x{args.workers}, batch<={batch_size})",
+            flush=True,
+        )
+        print(
+            "endpoints: POST /v1/segment  POST /v1/run-spec  "
+            "GET /v1/segmenters  GET /healthz  GET /stats",
+            flush=True,
+        )
+        # SIGTERM (docker stop, CI teardown) must shut the worker pool down
+        # like Ctrl-C does: an abrupt exit would orphan process-mode
+        # workers, which keep inherited pipes open and hang supervisors
+        # waiting for EOF on our stdout.
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+
+        previous_handler = signal.signal(signal.SIGTERM, _terminate)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+        finally:
+            signal.signal(signal.SIGTERM, previous_handler)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -487,6 +601,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_spec_command(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
     scale = ExperimentScale.from_name(args.scale)
     result = run_experiment(
         args.command,

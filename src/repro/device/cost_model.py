@@ -248,11 +248,13 @@ def serving_estimate(
     compute_throughput_flops: float,
     memory_bandwidth_bytes: float,
     num_cores: int,
+    network_bandwidth_bytes: "float | None" = None,
+    network_bytes_per_image: float = 0.0,
 ) -> ServingEstimate:
     """Concurrency-aware roofline estimate for a pool of identical workers.
 
     The single-run model charges ``max(compute, memory)`` time per image;
-    with ``W`` workers the two resources scale differently:
+    with ``W`` workers the resources scale differently:
 
     * **compute** multiplies — ``min(W, num_cores)`` workers add arithmetic
       in parallel (extra workers beyond the core count only deepen the
@@ -260,7 +262,14 @@ def serving_estimate(
     * **memory bandwidth is shared** — the aggregate traffic rate is capped
       by the one memory bus regardless of worker count, which is exactly why
       thread pools of numpy kernels stop scaling before the core count on
-      bandwidth-bound workloads.
+      bandwidth-bound workloads;
+    * **the network term** (optional) models an HTTP front end: when
+      ``network_bytes_per_image`` is positive — the request image plus the
+      label-map response on the wire — the device's single NIC caps the
+      pool at ``network_bandwidth_bytes / network_bytes_per_image``
+      images/s, shared across workers exactly like the memory bus.  A
+      device without a modelled NIC (``network_bandwidth_bytes=None``)
+      rejects a network workload loudly rather than estimating garbage.
 
     Peak memory is the conservative bound of every parallel worker holding a
     full working set; thread-mode serving shares the cached position grid
@@ -272,14 +281,34 @@ def serving_estimate(
         raise ValueError(f"num_cores must be positive, got {num_cores}")
     if compute_throughput_flops <= 0 or memory_bandwidth_bytes <= 0:
         raise ValueError("throughput and bandwidth must be positive")
+    if network_bytes_per_image < 0:
+        raise ValueError(
+            f"network_bytes_per_image must be non-negative, got "
+            f"{network_bytes_per_image}"
+        )
+    network_seconds = 0.0
+    if network_bytes_per_image:
+        if network_bandwidth_bytes is None or network_bandwidth_bytes <= 0:
+            raise ValueError(
+                "a network workload needs a positive network_bandwidth_bytes "
+                f"(got {network_bandwidth_bytes!r} with "
+                f"{network_bytes_per_image} bytes/image)"
+            )
+        network_seconds = network_bytes_per_image / network_bandwidth_bytes
     compute_seconds = cost.operations / compute_throughput_flops
     memory_seconds = cost.bytes_moved / memory_bandwidth_bytes
-    serial_rate = 1.0 / max(compute_seconds, memory_seconds)
+    serial_rate = 1.0 / max(compute_seconds, memory_seconds, network_seconds)
     parallel_workers = min(num_workers, num_cores)
     compute_rate = parallel_workers / compute_seconds if compute_seconds else math.inf
     memory_rate = 1.0 / memory_seconds if memory_seconds else math.inf
-    images_per_second = min(compute_rate, memory_rate)
-    bottleneck = "memory" if memory_rate < compute_rate else "compute"
+    network_rate = 1.0 / network_seconds if network_seconds else math.inf
+    images_per_second = min(compute_rate, memory_rate, network_rate)
+    if network_seconds and network_rate <= min(compute_rate, memory_rate):
+        bottleneck = "network"
+    elif memory_rate < compute_rate:
+        bottleneck = "memory"
+    else:
+        bottleneck = "compute"
     return ServingEstimate(
         num_workers=num_workers,
         parallel_workers=parallel_workers,

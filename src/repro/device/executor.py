@@ -87,17 +87,22 @@ class EdgeDeviceSimulator:
         cost: WorkloadCost,
         *,
         num_workers: int,
+        network_bytes_per_image: float = 0.0,
         strict: bool = True,
     ) -> ServingEstimate:
         """Throughput of a ``num_workers`` pool serving ``cost``-shaped images.
 
         Uses the profile's core count to cap parallel compute and its single
         memory bus as the shared bandwidth ceiling (see
-        :func:`repro.device.cost_model.serving_estimate`).  With
-        ``strict=True`` the conservative pool-wide peak working set (every
-        parallel worker resident at once) must fit in usable memory —
-        serving is a steady-state workload, so an over-budget pool is a
-        deployment error rather than a tabulated OOM row.
+        :func:`repro.device.cost_model.serving_estimate`).  A positive
+        ``network_bytes_per_image`` — request image plus label-map response
+        on the wire, i.e. the HTTP front end's per-image traffic — adds the
+        NIC as a third shared ceiling; profiles without a modelled NIC
+        reject it loudly.  With ``strict=True`` the conservative pool-wide
+        peak working set (every parallel worker resident at once) must fit
+        in usable memory — serving is a steady-state workload, so an
+        over-budget pool is a deployment error rather than a tabulated OOM
+        row.
         """
         profile = self.profile
         if cost.kind == "tensor":
@@ -112,6 +117,8 @@ class EdgeDeviceSimulator:
             compute_throughput_flops=throughput,
             memory_bandwidth_bytes=profile.memory_bandwidth_bytes,
             num_cores=profile.num_cores,
+            network_bandwidth_bytes=profile.network_bandwidth_bytes,
+            network_bytes_per_image=network_bytes_per_image,
         )
         if strict and estimate.peak_memory_bytes > profile.usable_memory_bytes:
             raise DeviceOutOfMemoryError(

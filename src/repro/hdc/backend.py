@@ -197,6 +197,15 @@ class HDCBackend(ABC):
     def count_row_bits(self, storage: HVStorage) -> np.ndarray:
         """Popcount of every row, as an ``int64`` vector."""
 
+    @abstractmethod
+    def storage_nbytes(self, num_rows: int, dimension: int) -> int:
+        """Bytes a ``(num_rows, dimension)`` :class:`HVStorage` occupies.
+
+        A pure size prediction — no allocation — so callers (the engine's
+        cache budget, the serving layer's shared grid cache) can decide
+        whether a grid is worth building/retaining before paying for it.
+        """
+
     # ------------------------------------------------------------------ #
     # kernel 1: XOR binding
     # ------------------------------------------------------------------ #
@@ -306,6 +315,10 @@ class DenseBackend(HDCBackend):
     def capabilities(self) -> dict:
         """uint8 storage, no tunables."""
         return {"name": self.name, "storage": "uint8", "tunables": {}}
+
+    def storage_nbytes(self, num_rows: int, dimension: int) -> int:
+        """One uint8 byte per HV bit."""
+        return int(num_rows) * int(dimension)
 
     def pack(self, dense_hvs: np.ndarray) -> HVStorage:
         """Validate and wrap a ``(n, d)`` uint8 matrix as-is."""
@@ -428,6 +441,10 @@ class PackedBackend(HDCBackend):
             _rebuild_packed_backend,
             (self.counter_depth, self.bundle_chunk_rows, self.unpack_chunk_rows),
         )
+
+    def storage_nbytes(self, num_rows: int, dimension: int) -> int:
+        """Eight bytes per ``ceil(d / 64)`` uint64 words per row."""
+        return int(num_rows) * packed_words_per_hv(int(dimension)) * 8
 
     def pack(self, dense_hvs: np.ndarray) -> HVStorage:
         """Bit-pack a ``(n, d)`` uint8 matrix into uint64 words."""

@@ -12,11 +12,21 @@ user-registered algorithm) into a long-lived concurrent service:
 * :class:`repro.serving.batcher.ShapeBatcher` — shape-aware micro-batching
   so each worker hits the engine's cached encoder grid;
 * :class:`repro.serving.stats.ServerStats` — queue depth, end-to-end latency
-  percentiles, and cache hit rates aggregated from result workloads.
+  percentiles, and cache hit rates aggregated from result workloads;
+* :class:`repro.serving.http.SegmentationHTTPServer` — the stdlib HTTP
+  front end (``POST /v1/segment``, ``POST /v1/run-spec``,
+  ``GET /v1/segmenters``, ``GET /healthz``, ``GET /stats``), wired to the
+  CLI as ``seghdc serve``.
+
+In process mode the server also runs the cross-engine shared grid cache:
+encoder grids are built once in the parent and shipped to worker processes,
+so cold starts stop scaling with worker count (see
+:mod:`repro.serving.server`).
 """
 
 from repro.api.spec import ServingOptions
 from repro.serving.batcher import ShapeBatcher
+from repro.serving.http import HTTPRequestError, SegmentationHTTPServer
 from repro.serving.jobqueue import BoundedJobQueue
 from repro.serving.server import (
     JobHandle,
@@ -29,7 +39,9 @@ from repro.serving.stats import ServerStats, StatsCollector
 
 __all__ = [
     "BoundedJobQueue",
+    "HTTPRequestError",
     "JobHandle",
+    "SegmentationHTTPServer",
     "SegmentationServer",
     "ServerClosed",
     "ServerSaturated",

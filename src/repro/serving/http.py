@@ -1,0 +1,624 @@
+"""Stdlib HTTP front end over :class:`SegmentationServer`.
+
+:class:`SegmentationHTTPServer` puts a network face on the serving layer
+using nothing but ``http.server.ThreadingHTTPServer`` — no web framework,
+so the front end runs on the same minimal containers as the rest of the
+repo.  One HTTP server owns one :class:`SegmentationServer` (thread or
+process mode, any registered segmenter), so every request rides the same
+bounded queue, shape-aware micro-batcher, and — in process mode — the
+cross-engine shared grid cache.
+
+Endpoints
+---------
+
+``POST /v1/segment``
+    Segment one image or a batch.  The JSON body carries ``"image"`` (one
+    payload) or ``"images"`` (a list); each image payload is either
+
+    * ``{"data": "<base64>", "encoding": "npy"}`` — a base64-encoded
+      ``.npy`` file (``numpy.save`` bytes; loaded with
+      ``allow_pickle=False``), the lossless path for real clients, or
+    * ``{"pixels": [[...]]}`` — nested JSON lists of 0-255 intensities
+      (2-D grayscale or 3-D RGB), the curl-friendly path.
+
+    ``"response_encoding"`` selects how label maps come back: ``"list"``
+    (default, nested JSON lists) or ``"npy"`` (base64 ``.npy``,
+    loss-free and compact for large maps).  Label maps are produced by the
+    same engine kernels as a direct :meth:`SegHDCEngine.segment` call and
+    are bit-exact with one.
+
+``POST /v1/run-spec``
+    Execute a declarative JSON :class:`repro.api.RunSpec` and return the
+    result payload (per-image IoU, throughput, serving stats).  The spec's
+    ``output`` field is ignored: a network request must not write files on
+    the server host.
+
+``GET /v1/segmenters``
+    Registry listing: every registered segmenter with its description and
+    config fields, every compute backend with its capabilities, and the
+    serving topology of this server.
+
+``GET /healthz``
+    Liveness: status, uptime, mode, worker count.
+
+``GET /stats``
+    The wrapped server's :class:`ServerStats` (latency percentiles, cache
+    counters — including shared-cache imports/hits — and queue depth) plus
+    HTTP-level request/error counters and request latency percentiles.
+
+Errors are JSON too: ``{"error": "..."}`` with 400 for malformed payloads,
+404/405 for unknown routes/methods, 503 when the queue is saturated, and
+500 for unexpected faults.
+
+Usage::
+
+    with SegmentationHTTPServer(config, port=8080) as http_server:
+        http_server.serve_forever()          # or .start() for a thread
+
+    # CLI equivalent
+    #   seghdc serve --port 8080 --mode process --workers 4
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
+
+import numpy as np
+
+from repro.api.registry import available_segmenters, segmenter_entry
+from repro.api.spec import ServingOptions
+from repro.hdc.backend import available_backends, make_backend
+from repro.serving.server import SegmentationServer, ServerSaturated
+from repro.serving.stats import latency_percentiles
+
+__all__ = [
+    "HTTPRequestError",
+    "SegmentationHTTPServer",
+    "decode_image_payload",
+    "encode_labels",
+]
+
+#: Request bodies above this are rejected before parsing (64 MiB covers a
+#: batch of dozens of megapixel grayscale frames with base64 overhead).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Upper bound on images per ``/v1/segment`` request; real batch workloads
+#: should stream several requests and let the micro-batcher group them.
+MAX_IMAGES_PER_REQUEST = 64
+#: ``/v1/run-spec`` executions allowed at once.  Each one is a whole
+#: experiment (dataset build + sweep, possibly its own worker pool), so it
+#: must not scale with connection count the way handler threads do.
+MAX_CONCURRENT_RUN_SPECS = 2
+#: Upper bound on ``num_images`` a network-submitted run-spec may request.
+MAX_RUN_SPEC_IMAGES = 64
+
+_RESPONSE_ENCODINGS = ("list", "npy")
+
+
+class HTTPRequestError(ValueError):
+    """A client-side request problem, carrying the HTTP status to return."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+def _b64_npy_to_array(data: str) -> np.ndarray:
+    """Decode a base64 ``.npy`` payload into an array (no pickle allowed)."""
+    try:
+        raw = base64.b64decode(data, validate=True)
+    except Exception as exc:
+        raise HTTPRequestError(f"image data is not valid base64: {exc}") from None
+    try:
+        return np.load(io.BytesIO(raw), allow_pickle=False)
+    except Exception as exc:
+        raise HTTPRequestError(
+            f"image data did not decode as a .npy payload: {exc}"
+        ) from None
+
+
+def array_to_b64_npy(array: np.ndarray) -> str:
+    """Inverse of the ``.npy`` image payload: array -> base64 ``.npy``."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return base64.b64encode(buffer.getvalue()).decode("ascii")
+
+
+def decode_image_payload(entry) -> np.ndarray:
+    """One request image payload -> pixel array (2-D or 3-D, uint8).
+
+    Accepts the two wire forms the module docstring describes (base64
+    ``.npy`` under ``"data"``, nested lists under ``"pixels"``) plus a bare
+    nested list for convenience.  Validation errors raise
+    :class:`HTTPRequestError` naming the problem, so the handler can return
+    a clean 400 instead of a stack trace.
+    """
+    if isinstance(entry, Mapping):
+        if "data" in entry:
+            encoding = entry.get("encoding", "npy")
+            if encoding != "npy":
+                raise HTTPRequestError(
+                    f"unknown image encoding {encoding!r}; expected 'npy'"
+                )
+            array = _b64_npy_to_array(entry["data"])
+        elif "pixels" in entry:
+            array = _pixels_to_array(entry["pixels"])
+        else:
+            raise HTTPRequestError(
+                "image payload must carry 'data' (base64 .npy) or 'pixels' "
+                f"(nested lists); got keys {sorted(entry)}"
+            )
+    elif isinstance(entry, list):
+        array = _pixels_to_array(entry)
+    else:
+        raise HTTPRequestError(
+            f"image payload must be an object or a nested list, got "
+            f"{type(entry).__name__}"
+        )
+    if array.ndim not in (2, 3):
+        raise HTTPRequestError(
+            f"expected a 2-D or 3-D image, got shape {tuple(array.shape)}"
+        )
+    if array.dtype.kind not in "uif":
+        raise HTTPRequestError(
+            f"image dtype {array.dtype} is not numeric"
+        )
+    if array.dtype != np.uint8:
+        array = np.clip(np.asarray(array, dtype=np.float64), 0, 255).astype(
+            np.uint8
+        )
+    return array
+
+
+def _pixels_to_array(pixels) -> np.ndarray:
+    """Nested JSON lists -> numpy array, with a clean error on raggedness."""
+    try:
+        return np.asarray(pixels, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise HTTPRequestError(
+            f"'pixels' is not a rectangular numeric array: {exc}"
+        ) from None
+
+
+def encode_labels(labels: np.ndarray, encoding: str):
+    """Label map -> response form (nested lists or base64 ``.npy``)."""
+    if encoding == "list":
+        return labels.tolist()
+    if encoding == "npy":
+        return array_to_b64_npy(labels)
+    raise HTTPRequestError(
+        f"unknown response_encoding {encoding!r}; expected one of "
+        f"{_RESPONSE_ENCODINGS}"
+    )
+
+
+def _json_default(value):
+    """JSON fallback for numpy scalars/arrays that ride along in workloads."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+class _HttpStats:
+    """Thread-safe HTTP-level counters + request latency reservoir."""
+
+    def __init__(self, *, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._by_route: dict = {}
+        self._latencies: deque = deque(maxlen=latency_window)
+
+    def record(self, route: str, status: int, seconds: float) -> None:
+        """Count one finished request with its status and wall time."""
+        with self._lock:
+            self._requests += 1
+            if status >= 400:
+                self._errors += 1
+            self._by_route[route] = self._by_route.get(route, 0) + 1
+            self._latencies.append(float(seconds))
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy of the counters and latency percentiles."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "errors": self._errors,
+                "by_route": dict(self._by_route),
+                "latency": latency_percentiles(self._latencies),
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin request handler: parse the body, dispatch to the app, reply.
+
+    All routing and payload logic lives in
+    :meth:`SegmentationHTTPServer.handle_request` so it can be unit-tested
+    without sockets; this class only does the HTTP plumbing.
+    """
+
+    server_version = "seghdc-http/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> "SegmentationHTTPServer":
+        """The owning front-end instance (attached by the server)."""
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Suppress per-request stderr noise (stats carry the counters)."""
+
+    def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0:
+            # Negative or non-integer Content-Length: answering without
+            # reading is the only safe move (read(-1) would block until
+            # the client hangs up, pinning a handler thread).
+            status, payload = 400, {"error": "invalid Content-Length header"}
+            self.close_connection = True  # unread body would desync keep-alive
+        elif length > MAX_BODY_BYTES:
+            status, payload = 413, {
+                "error": f"request body over {MAX_BODY_BYTES} bytes"
+            }
+            # Drain in bounded chunks so keep-alive stays usable without
+            # ever buffering the oversized body in memory.
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+        else:
+            body = self.rfile.read(length) if length else b""
+            status, payload = self.app.handle_request(method, self.path, body)
+        encoded = json.dumps(payload, default=_json_default).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+        self.app.http_stats.record(
+            self.path.split("?", 1)[0], status, time.perf_counter() - start
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Serve GET endpoints (healthz, stats, segmenters)."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Serve POST endpoints (segment, run-spec)."""
+        self._dispatch("POST")
+
+
+class _BoundHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning front-end app."""
+
+    daemon_threads = True
+    app: "SegmentationHTTPServer"
+
+
+class SegmentationHTTPServer:
+    """HTTP front end over one :class:`SegmentationServer`.
+
+    Parameters
+    ----------
+    segmenter:
+        Anything :class:`SegmentationServer` accepts: a ``SegHDCConfig``, a
+        registered name or spec dict, a ready segmenter instance, or
+        ``None`` for a default SegHDC.  Specs keep the whole stack
+        pickle-safe, so process mode works over HTTP exactly as it does in
+        the library.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (the bound port is
+        available as :attr:`port`).
+    serving:
+        :class:`ServingOptions` (or its dict form) describing the wrapped
+        server's topology — mode, workers, queue depth, micro-batch bound,
+        shared grid cache.
+    engine_kwargs:
+        Forwarded to the wrapped server (SegHDC engine tunables).
+    """
+
+    def __init__(
+        self,
+        segmenter=None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        serving: "ServingOptions | Mapping | None" = None,
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        self._server = SegmentationServer.from_options(
+            segmenter, serving, engine_kwargs=engine_kwargs
+        )
+        self._run_spec_slots = threading.BoundedSemaphore(
+            MAX_CONCURRENT_RUN_SPECS
+        )
+        self.http_stats = _HttpStats()
+        self._started_at = time.perf_counter()
+        self._serve_thread: threading.Thread | None = None
+        self._serving = False
+        self._closed = False
+        try:
+            self._httpd = _BoundHTTPServer((host, port), _Handler)
+        except Exception:
+            self._server.close(drain=False)
+            raise
+        self._httpd.app = self
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def server(self) -> SegmentationServer:
+        """The wrapped segmentation server (stats, drain, etc.)."""
+        return self._server
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port (the real one, also when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    def __enter__(self) -> "SegmentationHTTPServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (or Ctrl-C)."""
+        self._serving = True
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "SegmentationHTTPServer":
+        """Serve on a daemon thread and return self (for tests/embedding)."""
+        if self._serve_thread is None:
+            self._serving = True
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="seghdc-http", daemon=True
+            )
+            self._serve_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting HTTP requests and shut the worker pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            # shutdown() blocks until serve_forever acknowledges; calling it
+            # when no serve loop ever ran would wait forever.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+        self._server.close(drain=True)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def handle_request(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        """Dispatch one request; returns ``(status, JSON payload)``.
+
+        Socket-free by design: the unit tests drive this directly and the
+        :class:`_Handler` is a thin shell around it.
+        """
+        route = path.split("?", 1)[0].rstrip("/") or "/"
+        routes = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/stats"): self._handle_stats,
+            ("GET", "/v1/segmenters"): self._handle_segmenters,
+            ("POST", "/v1/segment"): self._handle_segment,
+            ("POST", "/v1/run-spec"): self._handle_run_spec,
+        }
+        known_paths = {r for _, r in routes}
+        handler = routes.get((method, route))
+        try:
+            if handler is None:
+                if route in known_paths:
+                    raise HTTPRequestError(
+                        f"method {method} not allowed for {route}", status=405
+                    )
+                raise HTTPRequestError(f"unknown path {route!r}", status=404)
+            if method == "POST":
+                return 200, handler(self._parse_json_body(body))
+            return 200, handler()
+        except HTTPRequestError as exc:
+            return exc.status, {"error": str(exc)}
+        except ServerSaturated as exc:
+            return 503, {"error": f"server saturated: {exc}"}
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    @staticmethod
+    def _parse_json_body(body: bytes) -> dict:
+        if not body:
+            raise HTTPRequestError("request body is empty; expected JSON")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPRequestError(f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise HTTPRequestError(
+                f"JSON body must be an object, got {type(payload).__name__}"
+            )
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def _handle_healthz(self) -> dict:
+        """Liveness payload: cheap enough for aggressive probe intervals."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.perf_counter() - self._started_at,
+            "mode": self._server.mode,
+            "num_workers": self._server.num_workers,
+        }
+
+    def _handle_stats(self) -> dict:
+        """Serving stats (latency, cache, queue) + HTTP counters."""
+        return {
+            "uptime_seconds": time.perf_counter() - self._started_at,
+            "serving": self._server.stats().as_dict(),
+            "http": self.http_stats.snapshot(),
+        }
+
+    def _handle_segmenters(self) -> dict:
+        """Registry listing: segmenters, backends + capabilities, topology."""
+        segmenters = []
+        for name in available_segmenters():
+            entry = segmenter_entry(name)
+            config_cls = entry.config_cls
+            fields = []
+            if hasattr(config_cls, "__dataclass_fields__"):
+                fields = sorted(config_cls.__dataclass_fields__)
+            segmenters.append(
+                {
+                    "name": entry.name,
+                    "description": entry.description,
+                    "config_class": config_cls.__name__,
+                    "config_fields": fields,
+                }
+            )
+        backends = [
+            {"name": name, "capabilities": make_backend(name).capabilities()}
+            for name in available_backends()
+        ]
+        describe = getattr(self._server.segmenter, "describe", None)
+        return {
+            "segmenters": segmenters,
+            "backends": backends,
+            "serving": {
+                "segmenter": describe() if callable(describe) else None,
+                "mode": self._server.mode,
+                "num_workers": self._server.num_workers,
+            },
+        }
+
+    def _handle_segment(self, payload: dict) -> dict:
+        """Segment one image or a batch through the wrapped server."""
+        if ("image" in payload) == ("images" in payload):
+            raise HTTPRequestError(
+                "provide exactly one of 'image' (single payload) or "
+                "'images' (list of payloads)"
+            )
+        single = "image" in payload
+        raw_images = [payload["image"]] if single else payload["images"]
+        if not isinstance(raw_images, list):
+            raise HTTPRequestError(
+                f"'images' must be a list, got {type(raw_images).__name__}"
+            )
+        if not raw_images:
+            raise HTTPRequestError("'images' is empty")
+        if len(raw_images) > MAX_IMAGES_PER_REQUEST:
+            raise HTTPRequestError(
+                f"{len(raw_images)} images in one request; the limit is "
+                f"{MAX_IMAGES_PER_REQUEST}"
+            )
+        encoding = payload.get("response_encoding", "list")
+        if encoding not in _RESPONSE_ENCODINGS:
+            raise HTTPRequestError(
+                f"unknown response_encoding {encoding!r}; expected one of "
+                f"{_RESPONSE_ENCODINGS}"
+            )
+        include_workload = bool(payload.get("include_workload", True))
+        images = [decode_image_payload(entry) for entry in raw_images]
+        results = self._segment_batch_bounded(images)
+        encoded = []
+        for result in results:
+            entry = {
+                "shape": list(result.labels.shape),
+                "num_clusters": result.num_clusters,
+                "elapsed_seconds": result.elapsed_seconds,
+                "labels": encode_labels(result.labels, encoding),
+            }
+            if include_workload:
+                entry["workload"] = result.workload
+            encoded.append(entry)
+        return {
+            "count": len(encoded),
+            "response_encoding": encoding,
+            "results": encoded,
+        }
+
+    def _segment_batch_bounded(self, images: list) -> list:
+        """Submit a request's images without blocking on a full queue.
+
+        ``SegmentationServer.segment_batch`` blocks on backpressure, which
+        would turn a saturated server into unbounded hung handler threads
+        (one per connection under ``ThreadingHTTPServer``).  Submitting
+        with ``block=False`` lets :class:`ServerSaturated` propagate to the
+        dispatcher's 503 instead.  On a mid-batch bounce, the jobs already
+        admitted are awaited (they run regardless; discarding the handles
+        would not un-run them) before the 503 goes out.
+        """
+        handles = []
+        try:
+            for image in images:
+                handles.append(self._server.submit(image, block=False))
+        except ServerSaturated:
+            for handle in handles:
+                try:
+                    handle.result()
+                except Exception:  # noqa: BLE001 - 503 already decided
+                    pass
+            raise
+        return [handle.result() for handle in handles]
+
+    def _handle_run_spec(self, payload: dict) -> dict:
+        """Execute a JSON run-spec; never writes server-side files.
+
+        A run-spec is a whole experiment (dataset build + sweep, possibly
+        its own worker pool), so unlike ``/v1/segment`` it cannot ride the
+        wrapped server's queue — instead concurrency is bounded by a
+        semaphore (503 over :data:`MAX_CONCURRENT_RUN_SPECS` at once) and
+        the requested image count is capped, so per-connection handler
+        threads cannot multiply experiments without bound.
+        """
+        from repro.api.runner import execute_run_spec
+        from repro.api.spec import RunSpec
+
+        # A network caller must not write files on the serving host, so the
+        # spec's output field is dropped before execution.
+        payload = {k: v for k, v in payload.items() if k != "output"}
+        try:
+            spec = RunSpec.from_dict(payload)
+        except (TypeError, ValueError) as exc:
+            raise HTTPRequestError(f"invalid run spec: {exc}") from None
+        if spec.num_images > MAX_RUN_SPEC_IMAGES:
+            raise HTTPRequestError(
+                f"run spec requests {spec.num_images} images; the network "
+                f"limit is {MAX_RUN_SPEC_IMAGES}"
+            )
+        if not self._run_spec_slots.acquire(blocking=False):
+            raise HTTPRequestError(
+                f"{MAX_CONCURRENT_RUN_SPECS} run-spec executions already in "
+                "flight; retry later",
+                status=503,
+            )
+        try:
+            return execute_run_spec(spec)
+        finally:
+            self._run_spec_slots.release()

@@ -25,11 +25,23 @@ Two execution modes share the queueing/batching front end:
 * ``mode="process"`` — micro-batches are shipped to a
   ``ProcessPoolExecutor`` whose initializer builds **one segmenter per
   worker process** from the spec dict (``segmenter.describe()`` →
-  ``make_segmenter``), the pickle-by-spec seam of the API.  Each SegHDC
-  worker warms its own grid cache, results are pickled back, and
-  per-process cache counters are aggregated through the
+  ``make_segmenter``), the pickle-by-spec seam of the API.  Results are
+  pickled back and per-process cache counters are aggregated through the
   ``workload["cache"]`` snapshots.  This mode sidesteps the GIL entirely at
   the cost of serializing images and label maps across process boundaries.
+
+Process mode additionally runs a **cross-engine shared grid cache** for
+segmenters that expose the engine export/import seam (SegHDC): the first
+micro-batch of each image shape triggers one position-grid / color-table
+build in the *parent* template engine, the exported bundle rides along with
+micro-batches until every worker process has acknowledged importing it, and
+workers serve off the imported grids from then on.  Cold-start grid builds
+therefore stop scaling with worker count — a 4-worker pool reports exactly
+one ``position_grid_builds`` across the pool instead of four — with imports
+and shared-cache hits visible as ``shared_grid_imports`` / ``shared_hits``
+in the aggregated stats and in every ``SegmentationResult.workload``.
+Disable with ``share_grid_cache=False`` to restore build-per-worker
+semantics (e.g. to benchmark the cold-start cost itself).
 
 Ordering: results are delivered per job through its handle, so callers that
 need input order simply keep their handles in order
@@ -47,6 +59,7 @@ import os
 import queue as queue_module
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Mapping
@@ -187,15 +200,27 @@ def _init_process_worker(spec: dict, provider_module: "str | None" = None) -> No
     _PROCESS_SEGMENTER = make_segmenter(spec)
 
 
-def _run_process_microbatch(batch: "list[np.ndarray]") -> list:
+def _run_process_microbatch(
+    batch: "list[np.ndarray]", shared_grids: "dict | None" = None
+) -> list:
     """Segment one micro-batch inside a worker process.
 
-    Returns one ``("ok", result)`` or ``("error", exception)`` entry per
-    image, so a single bad image fails its own job instead of the batch.
-    The worker's pid is stamped into the workload so the collector can keep
-    one cache snapshot per process.
+    ``shared_grids`` is an exported encoder-bundle payload (see
+    :meth:`repro.seghdc.engine.SegHDCEngine.export_shared_grids`) the parent
+    attaches while not every worker has acknowledged the batch's shape yet;
+    importing is idempotent, so a worker that already holds the shape's grid
+    ignores the duplicate.  Returns one ``("ok", result)`` or
+    ``("error", exception)`` entry per image, so a single bad image fails
+    its own job instead of the batch.  The worker's pid is stamped into the
+    workload so the collector can keep one cache snapshot per process (and
+    so the parent can stop attaching the shared payload once every pid has
+    acknowledged it).
     """
     assert _PROCESS_SEGMENTER is not None, "pool initializer did not run"
+    if shared_grids:
+        engine = getattr(_PROCESS_SEGMENTER, "engine", None)
+        if engine is not None and hasattr(engine, "import_shared_grids"):
+            engine.import_shared_grids(shared_grids)
     entries: list = []
     for pixels in batch:
         try:
@@ -205,6 +230,105 @@ def _run_process_microbatch(batch: "list[np.ndarray]") -> list:
         except Exception as exc:  # noqa: BLE001 - shipped back to the caller
             entries.append(("error", exc))
     return entries
+
+
+class _SharedGridCache:
+    """Parent-side registry of exported encoder grids for a process pool.
+
+    One entry per image shape: the first dispatch of a shape builds its
+    encoder grids in the parent *template* engine (exactly one
+    ``position_grid_builds`` across the whole pool), exports the bundle,
+    and attaches the payload to outgoing micro-batches until every worker
+    pid has acknowledged importing it.  Shapes whose grids the engine will
+    not retain (oversize for its byte budget) are marked unshareable and
+    workers fall back to building their own, exactly like the engine's
+    build-per-call fallback.
+
+    The registry itself is a small LRU over shapes (``max_shapes``): a
+    long-lived server cycling through many shapes re-exports — and, if the
+    template engine also evicted, rebuilds — when an evicted shape comes
+    back, which shows up as extra parent-side builds rather than silent
+    unbounded growth.
+
+    Attachment is also bounded per shape: the executor spawns workers on
+    demand and may keep reusing a subset, so waiting for *every* worker
+    pid to acknowledge could re-pickle the multi-MB payload with every
+    batch forever on a lightly loaded pool.  After ``_ATTACH_FACTOR *
+    num_workers`` attachments the payload stops shipping; a worker spawned
+    later than that simply builds the shape locally (the ordinary
+    per-worker fallback, visible in the build counters).
+    """
+
+    _ATTACH_FACTOR = 4
+
+    def __init__(self, engine, num_workers: int, *, max_shapes: int = 8) -> None:
+        self._engine = engine
+        self._num_workers = int(num_workers)
+        self._max_attaches = self._ATTACH_FACTOR * self._num_workers
+        self._max_shapes = int(max_shapes)
+        self._lock = threading.Lock()
+        # shape_key -> {"state": exported payload | None,
+        #               "acked": set of pids, "attached": count}
+        self._entries: "OrderedDict[tuple, dict]" = OrderedDict()
+
+    def payload_for(self, shape_key: tuple) -> "dict | None":
+        """The shared-grid payload to attach for one micro-batch, or ``None``.
+
+        ``None`` means "nothing to ship": every worker already acknowledged
+        this shape, the shape is unshareable (its grid would exceed the
+        engine's byte budget — detected by size prediction, without paying
+        for a build), or the parent-side build failed (workers then build
+        their own, with per-image error containment).  The first call per
+        shape warms the parent engine and exports; the build happens under
+        the registry lock deliberately — like the engine's own cache, a
+        duplicate grid build costs far more than briefly serializing
+        dispatch.
+        """
+        height, width, channels = shape_key
+        with self._lock:
+            entry = self._entries.get(shape_key)
+            if entry is None:
+                state = None
+                if (
+                    self._engine.estimated_grid_nbytes(height, width)
+                    <= self._engine.max_cache_bytes
+                ):
+                    try:
+                        self._engine.warm(height, width, channels)
+                        exported = self._engine.export_shared_grids([shape_key])
+                        state = exported if exported["grids"] else None
+                    except Exception:  # noqa: BLE001 - fall back to workers
+                        # A parent-side build failure (e.g. MemoryError on a
+                        # huge legal shape) must not kill the dispatch
+                        # thread: mark the shape unshareable and let the
+                        # workers build — their failures are routed
+                        # per-image through the job handles.
+                        state = None
+                entry = {"state": state or None, "acked": set(), "attached": 0}
+                self._entries[shape_key] = entry
+                while len(self._entries) > self._max_shapes:
+                    self._entries.popitem(last=False)
+            else:
+                self._entries.move_to_end(shape_key)
+            if (
+                entry["state"] is None
+                or len(entry["acked"]) >= self._num_workers
+                or entry["attached"] >= self._max_attaches
+            ):
+                return None
+            entry["attached"] += 1
+            return entry["state"]
+
+    def ack(self, shape_key: tuple, worker_pid) -> None:
+        """Record that worker ``worker_pid`` holds the shape's grids now."""
+        with self._lock:
+            entry = self._entries.get(shape_key)
+            if entry is not None:
+                entry["acked"].add(worker_pid)
+
+    def cache_info(self) -> dict:
+        """The parent template engine's cache counters (for aggregation)."""
+        return self._engine.cache_info()
 
 
 class SegmentationServer:
@@ -251,6 +375,12 @@ class SegmentationServer:
         the run it receives.
     latency_window:
         Number of most-recent end-to-end latencies kept for percentiles.
+    share_grid_cache:
+        Process mode only: build encoder grids once in the parent template
+        engine and ship them to worker processes (see the module docstring)
+        instead of letting every worker build its own.  Ignored in thread
+        mode (one shared engine needs no shipping) and for segmenters
+        without the engine export/import seam.
     engine_kwargs:
         Extra :class:`SegHDCEngine` parameters (``cache_size``,
         ``max_cache_bytes``, ``band_rows``) applied when the server builds a
@@ -267,6 +397,7 @@ class SegmentationServer:
         max_queue_depth: int = 64,
         max_batch_size: int = 8,
         latency_window: int = 4096,
+        share_grid_cache: bool = True,
         engine_kwargs: dict | None = None,
     ) -> None:
         if config is not None:
@@ -293,6 +424,7 @@ class SegmentationServer:
         self._id_lock = threading.Lock()
 
         self._pool: ProcessPoolExecutor | None = None
+        self._shared_grids: _SharedGridCache | None = None
         if mode == "process":
             spec = self._segmenter.describe()
             self._pool = ProcessPoolExecutor(
@@ -300,6 +432,15 @@ class SegmentationServer:
                 initializer=_init_process_worker,
                 initargs=(spec, _provider_module(spec)),
             )
+            template_engine = getattr(self._segmenter, "engine", None)
+            if (
+                share_grid_cache
+                and template_engine is not None
+                and hasattr(template_engine, "export_shared_grids")
+            ):
+                self._shared_grids = _SharedGridCache(
+                    template_engine, self.num_workers
+                )
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -587,6 +728,13 @@ class SegmentationServer:
 
     def stats(self) -> ServerStats:
         """Snapshot of counters, queue depth, latency percentiles, cache."""
+        if self._shared_grids is not None:
+            # The parent template engine never reports through a result
+            # workload, so refresh its snapshot here: its (single) grid
+            # build is part of the pool's aggregated cache totals.
+            self._collector.record_cache_snapshot(
+                "shared-grid-parent", self._shared_grids.cache_info()
+            )
         stats = self._collector.snapshot(
             mode=self.mode,
             num_workers=self.num_workers,
@@ -634,9 +782,17 @@ class SegmentationServer:
 
     def _run_batch_process(self, batch: "list[_Job]") -> None:
         assert self._pool is not None
+        # A micro-batch is same-shape by construction (ShapeBatcher), so one
+        # shared-grid payload covers the whole batch.
+        shape_key = batch[0].shape_key
+        shared_state = None
+        if self._shared_grids is not None:
+            shared_state = self._shared_grids.payload_for(shape_key)
         try:
             entries = self._pool.submit(
-                _run_process_microbatch, [job.pixels for job in batch]
+                _run_process_microbatch,
+                [job.pixels for job in batch],
+                shared_state,
             ).result()
         except Exception as exc:  # noqa: BLE001 - pool-level failure
             for job in batch:
@@ -649,9 +805,12 @@ class SegmentationServer:
             return
         for job, (status, payload) in zip(batch, entries):
             if status == "ok":
-                self._finish(
-                    job, payload, source=payload.workload.get("serving_worker")
-                )
+                worker_pid = payload.workload.get("serving_worker")
+                if self._shared_grids is not None and worker_pid is not None:
+                    # The worker segmented this shape, so it holds the grid
+                    # now (imported or self-built): stop shipping it there.
+                    self._shared_grids.ack(shape_key, worker_pid)
+                self._finish(job, payload, source=worker_pid)
             else:
                 self._collector.record_failed(
                     time.perf_counter() - job.submitted_at

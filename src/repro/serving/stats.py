@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ServerStats", "StatsCollector"]
+__all__ = ["ServerStats", "StatsCollector", "latency_percentiles"]
 
 
 @dataclass(frozen=True)
@@ -65,7 +65,13 @@ class ServerStats:
         }
 
 
-def _percentiles(latencies: "deque[float]") -> dict:
+def latency_percentiles(latencies) -> dict:
+    """Count/mean/p50/p90/p99 summary of a latency sample (seconds).
+
+    Shared between the serving collector and the HTTP front end so both
+    report the same latency shape; an empty sample yields all-zero fields
+    rather than NaNs.
+    """
     if not latencies:
         return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
     values = np.asarray(latencies, dtype=np.float64)
@@ -80,7 +86,14 @@ def _percentiles(latencies: "deque[float]") -> dict:
 
 
 def _aggregate_cache(snapshots: dict) -> dict:
-    totals = {"hits": 0, "misses": 0, "position_grid_builds": 0, "evictions": 0}
+    totals = {
+        "hits": 0,
+        "misses": 0,
+        "position_grid_builds": 0,
+        "evictions": 0,
+        "shared_grid_imports": 0,
+        "shared_hits": 0,
+    }
     for snapshot in snapshots.values():
         for key in totals:
             totals[key] += int(snapshot.get(key, 0))
@@ -150,6 +163,18 @@ class StatsCollector:
                 self._cache_snapshots[source] = dict(cache)
             self._lock.notify_all()
 
+    def record_cache_snapshot(self, source, cache: dict) -> None:
+        """Register (or refresh) one engine's cumulative cache counters.
+
+        Workers report snapshots implicitly through
+        :meth:`record_completed`; this explicit hook is for engines that
+        never produce results through the collector — e.g. the parent-side
+        template engine that builds the shared grid cache in process mode —
+        so their builds still show up in the aggregated totals.
+        """
+        with self._lock:
+            self._cache_snapshots[source] = dict(cache)
+
     def record_failed(self, latency_seconds: float | None = None) -> None:
         """Count one failure (latency recorded when known)."""
         with self._lock:
@@ -193,6 +218,6 @@ class StatsCollector:
                 mean_batch_size=(
                     self._batched_jobs / self._batches if self._batches else 0.0
                 ),
-                latency=_percentiles(self._latencies),
+                latency=latency_percentiles(self._latencies),
                 cache=_aggregate_cache(self._cache_snapshots),
             )

@@ -292,6 +292,61 @@ class TestMain:
         assert payload["server_images_per_second"] > 0
         assert payload["stats"]["completed"] == 4
         assert payload["modeled_pi4"]["images_per_second"] > 0
+        # The payload records what the engine actually ran, not the flags.
+        assert payload["backend"] == "dense"
+        assert payload["backend_capabilities"]["name"] == "dense"
+
+    def test_serve_bench_json_records_resolved_backend_options(
+        self, capsys, tmp_path
+    ):
+        """Regression: per-backend JSON must carry the resolved backend
+        capabilities (tunables included), not just the request-side flags —
+        CI reuses one serve-bench invocation shape across backends."""
+        import json
+
+        out_path = tmp_path / "packed.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--mode", "thread",
+                "--workers", "2",
+                "--images", "3",
+                "--height", "20",
+                "--width", "24",
+                "--config-json",
+                '{"backend": "packed", "counter_depth": 8, '
+                '"dimension": 300, "num_iterations": 2}',
+                "--output", str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        # --backend was never passed; the backend came in via --config-json
+        # and must still be reported as the resolved value.
+        assert payload["backend"] == "packed"
+        capabilities = payload["backend_capabilities"]
+        assert capabilities["name"] == "packed"
+        assert capabilities["tunables"]["counter_depth"] == 8
+
+    def test_serve_parser_accepts_http_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--mode", "process",
+                "--workers", "4",
+                "--batch-size", "2",
+                "--no-shared-grids",
+                "--backend", "packed",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.mode == "process"
+        assert args.workers == 4
+        assert args.no_shared_grids is True
+        assert args.backend == "packed"
 
     def test_segment_with_cnn_baseline_segmenter(self, capsys):
         exit_code = main(

@@ -200,6 +200,93 @@ class TestServingEstimate:
             estimate.num_workers / estimate.images_per_second
         )
 
+    def test_network_term_caps_the_pool_like_a_shared_bus(self):
+        """A slow NIC bounds images/s at bandwidth / bytes-per-image no
+        matter how many workers the pool has."""
+        cost = self._cost()
+        kwargs = dict(
+            compute_throughput_flops=1e14,  # compute effectively free
+            memory_bandwidth_bytes=1e14,  # memory effectively free
+            num_cores=8,
+            network_bandwidth_bytes=1e6,
+            network_bytes_per_image=250_000.0,  # request + response bytes
+        )
+        four = serving_estimate(cost, num_workers=4, **kwargs)
+        eight = serving_estimate(cost, num_workers=8, **kwargs)
+        assert four.bottleneck == "network"
+        assert four.images_per_second == pytest.approx(1e6 / 250_000.0)
+        # The NIC is shared: more workers add no rate.
+        assert eight.images_per_second == pytest.approx(four.images_per_second)
+        # Serial rate pays the network too, so the speedup stays 1x.
+        assert four.speedup == pytest.approx(1.0)
+
+    def test_network_term_is_inert_when_traffic_is_zero(self):
+        cost = self._cost()
+        base = serving_estimate(
+            cost,
+            num_workers=4,
+            compute_throughput_flops=1e8,
+            memory_bandwidth_bytes=1e12,
+            num_cores=4,
+        )
+        with_nic = serving_estimate(
+            cost,
+            num_workers=4,
+            compute_throughput_flops=1e8,
+            memory_bandwidth_bytes=1e12,
+            num_cores=4,
+            network_bandwidth_bytes=1e6,  # slow NIC, but nothing on the wire
+            network_bytes_per_image=0.0,
+        )
+        assert with_nic.images_per_second == pytest.approx(
+            base.images_per_second
+        )
+        assert with_nic.bottleneck == base.bottleneck == "compute"
+
+    def test_network_workload_without_a_nic_fails_loudly(self):
+        cost = self._cost()
+        with pytest.raises(ValueError, match="network_bandwidth_bytes"):
+            serving_estimate(
+                cost,
+                num_workers=2,
+                compute_throughput_flops=1e8,
+                memory_bandwidth_bytes=1e9,
+                num_cores=4,
+                network_bandwidth_bytes=None,
+                network_bytes_per_image=1024.0,
+            )
+        profile = DeviceProfile("no-nic", 1e9, 1e8, 1e9, 2**30)
+        with pytest.raises(ValueError, match="network_bandwidth_bytes"):
+            EdgeDeviceSimulator(profile).estimate_serving(
+                cost, num_workers=2, network_bytes_per_image=1024.0
+            )
+        with pytest.raises(ValueError, match="network_bandwidth_bytes"):
+            DeviceProfile("bad-nic", 1e9, 1e8, 1e9, 2**30,
+                          network_bandwidth_bytes=0.0)
+
+    def test_simulator_passes_the_profile_nic_through(self):
+        """The Pi profile models gigabit Ethernet; a megapixel-per-image
+        HTTP workload lands on the NIC ceiling."""
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        cost = self._cost()
+        # Enormous per-image traffic so the NIC dominates compute/memory.
+        estimate = simulator.estimate_serving(
+            cost, num_workers=4, network_bytes_per_image=1e9
+        )
+        assert estimate.bottleneck == "network"
+        assert estimate.images_per_second == pytest.approx(
+            RASPBERRY_PI_4.network_bandwidth_bytes / 1e9
+        )
+        # Modest traffic leaves the old compute/memory answer untouched.
+        light = simulator.estimate_serving(
+            cost, num_workers=4, network_bytes_per_image=64 * 64.0
+        )
+        plain = simulator.estimate_serving(cost, num_workers=4)
+        assert light.bottleneck == plain.bottleneck
+        assert light.images_per_second == pytest.approx(
+            plain.images_per_second
+        )
+
     def test_simulator_wrapper_uses_profile_cores_and_checks_memory(self):
         simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
         cost = self._cost()

@@ -1,0 +1,420 @@
+"""Tests for the stdlib HTTP serving front end (:mod:`repro.serving.http`).
+
+Three layers of coverage:
+
+* payload codecs — both wire forms of an image (base64 ``.npy`` and nested
+  lists), both response encodings, and the validation errors;
+* socket-free dispatch — ``handle_request`` routing, every endpoint's
+  payload shape, error statuses, run-spec execution with the ``output``
+  field stripped;
+* a real ``ThreadingHTTPServer`` socket round-trip via ``urllib``, with
+  label-map parity against a direct :class:`SegHDCEngine` run on both
+  compute backends, plus the process-mode shared grid cache observed
+  through ``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.seghdc import SegHDCConfig, SegHDCEngine
+from repro.serving import HTTPRequestError, SegmentationHTTPServer
+from repro.serving.http import (
+    array_to_b64_npy,
+    decode_image_payload,
+    encode_labels,
+)
+
+
+def _config(**overrides):
+    base = SegHDCConfig(
+        dimension=300, num_clusters=2, num_iterations=2, alpha=0.2, beta=3, seed=0
+    )
+    return base.with_overrides(**overrides)
+
+
+def _image(shape=(20, 24), seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=shape, dtype=np.uint8)
+
+
+def _npy_payload(array):
+    return {"data": array_to_b64_npy(array), "encoding": "npy"}
+
+
+def _labels_from(entry, encoding):
+    if encoding == "npy":
+        import base64
+        import io
+
+        return np.load(
+            io.BytesIO(base64.b64decode(entry["labels"])), allow_pickle=False
+        )
+    return np.asarray(entry["labels"])
+
+
+@pytest.fixture()
+def app():
+    """A dispatch-level server (bound to an ephemeral port, not started)."""
+    with SegmentationHTTPServer(
+        _config(), port=0, serving={"mode": "thread", "num_workers": 2}
+    ) as server:
+        yield server
+
+
+class TestPayloadCodecs:
+    def test_npy_roundtrip_preserves_pixels(self):
+        image = _image((8, 10))
+        decoded = decode_image_payload(_npy_payload(image))
+        assert decoded.dtype == np.uint8
+        assert np.array_equal(decoded, image)
+
+    def test_nested_lists_and_bare_lists_decode(self):
+        pixels = [[0, 128, 255], [10, 20, 30]]
+        for payload in ({"pixels": pixels}, pixels):
+            decoded = decode_image_payload(payload)
+            assert decoded.shape == (2, 3)
+            assert decoded.dtype == np.uint8
+            assert decoded[0, 2] == 255
+
+    def test_float_values_are_clipped_to_byte_range(self):
+        decoded = decode_image_payload({"pixels": [[-5.0, 300.0], [1.5, 2.0]]})
+        assert decoded[0, 0] == 0 and decoded[0, 1] == 255
+
+    def test_rgb_payloads_keep_three_dimensions(self):
+        image = _image((6, 7, 3))
+        assert decode_image_payload(_npy_payload(image)).shape == (6, 7, 3)
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ({"data": "!!!not-base64!!!"}, "base64"),
+            ({"data": "aGVsbG8="}, ".npy"),
+            ({"pixels": [[1, 2], [3]]}, "rectangular"),
+            ({"pixels": "text"}, "rectangular|numeric"),
+            ({"wrong": 1}, "'data'.*'pixels'|'pixels'"),
+            (42, "object or a nested list"),
+            ({"data": array_to_b64_npy(np.zeros(4)), }, "2-D or 3-D"),
+            ({"data": array_to_b64_npy(_image()), "encoding": "jpeg"}, "encoding"),
+        ],
+    )
+    def test_bad_image_payloads_raise_clean_errors(self, payload, match):
+        with pytest.raises(HTTPRequestError, match=match):
+            decode_image_payload(payload)
+
+    def test_encode_labels_both_encodings(self):
+        labels = np.arange(6).reshape(2, 3)
+        assert encode_labels(labels, "list") == [[0, 1, 2], [3, 4, 5]]
+        restored = _labels_from(
+            {"labels": encode_labels(labels, "npy")}, "npy"
+        )
+        assert np.array_equal(restored, labels)
+        with pytest.raises(HTTPRequestError, match="response_encoding"):
+            encode_labels(labels, "protobuf")
+
+
+class TestDispatch:
+    """Socket-free routing through ``handle_request``."""
+
+    def test_healthz(self, app):
+        status, payload = app.handle_request("GET", "/healthz", b"")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["mode"] == "thread"
+        assert payload["num_workers"] == 2
+
+    def test_unknown_path_is_404_and_wrong_method_is_405(self, app):
+        assert app.handle_request("GET", "/nope", b"")[0] == 404
+        assert app.handle_request("POST", "/healthz", b"{}")[0] == 405
+        assert app.handle_request("GET", "/v1/segment", b"")[0] == 405
+
+    def test_malformed_bodies_are_400(self, app):
+        assert app.handle_request("POST", "/v1/segment", b"")[0] == 400
+        assert app.handle_request("POST", "/v1/segment", b"not json")[0] == 400
+        assert app.handle_request("POST", "/v1/segment", b"[1,2]")[0] == 400
+        status, payload = app.handle_request(
+            "POST", "/v1/segment", json.dumps({"images": []}).encode()
+        )
+        assert status == 400 and "empty" in payload["error"]
+        status, _ = app.handle_request(
+            "POST",
+            "/v1/segment",
+            json.dumps(
+                {"image": _npy_payload(_image()), "images": []}
+            ).encode(),
+        )
+        assert status == 400
+
+    def test_segment_single_image_matches_direct_engine(self, app):
+        image = _image(seed=3)
+        expected = SegHDCEngine(_config()).segment(image)
+        status, payload = app.handle_request(
+            "POST",
+            "/v1/segment",
+            json.dumps({"image": _npy_payload(image)}).encode(),
+        )
+        assert status == 200, payload.get("error")
+        assert payload["count"] == 1
+        entry = payload["results"][0]
+        assert np.array_equal(_labels_from(entry, "list"), expected.labels)
+        assert entry["num_clusters"] == 2
+        assert entry["workload"]["backend"] == "dense"
+        assert "cache" in entry["workload"]
+
+    def test_segment_batch_npy_response_and_workload_toggle(self, app):
+        images = [_image(seed=i) for i in range(3)]
+        expected = SegHDCEngine(_config()).segment_batch(images)
+        body = json.dumps(
+            {
+                "images": [_npy_payload(image) for image in images],
+                "response_encoding": "npy",
+                "include_workload": False,
+            }
+        ).encode()
+        status, payload = app.handle_request("POST", "/v1/segment", body)
+        assert status == 200, payload.get("error")
+        assert payload["count"] == 3
+        for ref, entry in zip(expected, payload["results"]):
+            assert np.array_equal(_labels_from(entry, "npy"), ref.labels)
+            assert "workload" not in entry
+
+    def test_segment_rejects_oversize_batches(self, app):
+        from repro.serving import http as http_module
+
+        body = json.dumps(
+            {"images": [[[1]]] * (http_module.MAX_IMAGES_PER_REQUEST + 1)}
+        ).encode()
+        status, payload = app.handle_request("POST", "/v1/segment", body)
+        assert status == 400 and "limit" in payload["error"]
+
+    def test_segmenters_listing(self, app):
+        status, payload = app.handle_request("GET", "/v1/segmenters", b"")
+        assert status == 200
+        names = [entry["name"] for entry in payload["segmenters"]]
+        assert "seghdc" in names and "cnn_baseline" in names
+        seghdc = next(e for e in payload["segmenters"] if e["name"] == "seghdc")
+        assert "dimension" in seghdc["config_fields"]
+        backends = {entry["name"]: entry for entry in payload["backends"]}
+        assert backends["packed"]["capabilities"]["storage"] == "uint64"
+        assert payload["serving"]["segmenter"]["segmenter"] == "seghdc"
+
+    def test_run_spec_executes_and_never_writes_output(self, app, tmp_path):
+        out_file = tmp_path / "forbidden.json"
+        spec = {
+            "segmenter": "seghdc",
+            "config": {"dimension": 300, "num_iterations": 2, "beta": 3},
+            "dataset": "dsb2018",
+            "num_images": 2,
+            "image_shape": [24, 32],
+            "output": str(out_file),
+        }
+        status, payload = app.handle_request(
+            "POST", "/v1/run-spec", json.dumps(spec).encode()
+        )
+        assert status == 200, payload.get("error")
+        assert payload["num_images"] == 2
+        assert 0.0 <= payload["mean_iou"] <= 1.0
+        assert "output_path" not in payload
+        assert not out_file.exists()
+
+    def test_run_spec_validation_errors_are_400(self, app):
+        status, payload = app.handle_request(
+            "POST", "/v1/run-spec", json.dumps({"segmenter": "nope"}).encode()
+        )
+        assert status == 400 and "invalid run spec" in payload["error"]
+        status, _ = app.handle_request(
+            "POST",
+            "/v1/run-spec",
+            json.dumps({"segmenter": "seghdc", "bogus_field": 1}).encode(),
+        )
+        assert status == 400
+
+    def test_stats_reports_serving_and_http_counters(self, app):
+        app.handle_request("GET", "/healthz", b"")
+        app.handle_request(
+            "POST",
+            "/v1/segment",
+            json.dumps({"image": _npy_payload(_image())}).encode(),
+        )
+        status, payload = app.handle_request("GET", "/stats", b"")
+        assert status == 200
+        serving = payload["serving"]
+        assert serving["completed"] >= 1
+        assert serving["cache"]["position_grid_builds"] >= 1
+        assert set(serving["latency"]) >= {"count", "p50", "p90", "p99"}
+        # HTTP counters come from the socket layer; dispatch-only calls do
+        # not count, so the dict is present with its full shape.
+        assert set(payload["http"]) == {
+            "requests", "errors", "by_route", "latency",
+        }
+
+    def test_everything_is_json_serializable(self, app):
+        """The handler JSON-encodes whatever dispatch returns; numpy types
+        in workloads must not break that."""
+        for method, path, body in [
+            ("GET", "/healthz", b""),
+            ("GET", "/stats", b""),
+            ("GET", "/v1/segmenters", b""),
+            (
+                "POST",
+                "/v1/segment",
+                json.dumps({"image": _npy_payload(_image())}).encode(),
+            ),
+        ]:
+            _, payload = app.handle_request(method, path, body)
+            from repro.serving.http import _json_default
+
+            json.dumps(payload, default=_json_default)
+
+
+class TestSaturation:
+    def test_saturated_server_returns_503_instead_of_blocking(self):
+        """The /v1/segment path submits without blocking so a full queue
+        surfaces as a 503, not as a hung handler thread."""
+        import time as time_module
+
+        from repro.api.result import SegmentationResult
+
+        class _SlowSegmenter:
+            """Thread-safe stub that holds a worker long enough for the
+            queue to fill behind it."""
+
+            def segment(self, image):
+                """Sleep, then return an all-zero label map."""
+                time_module.sleep(0.5)
+                labels = np.zeros(np.asarray(image).shape[:2], dtype=int)
+                return SegmentationResult(
+                    labels=labels, elapsed_seconds=0.5, num_clusters=2
+                )
+
+            def segment_batch(self, images):
+                """Serial batch over :meth:`segment`."""
+                return [self.segment(image) for image in images]
+
+            def describe(self):
+                """Minimal spec dict (thread mode never rebuilds it)."""
+                return {"segmenter": "slow-stub"}
+
+        with SegmentationHTTPServer(
+            _SlowSegmenter(),
+            port=0,
+            serving={
+                "mode": "thread",
+                "num_workers": 1,
+                "max_queue_depth": 1,
+                "max_batch_size": 1,
+            },
+        ) as server:
+            body = json.dumps(
+                {"images": [[[0, 1], [2, 3]]] * 8}
+            ).encode()
+            status, payload = server.handle_request(
+                "POST", "/v1/segment", body
+            )
+        assert status == 503, payload
+        assert "saturated" in payload["error"]
+
+
+class TestOverSocket:
+    """Real HTTP over a loopback socket, as CI's http-smoke job drives it."""
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_served_label_maps_are_bit_exact_vs_direct_engine(self, backend):
+        config = _config(backend=backend)
+        images = [_image(seed=i) for i in range(3)]
+        expected = SegHDCEngine(config).segment_batch(images)
+        with SegmentationHTTPServer(
+            config, port=0, serving={"mode": "thread", "num_workers": 2}
+        ) as server:
+            server.start()
+            url = f"http://{server.host}:{server.port}"
+            body = json.dumps(
+                {
+                    "images": [_npy_payload(image) for image in images],
+                    "response_encoding": "npy",
+                }
+            ).encode()
+            request = urllib.request.Request(
+                f"{url}/v1/segment",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=120) as response:
+                payload = json.load(response)
+            for ref, entry in zip(expected, payload["results"]):
+                assert np.array_equal(_labels_from(entry, "npy"), ref.labels)
+            with urllib.request.urlopen(f"{url}/stats", timeout=30) as response:
+                stats = json.load(response)
+            assert stats["serving"]["completed"] == 3
+            assert stats["http"]["requests"] >= 1
+            assert stats["http"]["by_route"]["/v1/segment"] == 1
+
+    def test_http_error_statuses_over_socket(self):
+        with SegmentationHTTPServer(_config(), port=0) as server:
+            server.start()
+            url = f"http://{server.host}:{server.port}"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{url}/does-not-exist", timeout=30)
+            assert excinfo.value.code == 404
+            assert "error" in json.load(excinfo.value)
+            request = urllib.request.Request(
+                f"{url}/v1/segment", data=b"not json"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 400
+
+    def test_malformed_content_length_gets_400_not_a_hung_thread(self):
+        """A negative or garbage Content-Length must be answered without
+        reading the body (read(-1) would block until the client hangs up,
+        pinning a handler thread)."""
+        import socket
+
+        with SegmentationHTTPServer(_config(), port=0) as server:
+            server.start()
+            for value in (b"-1", b"abc"):
+                with socket.create_connection(
+                    (server.host, server.port), timeout=10
+                ) as conn:
+                    conn.sendall(
+                        b"POST /v1/segment HTTP/1.1\r\n"
+                        b"Host: test\r\n"
+                        b"Content-Length: " + value + b"\r\n\r\n"
+                    )
+                    conn.settimeout(10)
+                    response = conn.recv(4096)
+                assert b"400" in response.split(b"\r\n", 1)[0], response
+
+    def test_process_mode_shared_grid_cache_visible_in_stats(self):
+        """The acceptance shape of CI's http-smoke job: a multi-worker
+        process-mode server serves same-shape images over HTTP and /stats
+        reports exactly one position-grid build across the pool."""
+        config = _config()
+        images = [_image((16, 20), seed=i) for i in range(6)]
+        expected = SegHDCEngine(config).segment_batch(images)
+        with SegmentationHTTPServer(
+            config,
+            port=0,
+            serving={"mode": "process", "num_workers": 2, "max_batch_size": 1},
+        ) as server:
+            server.start()
+            url = f"http://{server.host}:{server.port}"
+            body = json.dumps(
+                {"images": [_npy_payload(image) for image in images]}
+            ).encode()
+            request = urllib.request.Request(f"{url}/v1/segment", data=body)
+            with urllib.request.urlopen(request, timeout=300) as response:
+                payload = json.load(response)
+            for ref, entry in zip(expected, payload["results"]):
+                assert np.array_equal(_labels_from(entry, "list"), ref.labels)
+            with urllib.request.urlopen(f"{url}/stats", timeout=30) as response:
+                stats = json.load(response)
+        cache = stats["serving"]["cache"]
+        assert cache["position_grid_builds"] == 1, cache
+        assert cache["shared_grid_imports"] >= 1
+        assert cache["shared_hits"] == len(images)

@@ -253,7 +253,7 @@ class TestServerThreadMode:
 
 
 class TestServerProcessMode:
-    def test_process_pool_parity_and_per_process_caches(self):
+    def test_process_pool_parity_and_shared_grid_cache(self):
         images = [_image(seed=i) for i in range(4)]
         reference = SegHDCEngine(_config()).segment_batch(images)
         with SegmentationServer(
@@ -264,10 +264,35 @@ class TestServerProcessMode:
         for expected, observed in zip(reference, served):
             assert np.array_equal(expected.labels, observed.labels)
         assert stats.completed == 4
+        # The parent template engine built the grid exactly once and the
+        # workers imported it; worker + parent snapshots are all aggregated.
+        assert stats.cache["position_grid_builds"] == 1
+        assert stats.cache["shared_grid_imports"] >= 1
+        assert stats.cache["shared_hits"] == stats.completed
+        assert 2 <= stats.cache["engines"] <= 3  # workers seen + parent
+        assert server.engine is None
+
+    def test_process_pool_without_shared_cache_builds_per_worker(self):
+        """share_grid_cache=False restores the historical cold-start
+        semantics: every worker process builds its own encoder grids."""
+        images = [_image(seed=i) for i in range(4)]
+        reference = SegHDCEngine(_config()).segment_batch(images)
+        with SegmentationServer(
+            _config(),
+            mode="process",
+            num_workers=2,
+            max_batch_size=2,
+            share_grid_cache=False,
+        ) as server:
+            served = server.segment_batch(images, timeout=120)
+            stats = server.stats()
+        for expected, observed in zip(reference, served):
+            assert np.array_equal(expected.labels, observed.labels)
+        assert stats.completed == 4
         # Each worker process reported its own engine's cache snapshot.
         assert 1 <= stats.cache["engines"] <= 2
         assert stats.cache["position_grid_builds"] == stats.cache["engines"]
-        assert server.engine is None
+        assert stats.cache["shared_grid_imports"] == 0
 
 
 def _cnn_config(**overrides):

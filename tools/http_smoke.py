@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""CI ``http-smoke`` driver: boot ``seghdc serve`` and hit it over the wire.
+
+What it proves, end to end (real subprocess, real sockets, ``urllib`` only):
+
+1. **Parity on both backends** — for ``dense`` and ``packed``, a thread-mode
+   ``seghdc serve`` is booted, a 2-image batch is POSTed to
+   ``/v1/segment`` (base64 ``.npy`` payloads), and the returned label maps
+   must be bit-exact against a direct :class:`SegHDCEngine` run of the same
+   config.  A ``/v1/run-spec`` POST and ``/healthz`` / ``/stats`` sanity
+   checks ride along.
+2. **Shared grid cache** — a 4-worker *process-mode* server serves a batch
+   of same-shape images, and ``/stats`` must report **exactly one**
+   position-grid build across the whole pool (the parent's), with shared
+   imports visible.
+
+Stats payloads are written under ``--output-dir`` so CI can upload them as
+artifacts.  Exit code is non-zero on any failed assertion, so the CI job
+goes red on a real regression rather than a silent pass.
+
+Usage::
+
+    PYTHONPATH=src python tools/http_smoke.py --output-dir http-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import io
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+_HOST = "127.0.0.1"
+_DIMENSION = 600
+_ITERATIONS = 3
+_SHAPE = (32, 40)
+
+
+def _config(backend: str):
+    """The exact config the booted server resolves from the CLI flags."""
+    from repro.seghdc import SegHDCConfig
+
+    config = SegHDCConfig.paper_defaults("dsb2018").with_overrides(
+        dimension=_DIMENSION, num_iterations=_ITERATIONS
+    ).scaled_for_shape(64, 64)
+    return config.with_overrides(backend=backend)
+
+
+def _images(count: int, seed: int = 7) -> list:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 256, size=_SHAPE, dtype=np.uint8) for _ in range(count)
+    ]
+
+
+def _npy_payload(array: np.ndarray) -> dict:
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return {
+        "data": base64.b64encode(buffer.getvalue()).decode("ascii"),
+        "encoding": "npy",
+    }
+
+
+def _labels(entry: dict) -> np.ndarray:
+    return np.load(
+        io.BytesIO(base64.b64decode(entry["labels"])), allow_pickle=False
+    )
+
+
+def _post(url: str, payload: dict, timeout: float = 300.0) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+def _get(url: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.load(response)
+
+
+class _Server:
+    """One booted ``seghdc serve`` subprocess with health-checked startup."""
+
+    def __init__(self, port: int, *extra_args: str) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.port = port
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--host", _HOST,
+                "--port", str(port),
+                "--dimension", str(_DIMENSION),
+                "--iterations", str(_ITERATIONS),
+                *extra_args,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.url = f"http://{_HOST}:{port}"
+
+    def wait_healthy(self, timeout: float = 60.0) -> dict:
+        """Poll /healthz until the server answers (or die with its log)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                output, _ = self.process.communicate()
+                raise SystemExit(
+                    f"server on port {self.port} exited early:\n{output}"
+                )
+            try:
+                return _get(f"{self.url}/healthz", timeout=2)
+            except Exception:
+                time.sleep(0.25)
+        # __exit__ never runs when __enter__ raises: kill the subprocess
+        # here or a retry on the same runner finds the port still taken.
+        self.process.kill()
+        self.process.communicate()
+        raise SystemExit(f"server on port {self.port} never became healthy")
+
+    def __enter__(self) -> "_Server":
+        self.wait_healthy()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.process.terminate()
+        try:
+            self.process.communicate(timeout=15)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.communicate()
+
+
+def smoke_backend_parity(backend: str, port: int, output_dir: Path) -> None:
+    """Thread-mode server: HTTP label maps bit-exact vs a direct engine."""
+    from repro.seghdc import SegHDCEngine
+
+    images = _images(2)
+    reference = SegHDCEngine(_config(backend)).segment_batch(images)
+    with _Server(
+        port, "--mode", "thread", "--workers", "2", "--backend", backend
+    ) as server:
+        payload = _post(
+            f"{server.url}/v1/segment",
+            {
+                "images": [_npy_payload(image) for image in images],
+                "response_encoding": "npy",
+            },
+        )
+        assert payload["count"] == len(images), payload
+        for index, (expected, entry) in enumerate(
+            zip(reference, payload["results"])
+        ):
+            served = _labels(entry)
+            assert np.array_equal(served, expected.labels), (
+                f"{backend}: HTTP label map {index} diverged from the direct "
+                "engine run"
+            )
+            assert entry["workload"]["backend"] == backend, entry["workload"]
+
+        # A declarative run-spec through the same server.
+        run = _post(
+            f"{server.url}/v1/run-spec",
+            {
+                "segmenter": "seghdc",
+                "config": {
+                    "dimension": _DIMENSION,
+                    "num_iterations": _ITERATIONS,
+                    "beta": 3,
+                    "backend": backend,
+                },
+                "dataset": "dsb2018",
+                "num_images": 2,
+                "image_shape": list(_SHAPE),
+            },
+        )
+        assert run["num_images"] == 2, run
+        assert 0.0 <= run["mean_iou"] <= 1.0, run
+
+        health = _get(f"{server.url}/healthz")
+        assert health["status"] == "ok", health
+        stats = _get(f"{server.url}/stats")
+        assert stats["serving"]["completed"] >= len(images), stats
+        assert stats["serving"]["failed"] == 0, stats
+        assert stats["http"]["requests"] >= 2, stats
+        (output_dir / f"stats_thread_{backend}.json").write_text(
+            json.dumps(stats, indent=2) + "\n"
+        )
+    print(f"[http-smoke] {backend}: parity + run-spec + stats OK")
+
+
+def smoke_shared_grid_cache(port: int, output_dir: Path) -> None:
+    """4-worker process mode: exactly one grid build across the pool."""
+    from repro.seghdc import SegHDCEngine
+
+    images = _images(8, seed=11)
+    reference = SegHDCEngine(_config("dense")).segment_batch(images)
+    with _Server(
+        port, "--mode", "process", "--workers", "4", "--batch-size", "1"
+    ) as server:
+        payload = _post(
+            f"{server.url}/v1/segment",
+            {
+                "images": [_npy_payload(image) for image in images],
+                "response_encoding": "npy",
+            },
+        )
+        for index, (expected, entry) in enumerate(
+            zip(reference, payload["results"])
+        ):
+            assert np.array_equal(_labels(entry), expected.labels), (
+                f"process mode: HTTP label map {index} diverged"
+            )
+        stats = _get(f"{server.url}/stats")
+        cache = stats["serving"]["cache"]
+        assert cache["position_grid_builds"] == 1, (
+            "shared grid cache regression: expected exactly 1 position-grid "
+            f"build across the 4-worker pool, got {cache}"
+        )
+        assert cache["shared_grid_imports"] >= 1, cache
+        assert cache["shared_hits"] == len(images), cache
+        (output_dir / "stats_process_shared.json").write_text(
+            json.dumps(stats, indent=2) + "\n"
+        )
+    print(
+        "[http-smoke] process x4: 1 grid build, "
+        f"{cache['shared_grid_imports']} imports, "
+        f"{cache['shared_hits']} shared hits OK"
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run the full smoke; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output-dir",
+        default="http-smoke",
+        help="directory for the /stats JSON artifacts",
+    )
+    parser.add_argument(
+        "--base-port",
+        type=int,
+        default=18080,
+        help="first TCP port to use (three consecutive ports are taken)",
+    )
+    args = parser.parse_args(argv)
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    smoke_backend_parity("dense", args.base_port, output_dir)
+    smoke_backend_parity("packed", args.base_port + 1, output_dir)
+    smoke_shared_grid_cache(args.base_port + 2, output_dir)
+    print("[http-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
