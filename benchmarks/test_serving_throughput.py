@@ -7,6 +7,19 @@ maps.  The speedup gate needs real cores to scale onto (the numpy kernels
 release the GIL, but they cannot out-run a single CPU), so it is skipped on
 hosts with fewer than four cores; the scaling profile and the bit-exactness
 checks run everywhere.
+
+The zero-copy PR adds two more measurements:
+
+* the **shared-memory transport gate** — a 4-worker *process-mode* pool
+  serving 512x512 frames through the Otsu ``"threshold"`` probe (compute
+  ~ 0, so transport dominates) must reach at least 1.3x the images/sec of
+  the same pool with ``use_shared_memory=False``, bit-exactly.  Like the
+  thread gate it needs real cores (on one CPU both transports serialise
+  behind the same core) and loudly skips below four;
+* the **network-term consistency check** — the HTTP wire bytes the serving
+  codecs actually produce must match :func:`repro.device.http_wire_bytes`,
+  and feeding either number into :func:`serving_estimate` must predict the
+  same network-bound throughput.  Pure accounting, runs everywhere.
 """
 
 from __future__ import annotations
@@ -20,8 +33,10 @@ import numpy as np
 import pytest
 
 from repro.datasets import DSB2018Synthetic
+from repro.device import http_wire_bytes, seghdc_cost, serving_estimate
 from repro.seghdc import SegHDCConfig, SegHDCEngine
 from repro.serving import SegmentationServer
+from repro.serving.http import array_to_b64_npy, npy_bytes
 
 BATCH = 10
 SHAPE = (64, 64)
@@ -157,3 +172,156 @@ def test_4_worker_thread_pool_at_least_2x_serial(backend):
         f"{backend}: 4-worker thread pool reached only {best:.2f}x serial "
         f"images/sec on {_CPUS} cpus"
     )
+
+
+_SHM_SHAPE = (512, 512)
+_SHM_BATCH = 16
+
+
+def _transport_images() -> list:
+    rng = np.random.default_rng(17)
+    return [
+        rng.integers(0, 256, size=_SHM_SHAPE, dtype=np.uint8)
+        for _ in range(_SHM_BATCH)
+    ]
+
+
+def _transport_run(images: list, use_shm: bool) -> tuple:
+    """Images/sec + labels + transport counters of one process-mode pool."""
+    with SegmentationServer(
+        {"segmenter": "threshold"},
+        mode="process",
+        num_workers=4,
+        max_batch_size=2,
+        use_shared_memory=use_shm,
+    ) as server:
+        server.segment_batch(images[:4], timeout=120)  # warm pool + slots
+        start = time.perf_counter()
+        results = server.segment_batch(images, timeout=300)
+        elapsed = time.perf_counter() - start
+        transport = server.stats().transport
+    labels = [result.labels for result in results]
+    return len(images) / elapsed, labels, transport
+
+
+@pytest.mark.skipif(
+    _CPUS < 4,
+    reason=f"shm transport gate needs >= 4 cores, host has {_CPUS}",
+)
+def test_4_worker_shm_transport_at_least_1p3x_pickle():
+    """Acceptance: the shared-memory transport beats pickle by >= 1.3x
+    images/sec on a 4-worker process pool serving 512x512 frames, with
+    bit-identical label maps and zero pickled pixel bytes on the shm path.
+
+    The Otsu threshold probe keeps compute negligible so the measurement
+    isolates data movement; best-of-three shields the ratio from scheduler
+    noise while the parity and byte-accounting assertions apply to every
+    attempt.
+    """
+    images = _transport_images()
+    best = 0.0
+    measurements = {}
+    for _ in range(3):
+        shm_ips, shm_labels, shm_transport = _transport_run(images, True)
+        pickle_ips, pickle_labels, pickle_transport = _transport_run(
+            images, False
+        )
+        for index, (expected, observed) in enumerate(
+            zip(pickle_labels, shm_labels)
+        ):
+            assert np.array_equal(expected, observed), (
+                f"shm label map {index} diverged from the pickle transport"
+            )
+        assert shm_transport["shm"]["bytes_in"] == 0, shm_transport
+        assert pickle_transport["pickle"]["bytes_in"] > 0, pickle_transport
+        best = max(best, shm_ips / pickle_ips)
+        measurements = {
+            "shm_images_per_second": round(shm_ips, 2),
+            "pickle_images_per_second": round(pickle_ips, 2),
+            "shm_bytes_per_image": shm_transport["shm"]["bytes_per_image"],
+            "pickle_bytes_per_image": (
+                pickle_transport["pickle"]["bytes_per_image"]
+            ),
+        }
+        if best >= 1.3:
+            break
+    payload = {
+        "benchmark": "serving_shm_transport",
+        "segmenter": "threshold",
+        "cpus": _CPUS,
+        "images": _SHM_BATCH,
+        "shape": list(_SHM_SHAPE),
+        "speedup": round(best, 2),
+        **measurements,
+    }
+    print("\n  BENCH " + json.dumps(payload))
+    output = os.environ.get("SERVING_BENCH_JSON")
+    if output:
+        path = Path(output)
+        path = path.with_name(f"{path.stem}_shm{path.suffix}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+    assert best >= 1.3, (
+        f"shm transport reached only {best:.2f}x the pickle transport on "
+        f"{_CPUS} cpus"
+    )
+
+
+def test_network_term_consistent_with_measured_wire_bytes():
+    """The cost model's ``http_wire_bytes`` must agree with the bytes the
+    serving codecs actually put on the wire, and a network-bound
+    ``serving_estimate`` fed either number must predict the same
+    throughput — otherwise the /stats ``bytes_per_image`` counters and the
+    analytical network term would silently drift apart."""
+    height, width = _SHM_SHAPE
+    rng = np.random.default_rng(23)
+    image = rng.integers(0, 256, size=(height, width), dtype=np.uint8)
+    labels = rng.integers(0, 2, size=(height, width)).astype(np.int32)
+
+    measured = {
+        "raw": len(npy_bytes(image)) + len(npy_bytes(labels)),
+        "npy": len(array_to_b64_npy(image)) + len(array_to_b64_npy(labels)),
+    }
+    for wire, measured_bytes in measured.items():
+        modeled = http_wire_bytes(height, width, wire=wire)
+        assert measured_bytes == pytest.approx(modeled, rel=0.01), (
+            f"{wire}: measured {measured_bytes} B/image vs modeled "
+            f"{modeled} B/image"
+        )
+
+    # Feed the measured raw bytes into the estimator with a NIC slow enough
+    # to dominate: the pool must be network-bound at bandwidth / bytes.
+    cost = seghdc_cost(
+        height, width, dimension=1000, num_clusters=2, num_iterations=3,
+        channels=1,
+    )
+    bandwidth = 1e7  # 10 MB/s: slower than any compute term at this size
+    estimate = serving_estimate(
+        cost,
+        num_workers=4,
+        compute_throughput_flops=1e14,
+        memory_bandwidth_bytes=1e14,
+        num_cores=4,
+        network_bandwidth_bytes=bandwidth,
+        network_bytes_per_image=float(measured["raw"]),
+    )
+    assert estimate.bottleneck == "network"
+    assert estimate.images_per_second == pytest.approx(
+        bandwidth / measured["raw"]
+    )
+    # The modeled wire bytes predict the same rate within 1%.
+    modeled_estimate = serving_estimate(
+        cost,
+        num_workers=4,
+        compute_throughput_flops=1e14,
+        memory_bandwidth_bytes=1e14,
+        num_cores=4,
+        network_bandwidth_bytes=bandwidth,
+        network_bytes_per_image=http_wire_bytes(height, width, wire="raw"),
+    )
+    assert modeled_estimate.images_per_second == pytest.approx(
+        estimate.images_per_second, rel=0.01
+    )
+    # Raw moves fewer bytes than base64 by construction, so its network
+    # ceiling is strictly higher.
+    assert measured["raw"] < measured["npy"]

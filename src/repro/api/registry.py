@@ -6,7 +6,7 @@ any algorithm from a declarative spec instead of importing concrete classes:
 
 >>> from repro.api import make_segmenter, available_segmenters
 >>> available_segmenters()
-['cnn_baseline', 'seghdc']
+['cnn_baseline', 'seghdc', 'threshold']
 >>> segmenter = make_segmenter({"segmenter": "seghdc",
 ...                             "config": {"dimension": 800}})
 
@@ -84,6 +84,7 @@ def _ensure_builtins() -> None:
             # propagate again on the next call, not leave the registry
             # silently empty.
             import repro.baseline.segmenter  # noqa: F401 - registers "cnn_baseline"
+            import repro.baseline.threshold  # noqa: F401 - registers "threshold"
             import repro.seghdc.pipeline  # noqa: F401 - registers "seghdc"
 
             _BUILTINS_LOADED = True

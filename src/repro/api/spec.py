@@ -130,6 +130,8 @@ class ServingOptions:
     max_queue_depth: int = 64
     max_batch_size: int = 8
     latency_window: int = 4096
+    use_shared_memory: bool = True
+    shm_slot_bytes: int = 1 << 24
     share_grid_cache: bool = True
 
     def __post_init__(self) -> None:
@@ -138,7 +140,8 @@ class ServingOptions:
                 f"mode must be 'thread' or 'process', got {self.mode!r}"
             )
         for name in (
-            "num_workers", "max_queue_depth", "max_batch_size", "latency_window"
+            "num_workers", "max_queue_depth", "max_batch_size",
+            "latency_window", "shm_slot_bytes",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(

@@ -189,6 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_segmenter_option(serve_parser)
     _add_backend_option(serve_parser)
     serve_parser.add_argument(
+        "--transport",
+        default="auto",
+        choices=("auto", "pickle", "shm"),
+        help="process-mode image transport: 'shm' forces the shared-memory "
+        "ring, 'pickle' disables it, 'auto' (default) uses shm when "
+        "available; the resolved transport is read back from the "
+        "server's per-path byte counters and recorded in the JSON",
+    )
+    serve_parser.add_argument(
+        "--wire",
+        default="npy",
+        choices=("json", "npy", "raw"),
+        help="HTTP wire form to measure bytes-per-image for (socket-free: "
+        "the benchmark encodes the actual images and label maps with "
+        "the serving codecs and compares against the cost model's "
+        "http_wire_bytes)",
+    )
+    serve_parser.add_argument(
         "--output",
         default=None,
         help="write the benchmark result (throughput, stats, estimate) as JSON",
@@ -228,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the process-mode cross-engine shared grid cache "
         "(workers build their own encoder grids again)",
+    )
+    http_parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable the process-mode shared-memory image transport "
+        "(images travel to workers by pickle again)",
     )
     http_parser.add_argument(
         "--dataset",
@@ -386,6 +410,43 @@ def _run_spec_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _measure_wire_bytes(wire: str, images: list, results: list) -> dict:
+    """Socket-free measurement of one HTTP wire form's bytes per image.
+
+    Encodes the benchmark's actual images and label maps with the same
+    codecs the HTTP front end uses (base64 ``.npy``, bare ``.npy``, JSON
+    lists) and pairs the measured bytes/image with the cost model's
+    :func:`repro.device.http_wire_bytes` prediction, so BENCH JSON can
+    hold the model to account without booting a socket server.
+    """
+    from repro.device import http_wire_bytes
+    from repro.serving.http import array_to_b64_npy, npy_bytes
+
+    total = 0
+    for image, result in zip(images, results):
+        pixels = image.pixels if hasattr(image, "pixels") else image
+        if wire == "raw":
+            total += len(npy_bytes(pixels)) + len(npy_bytes(result.labels))
+        elif wire == "npy":
+            total += len(array_to_b64_npy(pixels)) + len(
+                array_to_b64_npy(result.labels)
+            )
+        else:  # json: decimal text of both nested lists
+            total += len(json.dumps(pixels.tolist())) + len(
+                json.dumps(result.labels.tolist())
+            )
+    pixels = images[0].pixels if hasattr(images[0], "pixels") else images[0]
+    height, width = pixels.shape[:2]
+    channels = pixels.shape[2] if pixels.ndim == 3 else 1
+    return {
+        "form": wire,
+        "measured_bytes_per_image": total / max(1, len(images)),
+        "modeled_bytes_per_image": http_wire_bytes(
+            height, width, channels=channels, wire=wire
+        ),
+    }
+
+
 def _run_serve_bench(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -415,12 +476,27 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         mode=args.mode,
         num_workers=args.workers,
         max_batch_size=batch_size,
+        use_shared_memory=args.transport != "pickle",
     ) as server:
         server_start = time.perf_counter()
         server_results = server.segment_batch(images)
         server_seconds = time.perf_counter() - server_start
         stats = server.stats()
     server_ips = len(images) / server_seconds
+    # What the images actually rode, read back from the per-path counters
+    # ("shm" may resolve to "pickle" when /dev/shm is unusable or images
+    # exceed the slot size — the fallback ladder, not a config echo).
+    transport_stats = stats.as_dict()["transport"]
+    resolved_transport = max(
+        transport_stats,
+        key=lambda path: transport_stats[path]["images"],
+        default="none",
+    )
+    if args.transport == "shm" and resolved_transport != "shm":
+        print(
+            f"WARNING: --transport shm requested but images rode "
+            f"{resolved_transport!r} (oversize images or no usable /dev/shm)"
+        )
 
     mismatches = sum(
         not np.array_equal(serial.labels, served.labels)
@@ -460,6 +536,25 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         f"batches : {stats.batches_dispatched} dispatched, "
         f"mean size {stats.mean_batch_size:.2f}, "
         f"cache hit rate {stats.cache['hit_rate']:.2f}"
+    )
+    transport_bpi = transport_stats.get(resolved_transport, {}).get(
+        "bytes_per_image", 0.0
+    )
+    print(
+        f"transport: {resolved_transport} "
+        f"({transport_bpi:.0f} serialized bytes/image worker-bound"
+        + (
+            ", zero pickled pixel bytes"
+            if resolved_transport == "shm"
+            else ""
+        )
+        + ")"
+    )
+    wire = _measure_wire_bytes(args.wire, images, server_results)
+    print(
+        f"wire    : {args.wire} = {wire['measured_bytes_per_image']:.0f} "
+        f"measured bytes/image "
+        f"(model: {wire['modeled_bytes_per_image']:.0f})"
     )
 
     modeled = None
@@ -507,6 +602,13 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             "server_images_per_second": server_ips,
             "speedup": server_ips / serial_ips,
             "parity_mismatches": mismatches,
+            "transport": {
+                "requested": args.transport,
+                "resolved": resolved_transport,
+                "bytes_per_image": transport_bpi,
+                "by_path": transport_stats,
+            },
+            "wire": wire,
             "stats": stats.as_dict(),
         }
         if modeled is not None:
@@ -538,6 +640,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         max_queue_depth=args.max_queue_depth,
         max_batch_size=batch_size,
+        use_shared_memory=not args.no_shm,
         share_grid_cache=not args.no_shared_grids,
     )
     with SegmentationHTTPServer(
@@ -550,8 +653,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
         print(
-            "endpoints: POST /v1/segment  POST /v1/run-spec  "
-            "GET /v1/segmenters  GET /healthz  GET /stats",
+            "endpoints: POST /v1/segment  POST /v1/segment-stream  "
+            "POST /v1/run-spec  GET /v1/segmenters  GET /healthz  GET /stats",
             flush=True,
         )
         # SIGTERM (docker stop, CI teardown) must shut the worker pool down

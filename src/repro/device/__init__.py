@@ -28,6 +28,7 @@ from repro.device.cost_model import (
     ServingEstimate,
     WorkloadCost,
     cnn_baseline_cost,
+    http_wire_bytes,
     packed_bundle_cost,
     seghdc_cost,
     serving_estimate,
@@ -48,6 +49,7 @@ __all__ = [
     "ServingEstimate",
     "WorkloadCost",
     "cnn_baseline_cost",
+    "http_wire_bytes",
     "packed_bundle_cost",
     "seghdc_cost",
     "serving_estimate",

@@ -23,6 +23,7 @@ __all__ = [
     "ServingEstimate",
     "WorkloadCost",
     "cnn_baseline_cost",
+    "http_wire_bytes",
     "packed_bundle_cost",
     "seghdc_cost",
     "serving_estimate",
@@ -319,6 +320,64 @@ def serving_estimate(
         bottleneck=bottleneck,
         peak_memory_bytes=cost.peak_memory_bytes * parallel_workers,
     )
+
+
+#: ``.npy`` headers are padded to a multiple of 64 bytes; one header per
+#: array on the wire.  128 covers every shape the serving stack produces.
+_NPY_HEADER_BYTES = 128
+#: Average wire characters per element when arrays travel as JSON decimal
+#: text (digits + separator, for uint8 pixels and small label ids alike).
+_JSON_CHARS_PER_ELEMENT = 4
+
+_WIRE_FORMS = ("raw", "npy", "json")
+
+
+def http_wire_bytes(
+    height: int,
+    width: int,
+    *,
+    channels: int = 1,
+    wire: str = "raw",
+    label_bytes: int = 4,
+) -> float:
+    """Per-image HTTP wire bytes of one segment request/response pair.
+
+    Models the image payload bytes of the serving front end's wire forms —
+    the request's uint8 pixels plus the response's label map (``int32`` by
+    default, matching the clusterer's output) — for feeding
+    :func:`serving_estimate`'s ``network_bytes_per_image`` and for
+    cross-checking the measured ``bytes_per_image`` the HTTP transport
+    counters report:
+
+    * ``"raw"`` — bare ``.npy`` octet-stream bodies: payload plus one
+      ``.npy`` header each way, no inflation (the zero-copy wire form);
+    * ``"npy"`` — base64 ``.npy`` inside the JSON envelope: the raw bytes
+      inflated by the 4/3 base64 factor;
+    * ``"json"`` — nested decimal lists, approximated at
+      ``4`` characters per element (digits plus separator).
+
+    The JSON envelope around the image fields is deliberately excluded,
+    matching what the transport counters measure.
+    """
+    if height < 1 or width < 1 or channels < 1:
+        raise ValueError(
+            f"image dims must be positive, got {height}x{width}x{channels}"
+        )
+    if label_bytes < 1:
+        raise ValueError(f"label_bytes must be positive, got {label_bytes}")
+    pixels = height * width * channels
+    pixel_bytes = pixels + _NPY_HEADER_BYTES
+    label_map_bytes = height * width * label_bytes + _NPY_HEADER_BYTES
+    if wire == "raw":
+        return float(pixel_bytes + label_map_bytes)
+    if wire == "npy":
+        # base64: every 3 payload bytes become 4 wire characters.
+        return float(
+            4 * math.ceil(pixel_bytes / 3) + 4 * math.ceil(label_map_bytes / 3)
+        )
+    if wire == "json":
+        return float(_JSON_CHARS_PER_ELEMENT * (pixels + height * width))
+    raise ValueError(f"wire must be one of {_WIRE_FORMS}, got {wire!r}")
 
 
 def cnn_baseline_cost(

@@ -11,6 +11,10 @@ user-registered algorithm) into a long-lived concurrent service:
   form of the server's topology, consumed by ``SegmentationServer.from_options``;
 * :class:`repro.serving.batcher.ShapeBatcher` — shape-aware micro-batching
   so each worker hits the engine's cached encoder grid;
+* :class:`repro.serving.shm.SharedMemoryRing` — zero-copy image transport
+  for process mode: pixels park in shared-memory slots and only tiny
+  descriptors cross the pickle pipe (``use_shared_memory`` in
+  :class:`ServingOptions` toggles it);
 * :class:`repro.serving.stats.ServerStats` — queue depth, end-to-end latency
   percentiles, and cache hit rates aggregated from result workloads;
 * :class:`repro.serving.http.SegmentationHTTPServer` — the stdlib HTTP
@@ -35,6 +39,7 @@ from repro.serving.server import (
     ServerSaturated,
     ServingError,
 )
+from repro.serving.shm import SharedMemoryRing, ShmDescriptor, attach_view
 from repro.serving.stats import ServerStats, StatsCollector
 
 __all__ = [
@@ -49,5 +54,8 @@ __all__ = [
     "ServingError",
     "ServingOptions",
     "ShapeBatcher",
+    "SharedMemoryRing",
+    "ShmDescriptor",
     "StatsCollector",
+    "attach_view",
 ]

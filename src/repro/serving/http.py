@@ -12,20 +12,36 @@ Endpoints
 ---------
 
 ``POST /v1/segment``
-    Segment one image or a batch.  The JSON body carries ``"image"`` (one
-    payload) or ``"images"`` (a list); each image payload is either
+    Segment one image or a batch.  Two request wire forms:
 
-    * ``{"data": "<base64>", "encoding": "npy"}`` — a base64-encoded
-      ``.npy`` file (``numpy.save`` bytes; loaded with
-      ``allow_pickle=False``), the lossless path for real clients, or
-    * ``{"pixels": [[...]]}`` — nested JSON lists of 0-255 intensities
-      (2-D grayscale or 3-D RGB), the curl-friendly path.
+    * **JSON** (``Content-Type: application/json``) — the body carries
+      ``"image"`` (one payload) or ``"images"`` (a list); each image
+      payload is ``{"data": "<base64>", "encoding": "npy"}`` (a
+      base64-encoded ``.npy``), ``{"pixels": [[...]]}`` (nested JSON
+      lists of 0-255 intensities), or a bare nested list.
+    * **Raw** (``Content-Type: application/octet-stream``) — the body *is*
+      a bare ``.npy`` file (single image) or the framed multi-array
+      container (:func:`pack_frames`) for a batch.  No base64, no JSON:
+      pixels are decoded as zero-copy views of the request body.
 
     ``"response_encoding"`` selects how label maps come back: ``"list"``
-    (default, nested JSON lists) or ``"npy"`` (base64 ``.npy``,
-    loss-free and compact for large maps).  Label maps are produced by the
-    same engine kernels as a direct :meth:`SegHDCEngine.segment` call and
-    are bit-exact with one.
+    (default, nested JSON lists), ``"npy"`` (base64 ``.npy`` inside the
+    JSON envelope), or ``"raw"`` — the response body becomes a bare
+    ``.npy`` (single) or framed container (batch) octet-stream.  Raw
+    requests default to raw responses; ``Accept:
+    application/octet-stream`` upgrades a JSON request's response and
+    ``Accept: application/json`` opts a raw request back into the JSON
+    envelope.  Label maps are produced by the same engine kernels as a
+    direct :meth:`SegHDCEngine.segment` call and are bit-exact with one
+    on every wire form.
+
+``POST /v1/segment-stream``
+    Chunked streaming segmentation for bulk clients: same request bodies
+    as ``/v1/segment`` (up to :data:`MAX_STREAM_IMAGES` images), response
+    is an octet-stream framed container sent with ``Transfer-Encoding:
+    chunked`` whose frames arrive in **completion order** — each frame
+    index is the image's position in the request — riding
+    :meth:`SegmentationServer.map` underneath.
 
 ``POST /v1/run-spec``
     Execute a declarative JSON :class:`repro.api.RunSpec` and return the
@@ -44,7 +60,9 @@ Endpoints
 ``GET /stats``
     The wrapped server's :class:`ServerStats` (latency percentiles, cache
     counters — including shared-cache imports/hits — and queue depth) plus
-    HTTP-level request/error counters and request latency percentiles.
+    HTTP-level request/error counters, request latency percentiles, and
+    per-wire-form transport byte counters (``http-raw`` / ``http-base64``
+    / ``http-json``, each with measured ``bytes_per_image``).
 
 Errors are JSON too: ``{"error": "..."}`` with 400 for malformed payloads,
 404/405 for unknown routes/methods, 503 when the queue is saturated, and
@@ -61,14 +79,17 @@ Usage::
 
 from __future__ import annotations
 
+import ast
 import base64
 import io
 import json
+import struct
 import threading
 import time
 from collections import deque
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -76,13 +97,23 @@ from repro.api.registry import available_segmenters, segmenter_entry
 from repro.api.spec import ServingOptions
 from repro.hdc.backend import available_backends, make_backend
 from repro.serving.server import SegmentationServer, ServerSaturated
-from repro.serving.stats import latency_percentiles
+from repro.serving.stats import (
+    aggregate_transport,
+    latency_percentiles,
+    record_transport_locked,
+)
 
 __all__ = [
     "HTTPRequestError",
+    "RawResponse",
     "SegmentationHTTPServer",
+    "StreamingResponse",
+    "array_from_npy_bytes",
     "decode_image_payload",
     "encode_labels",
+    "npy_bytes",
+    "pack_frames",
+    "unpack_frames",
 ]
 
 #: Request bodies above this are rejected before parsing (64 MiB covers a
@@ -98,7 +129,22 @@ MAX_CONCURRENT_RUN_SPECS = 2
 #: Upper bound on ``num_images`` a network-submitted run-spec may request.
 MAX_RUN_SPEC_IMAGES = 64
 
-_RESPONSE_ENCODINGS = ("list", "npy")
+#: Upper bound on images in one ``/v1/segment-stream`` request.  Streaming
+#: exists for bulk clients, so the cap is higher than the batch endpoint's —
+#: results leave as they finish, so they never pile up server-side.
+MAX_STREAM_IMAGES = 1024
+
+_RESPONSE_ENCODINGS = ("list", "npy", "raw")
+_OCTET_STREAM = "application/octet-stream"
+
+#: Multi-array framing for octet-stream batches: a 12-byte container header
+#: (magic, version, flags, array count) followed by one frame per array —
+#: ``(uint32 index, uint32 status, uint64 payload length)`` then the bare
+#: ``.npy`` payload (or a UTF-8 error message when ``status != 0``).
+FRAME_MAGIC = b"SHDC"
+_CONTAINER_HEADER = struct.Struct("<4sHHI")
+_FRAME_HEADER = struct.Struct("<IIQ")
+_NPY_MAGIC = b"\x93NUMPY"
 
 
 class HTTPRequestError(ValueError):
@@ -109,25 +155,183 @@ class HTTPRequestError(ValueError):
         self.status = int(status)
 
 
+@dataclass
+class RawResponse:
+    """A non-JSON response body (bare ``.npy`` or a framed batch).
+
+    Returned by route handlers instead of a JSON dict when the client asked
+    for ``application/octet-stream``; the socket handler writes the body
+    verbatim with the given content type.
+    """
+
+    body: bytes
+    content_type: str = _OCTET_STREAM
+    headers: dict = field(default_factory=dict)
+
+
+@dataclass
+class RawRequest:
+    """An octet-stream request body plus the negotiated response wish.
+
+    Internal hand-off between :meth:`SegmentationHTTPServer.handle_request`
+    and the segment handlers, so the latter see one normalized object for
+    either wire form.
+    """
+
+    body: bytes
+    content_type: str
+    accept: str
+
+
+@dataclass
+class StreamingResponse:
+    """A chunked response: an iterator of body chunks, written as they come.
+
+    The socket handler sends ``Transfer-Encoding: chunked`` and flushes one
+    HTTP chunk per yielded ``bytes``, so a bulk client starts consuming
+    label maps while later images are still being segmented.
+    """
+
+    chunks: Iterator[bytes]
+    content_type: str = _OCTET_STREAM
+
+
+# ---------------------------------------------------------------------- #
+# wire codecs
+# ---------------------------------------------------------------------- #
+def npy_bytes(array: np.ndarray) -> bytes:
+    """Serialize an array to ``.npy`` bytes (no pickle, no staging copy).
+
+    ``numpy.save`` writes any layout directly into the buffer, so the
+    historical ``np.ascontiguousarray`` staging copy is skipped — for a
+    large label map that copy was pure overhead on the response hot path.
+    """
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+def array_from_npy_bytes(data: "bytes | bytearray | memoryview") -> np.ndarray:
+    """Zero-copy inverse of :func:`npy_bytes`: parse, then view in place.
+
+    The ``.npy`` header is parsed by hand (magic, version, header length,
+    ``ast.literal_eval`` of the header dict — never ``eval``) and the array
+    is materialised with ``np.frombuffer`` over a ``memoryview`` of the
+    body, so the pixels are *viewed* where the socket read them rather than
+    copied through ``io.BytesIO`` as ``np.load`` would.  The result is
+    read-only (it aliases the request body) and object dtypes are rejected
+    outright, which also closes the pickle door ``allow_pickle=False``
+    guards in ``np.load``.
+    """
+    view = memoryview(data)
+    try:
+        if view[:6] != _NPY_MAGIC:
+            raise ValueError("missing .npy magic")
+        major = view[6]
+        if major == 1:
+            (header_len,) = struct.unpack_from("<H", view, 8)
+            offset = 10 + header_len
+        elif major in (2, 3):
+            (header_len,) = struct.unpack_from("<I", view, 8)
+            offset = 12 + header_len
+        else:
+            raise ValueError(f"unsupported .npy major version {major}")
+        header = ast.literal_eval(
+            bytes(view[offset - header_len : offset]).decode("latin1")
+        )
+        dtype = np.dtype(header["descr"])
+        if dtype.hasobject:
+            raise ValueError("object dtypes are not allowed")
+        shape = tuple(int(n) for n in header["shape"])
+        count = 1
+        for n in shape:
+            count *= n
+        array = np.frombuffer(view, dtype=dtype, count=count, offset=offset)
+        return array.reshape(
+            shape, order="F" if header["fortran_order"] else "C"
+        )
+    except HTTPRequestError:
+        raise
+    except Exception as exc:
+        raise HTTPRequestError(
+            f"body did not decode as a .npy payload: {exc}"
+        ) from None
+
+
+def pack_frames(entries) -> bytes:
+    """Pack ``(index, array-or-error)`` pairs into the framed container.
+
+    ``entries`` is an iterable of ``(index, numpy array)`` for successful
+    results or ``(index, Exception)`` for per-image failures (framed with a
+    non-zero status and a UTF-8 message payload), so a batch response can
+    carry partial success without inventing a side channel.
+    """
+    frames = []
+    for index, payload in entries:
+        if isinstance(payload, np.ndarray):
+            status, body = 0, npy_bytes(payload)
+        else:
+            status, body = 1, str(payload).encode("utf-8")
+        frames.append(_FRAME_HEADER.pack(int(index), status, len(body)) + body)
+    header = _CONTAINER_HEADER.pack(FRAME_MAGIC, 1, 0, len(frames))
+    return header + b"".join(frames)
+
+
+def unpack_frames(data: "bytes | memoryview") -> list:
+    """Inverse of :func:`pack_frames`; arrays are zero-copy views.
+
+    Returns ``(index, array)`` pairs in wire order.  An error frame
+    (non-zero status) raises :class:`HTTPRequestError` carrying the framed
+    message — request bodies have no business shipping errors, and clients
+    of this helper (tests, the CLI wire benchmark) want the loud failure.
+    """
+    view = memoryview(data)
+    if len(view) < _CONTAINER_HEADER.size:
+        raise HTTPRequestError("framed body shorter than its header")
+    magic, version, _flags, count = _CONTAINER_HEADER.unpack_from(view, 0)
+    if magic != FRAME_MAGIC:
+        raise HTTPRequestError(
+            f"framed body magic {magic!r} is not {FRAME_MAGIC!r}"
+        )
+    if version != 1:
+        raise HTTPRequestError(f"unsupported frame container version {version}")
+    entries = []
+    offset = _CONTAINER_HEADER.size
+    for _ in range(count):
+        if offset + _FRAME_HEADER.size > len(view):
+            raise HTTPRequestError("framed body truncated mid-header")
+        index, status, length = _FRAME_HEADER.unpack_from(view, offset)
+        offset += _FRAME_HEADER.size
+        if offset + length > len(view):
+            raise HTTPRequestError("framed body truncated mid-payload")
+        payload = view[offset : offset + length]
+        offset += length
+        if status != 0:
+            raise HTTPRequestError(
+                f"frame {index} carries error status {status}: "
+                f"{bytes(payload).decode('utf-8', 'replace')}"
+            )
+        entries.append((int(index), array_from_npy_bytes(payload)))
+    return entries
+
+
 def _b64_npy_to_array(data: str) -> np.ndarray:
-    """Decode a base64 ``.npy`` payload into an array (no pickle allowed)."""
+    """Decode a base64 ``.npy`` payload into an array (no pickle allowed).
+
+    The base64 decode is the unavoidable copy of this path; the ``.npy``
+    parse itself goes through :func:`array_from_npy_bytes`, skipping the
+    second staging buffer ``np.load(io.BytesIO(...))`` used to add.
+    """
     try:
         raw = base64.b64decode(data, validate=True)
     except Exception as exc:
         raise HTTPRequestError(f"image data is not valid base64: {exc}") from None
-    try:
-        return np.load(io.BytesIO(raw), allow_pickle=False)
-    except Exception as exc:
-        raise HTTPRequestError(
-            f"image data did not decode as a .npy payload: {exc}"
-        ) from None
+    return array_from_npy_bytes(raw)
 
 
 def array_to_b64_npy(array: np.ndarray) -> str:
     """Inverse of the ``.npy`` image payload: array -> base64 ``.npy``."""
-    buffer = io.BytesIO()
-    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
-    return base64.b64encode(buffer.getvalue()).decode("ascii")
+    return base64.b64encode(npy_bytes(array)).decode("ascii")
 
 
 def decode_image_payload(entry) -> np.ndarray:
@@ -161,6 +365,17 @@ def decode_image_payload(entry) -> np.ndarray:
             f"image payload must be an object or a nested list, got "
             f"{type(entry).__name__}"
         )
+    return _validated_image(array)
+
+
+def _validated_image(array: np.ndarray) -> np.ndarray:
+    """Shared image validation for every wire form (JSON and raw ``.npy``).
+
+    A uint8 array passes through untouched — on the raw octet-stream path
+    that keeps it a zero-copy view of the request body; other numeric
+    dtypes are clipped and cast (one copy, unavoidable for a format
+    conversion).
+    """
     if array.ndim not in (2, 3):
         raise HTTPRequestError(
             f"expected a 2-D or 3-D image, got shape {tuple(array.shape)}"
@@ -187,7 +402,12 @@ def _pixels_to_array(pixels) -> np.ndarray:
 
 
 def encode_labels(labels: np.ndarray, encoding: str):
-    """Label map -> response form (nested lists or base64 ``.npy``)."""
+    """Label map -> JSON response form (nested lists or base64 ``.npy``).
+
+    ``"raw"`` is a whole-response encoding (the body becomes an
+    octet-stream, see ``POST /v1/segment``), so it is rejected here — this
+    helper only produces values that can sit inside a JSON payload.
+    """
     if encoding == "list":
         return labels.tolist()
     if encoding == "npy":
@@ -218,6 +438,7 @@ class _HttpStats:
         self._errors = 0
         self._by_route: dict = {}
         self._latencies: deque = deque(maxlen=latency_window)
+        self._transport: dict = {}
 
     def record(self, route: str, status: int, seconds: float) -> None:
         """Count one finished request with its status and wall time."""
@@ -228,6 +449,27 @@ class _HttpStats:
             self._by_route[route] = self._by_route.get(route, 0) + 1
             self._latencies.append(float(seconds))
 
+    def record_transport(
+        self, path: str, *, images: int, bytes_in: int, bytes_out: int
+    ) -> None:
+        """Count wire bytes spent on image payloads for one segment request.
+
+        ``path`` names the request's image encoding — ``"http-raw"``
+        (octet-stream ``.npy``/framed bodies), ``"http-base64"`` (JSON with
+        base64 ``.npy`` data), or ``"http-json"`` (nested pixel lists) —
+        and the byte counts cover the image payloads only, not the JSON
+        envelope, so ``bytes_per_image`` is directly comparable to the cost
+        model's per-image network term.
+        """
+        with self._lock:
+            record_transport_locked(
+                self._transport,
+                path,
+                images=images,
+                bytes_in=bytes_in,
+                bytes_out=bytes_out,
+            )
+
     def snapshot(self) -> dict:
         """JSON-ready copy of the counters and latency percentiles."""
         with self._lock:
@@ -236,6 +478,7 @@ class _HttpStats:
                 "errors": self._errors,
                 "by_route": dict(self._by_route),
                 "latency": latency_percentiles(self._latencies),
+                "transport": aggregate_transport(self._transport),
             }
 
 
@@ -284,16 +527,62 @@ class _Handler(BaseHTTPRequestHandler):
                 remaining -= len(chunk)
         else:
             body = self.rfile.read(length) if length else b""
-            status, payload = self.app.handle_request(method, self.path, body)
-        encoded = json.dumps(payload, default=_json_default).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(encoded)))
-        self.end_headers()
-        self.wfile.write(encoded)
+            status, payload = self.app.handle_request(
+                method,
+                self.path,
+                body,
+                content_type=self.headers.get("Content-Type"),
+                accept=self.headers.get("Accept"),
+            )
+        if isinstance(payload, StreamingResponse):
+            self._write_stream(status, payload)
+        else:
+            if isinstance(payload, RawResponse):
+                encoded = payload.body
+                content_type = payload.content_type
+                extra_headers = payload.headers
+            else:
+                encoded = json.dumps(payload, default=_json_default).encode(
+                    "utf-8"
+                )
+                content_type = "application/json"
+                extra_headers = {}
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(encoded)))
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(encoded)
         self.app.http_stats.record(
             self.path.split("?", 1)[0], status, time.perf_counter() - start
         )
+
+    def _write_stream(self, status: int, payload: StreamingResponse) -> None:
+        """Send a chunked response, one HTTP chunk per produced body chunk.
+
+        A fault while producing chunks cannot be turned into an error
+        status any more (the 200 and headers are long gone), so the only
+        honest signal is tearing the connection down mid-stream — the
+        client sees a truncated chunked body, which no spec-conforming
+        decoder mistakes for success.
+        """
+        self.send_response(status)
+        self.send_header("Content-Type", payload.content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for chunk in payload.chunks:
+                if not chunk:
+                    continue
+                self.wfile.write(f"{len(chunk):X}\r\n".encode("ascii"))
+                self.wfile.write(chunk)
+                self.wfile.write(b"\r\n")
+                self.wfile.flush()
+        except Exception:
+            self.close_connection = True
+            raise
+        self.wfile.write(b"0\r\n\r\n")
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         """Serve GET endpoints (healthz, stats, segmenters)."""
@@ -417,19 +706,36 @@ class SegmentationHTTPServer:
     # routing
     # ------------------------------------------------------------------ #
     def handle_request(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
-        """Dispatch one request; returns ``(status, JSON payload)``.
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        *,
+        content_type: "str | None" = None,
+        accept: "str | None" = None,
+    ) -> tuple:
+        """Dispatch one request; returns ``(status, payload)``.
 
+        ``payload`` is a JSON-ready dict for ordinary endpoints, a
+        :class:`RawResponse` when the client negotiated an octet-stream
+        body, or a :class:`StreamingResponse` for the streaming endpoint.
         Socket-free by design: the unit tests drive this directly and the
-        :class:`_Handler` is a thin shell around it.
+        :class:`_Handler` is a thin shell around it.  ``content_type`` and
+        ``accept`` are the request headers of the same names (both
+        optional, defaulting to the JSON wire form).
         """
         route = path.split("?", 1)[0].rstrip("/") or "/"
+        request = RawRequest(
+            body=body,
+            content_type=(content_type or "").split(";", 1)[0].strip().lower(),
+            accept=(accept or "").split(";", 1)[0].strip().lower(),
+        )
         routes = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/stats"): self._handle_stats,
             ("GET", "/v1/segmenters"): self._handle_segmenters,
             ("POST", "/v1/segment"): self._handle_segment,
+            ("POST", "/v1/segment-stream"): self._handle_segment_stream,
             ("POST", "/v1/run-spec"): self._handle_run_spec,
         }
         known_paths = {r for _, r in routes}
@@ -441,6 +747,10 @@ class SegmentationHTTPServer:
                         f"method {method} not allowed for {route}", status=405
                     )
                 raise HTTPRequestError(f"unknown path {route!r}", status=404)
+            if route in ("/v1/segment", "/v1/segment-stream"):
+                # The segment endpoints negotiate their own wire form, so
+                # they get the raw body + headers instead of parsed JSON.
+                return 200, handler(request)
             if method == "POST":
                 return 200, handler(self._parse_json_body(body))
             return 200, handler()
@@ -517,8 +827,43 @@ class SegmentationHTTPServer:
             },
         }
 
-    def _handle_segment(self, payload: dict) -> dict:
-        """Segment one image or a batch through the wrapped server."""
+    def _decode_segment_request(self, request: RawRequest, max_images: int):
+        """Normalize either wire form of a segment request.
+
+        Octet-stream bodies carry a bare ``.npy`` (single image) or the
+        framed container (batch); the arrays stay zero-copy views of the
+        body.  JSON bodies are the historical form.  Returns a dict with
+        the decoded ``images``, the ``single``/``encoding``/
+        ``include_workload`` options, and the transport-accounting facts
+        (``path``, ``bytes_in`` — image wire bytes, not envelope).
+        """
+        if request.content_type == _OCTET_STREAM:
+            view = memoryview(request.body)
+            if len(view) >= 4 and view[:4] == FRAME_MAGIC:
+                raw_arrays = [array for _, array in unpack_frames(view)]
+                single = False
+            else:
+                raw_arrays = [array_from_npy_bytes(view)]
+                single = True
+            if not raw_arrays:
+                raise HTTPRequestError("framed body carries no images")
+            if len(raw_arrays) > max_images:
+                raise HTTPRequestError(
+                    f"{len(raw_arrays)} images in one request; the limit "
+                    f"is {max_images}"
+                )
+            # A raw request defaults to a raw response; Accept with an
+            # explicit JSON preference opts back into the JSON envelope.
+            encoding = "npy" if request.accept == "application/json" else "raw"
+            return {
+                "images": [_validated_image(array) for array in raw_arrays],
+                "single": single,
+                "encoding": encoding,
+                "include_workload": False,
+                "path": "http-raw",
+                "bytes_in": len(request.body),
+            }
+        payload = self._parse_json_body(request.body)
         if ("image" in payload) == ("images" in payload):
             raise HTTPRequestError(
                 "provide exactly one of 'image' (single payload) or "
@@ -532,10 +877,10 @@ class SegmentationHTTPServer:
             )
         if not raw_images:
             raise HTTPRequestError("'images' is empty")
-        if len(raw_images) > MAX_IMAGES_PER_REQUEST:
+        if len(raw_images) > max_images:
             raise HTTPRequestError(
                 f"{len(raw_images)} images in one request; the limit is "
-                f"{MAX_IMAGES_PER_REQUEST}"
+                f"{max_images}"
             )
         encoding = payload.get("response_encoding", "list")
         if encoding not in _RESPONSE_ENCODINGS:
@@ -543,25 +888,144 @@ class SegmentationHTTPServer:
                 f"unknown response_encoding {encoding!r}; expected one of "
                 f"{_RESPONSE_ENCODINGS}"
             )
-        include_workload = bool(payload.get("include_workload", True))
+        if request.accept == _OCTET_STREAM:
+            encoding = "raw"
         images = [decode_image_payload(entry) for entry in raw_images]
-        results = self._segment_batch_bounded(images)
+        base64_input = any(
+            isinstance(entry, Mapping) and "data" in entry
+            for entry in raw_images
+        )
+        bytes_in = sum(
+            len(entry["data"])
+            if isinstance(entry, Mapping) and "data" in entry
+            else int(image.nbytes)
+            for entry, image in zip(raw_images, images)
+        )
+        return {
+            "images": images,
+            "single": single,
+            "encoding": encoding,
+            "include_workload": bool(payload.get("include_workload", True)),
+            "path": "http-base64" if base64_input else "http-json",
+            "bytes_in": bytes_in,
+        }
+
+    def _handle_segment(self, request: RawRequest):
+        """Segment one image or a batch through the wrapped server.
+
+        Returns the JSON payload dict, or a :class:`RawResponse` when the
+        negotiated response encoding is ``"raw"`` — a bare ``.npy`` label
+        map for a single-image request, the framed container for a batch.
+        Every request records its image wire bytes under its transport
+        path, so ``/stats`` can report measured ``bytes_per_image`` per
+        wire form.
+        """
+        decoded = self._decode_segment_request(request, MAX_IMAGES_PER_REQUEST)
+        results = self._segment_batch_bounded(decoded["images"])
+        if decoded["encoding"] == "raw":
+            if decoded["single"]:
+                body = npy_bytes(results[0].labels)
+            else:
+                body = pack_frames(
+                    (index, result.labels)
+                    for index, result in enumerate(results)
+                )
+            self.http_stats.record_transport(
+                decoded["path"],
+                images=len(results),
+                bytes_in=decoded["bytes_in"],
+                bytes_out=len(body),
+            )
+            return RawResponse(
+                body=body, headers={"X-Seghdc-Count": str(len(results))}
+            )
         encoded = []
+        bytes_out = 0
         for result in results:
+            labels_encoded = encode_labels(result.labels, decoded["encoding"])
+            # For base64 the string length *is* the wire size; for nested
+            # lists the raw label bytes stand in (the decimal text is
+            # larger, so the list path never under-reports raw's edge).
+            bytes_out += (
+                len(labels_encoded)
+                if isinstance(labels_encoded, str)
+                else int(result.labels.nbytes)
+            )
             entry = {
                 "shape": list(result.labels.shape),
                 "num_clusters": result.num_clusters,
                 "elapsed_seconds": result.elapsed_seconds,
-                "labels": encode_labels(result.labels, encoding),
+                "labels": labels_encoded,
             }
-            if include_workload:
+            if decoded["include_workload"]:
                 entry["workload"] = result.workload
             encoded.append(entry)
+        self.http_stats.record_transport(
+            decoded["path"],
+            images=len(results),
+            bytes_in=decoded["bytes_in"],
+            bytes_out=bytes_out,
+        )
         return {
             "count": len(encoded),
-            "response_encoding": encoding,
+            "response_encoding": decoded["encoding"],
             "results": encoded,
         }
+
+    def _handle_segment_stream(self, request: RawRequest) -> StreamingResponse:
+        """Chunked streaming segmentation over ``SegmentationServer.map``.
+
+        Accepts the same bodies as ``/v1/segment`` (framed or bare
+        octet-stream, or the JSON envelope) up to
+        :data:`MAX_STREAM_IMAGES`, and streams back an octet-stream framed
+        container whose frames arrive in **completion order** — each frame
+        index is the image's position in the request, so a bulk client
+        pipelines results while later images are still queued.  Submission
+        rides :meth:`SegmentationServer.map`'s blocking backpressure (a
+        dedicated streaming connection stalls instead of bouncing), and a
+        failed job is framed with a non-zero status before the stream
+        ends.
+        """
+        decoded = self._decode_segment_request(request, MAX_STREAM_IMAGES)
+        images = decoded["images"]
+        http_stats = self.http_stats
+        server = self._server
+
+        def chunks() -> Iterator[bytes]:
+            """Produce the container header, then one frame per result."""
+            bytes_out = 0
+            try:
+                yield _CONTAINER_HEADER.pack(FRAME_MAGIC, 1, 0, len(images))
+                iterator = server.map(images)
+                while True:
+                    try:
+                        index, result = next(iterator)
+                    except StopIteration:
+                        return
+                    except Exception as exc:  # noqa: BLE001 - framed error
+                        # The index is not recoverable from map's raise, so
+                        # the error frame carries the sentinel index; the
+                        # client stops decoding at the error either way.
+                        message = f"{type(exc).__name__}: {exc}"
+                        body = message.encode("utf-8")
+                        yield _FRAME_HEADER.pack(
+                            0xFFFFFFFF, 1, len(body)
+                        ) + body
+                        return
+                    frame_body = npy_bytes(result.labels)
+                    bytes_out += len(frame_body)
+                    yield _FRAME_HEADER.pack(
+                        index, 0, len(frame_body)
+                    ) + frame_body
+            finally:
+                http_stats.record_transport(
+                    decoded["path"],
+                    images=len(images),
+                    bytes_in=decoded["bytes_in"],
+                    bytes_out=bytes_out,
+                )
+
+        return StreamingResponse(chunks=chunks())
 
     def _segment_batch_bounded(self, images: list) -> list:
         """Submit a request's images without blocking on a full queue.

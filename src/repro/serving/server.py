@@ -27,8 +27,13 @@ Two execution modes share the queueing/batching front end:
   worker process** from the spec dict (``segmenter.describe()`` →
   ``make_segmenter``), the pickle-by-spec seam of the API.  Results are
   pickled back and per-process cache counters are aggregated through the
-  ``workload["cache"]`` snapshots.  This mode sidesteps the GIL entirely at
-  the cost of serializing images and label maps across process boundaries.
+  ``workload["cache"]`` snapshots.  This mode sidesteps the GIL entirely;
+  by default input pixels cross the process boundary through a
+  shared-memory ring (:mod:`repro.serving.shm`) — workers read them in
+  place and only the label maps are pickled back — with a per-image pickle
+  fallback for oversize images or ``use_shared_memory=False``.  Each
+  result's ``workload["serving_transport"]`` records which path it rode,
+  and the stats snapshot aggregates bytes moved per path.
 
 Process mode additionally runs a **cross-engine shared grid cache** for
 segmenters that expose the engine export/import seam (SegHDC): the first
@@ -75,6 +80,12 @@ from repro.seghdc.config import SegHDCConfig
 from repro.seghdc.pipeline import SegHDC
 from repro.serving.batcher import ShapeBatcher
 from repro.serving.jobqueue import BoundedJobQueue
+from repro.serving.shm import (
+    DEFAULT_SLOT_BYTES,
+    SharedMemoryRing,
+    ShmDescriptor,
+    attach_view,
+)
 from repro.serving.stats import ServerStats, StatsCollector
 
 __all__ = [
@@ -201,11 +212,16 @@ def _init_process_worker(spec: dict, provider_module: "str | None" = None) -> No
 
 
 def _run_process_microbatch(
-    batch: "list[np.ndarray]", shared_grids: "dict | None" = None
+    batch: "list[np.ndarray | ShmDescriptor]",
+    shared_grids: "dict | None" = None,
 ) -> list:
     """Segment one micro-batch inside a worker process.
 
-    ``shared_grids`` is an exported encoder-bundle payload (see
+    Each batch item is either a pixel array (the pickle path) or a
+    :class:`repro.serving.shm.ShmDescriptor`, in which case the pixels are
+    reconstructed as a read-only view over the parent's shared-memory slot
+    — the worker half of the zero-copy transport.  ``shared_grids`` is an
+    exported encoder-bundle payload (see
     :meth:`repro.seghdc.engine.SegHDCEngine.export_shared_grids`) the parent
     attaches while not every worker has acknowledged the batch's shape yet;
     importing is idempotent, so a worker that already holds the shape's grid
@@ -222,8 +238,9 @@ def _run_process_microbatch(
         if engine is not None and hasattr(engine, "import_shared_grids"):
             engine.import_shared_grids(shared_grids)
     entries: list = []
-    for pixels in batch:
+    for item in batch:
         try:
+            pixels = attach_view(item) if isinstance(item, ShmDescriptor) else item
             result = _PROCESS_SEGMENTER.segment(pixels)
             result.workload["serving_worker"] = os.getpid()
             entries.append(("ok", result))
@@ -375,6 +392,18 @@ class SegmentationServer:
         the run it receives.
     latency_window:
         Number of most-recent end-to-end latencies kept for percentiles.
+    use_shared_memory:
+        Process mode only: ship image pixels to workers through a
+        :class:`repro.serving.shm.SharedMemoryRing` instead of pickling
+        them through the pool pipe (results still return as pickled label
+        maps).  Images that exceed ``shm_slot_bytes`` — or any slot-acquire
+        that times out — fall back to the pickle path per image, and
+        ``use_shared_memory=False`` restores pickle-everything semantics.
+        Ignored in thread mode (no process boundary to cross).
+    shm_slot_bytes:
+        Capacity of each shared-memory slot; the ring holds
+        ``num_workers * max_batch_size + 2`` slots, sized so slot
+        acquisition can never deadlock behind the pool's in-flight limit.
     share_grid_cache:
         Process mode only: build encoder grids once in the parent template
         engine and ship them to worker processes (see the module docstring)
@@ -397,6 +426,8 @@ class SegmentationServer:
         max_queue_depth: int = 64,
         max_batch_size: int = 8,
         latency_window: int = 4096,
+        use_shared_memory: bool = True,
+        shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
         share_grid_cache: bool = True,
         engine_kwargs: dict | None = None,
     ) -> None:
@@ -425,7 +456,21 @@ class SegmentationServer:
 
         self._pool: ProcessPoolExecutor | None = None
         self._shared_grids: _SharedGridCache | None = None
+        self._shm_ring: SharedMemoryRing | None = None
         if mode == "process":
+            if use_shared_memory:
+                # Slots for every image the pool can hold in flight
+                # (workers x batch size) plus slack, so acquire() blocking
+                # on a full ring always has a release coming.
+                try:
+                    self._shm_ring = SharedMemoryRing(
+                        self.num_workers * max_batch_size + 2,
+                        shm_slot_bytes,
+                    )
+                except OSError:
+                    # No usable /dev/shm (tiny container, exhausted tmpfs):
+                    # serve over the pickle path rather than refuse to boot.
+                    self._shm_ring = None
             spec = self._segmenter.describe()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.num_workers,
@@ -558,6 +603,9 @@ class SegmentationServer:
             worker.join(timeout)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self._shm_ring is not None:
+            # After the pool: no worker can still hold a view into a slot.
+            self._shm_ring.close()
 
     # ------------------------------------------------------------------ #
     # submission
@@ -778,6 +826,11 @@ class SegmentationServer:
                 )
                 job.handle._set_error(exc)
             else:
+                # Thread mode crosses no process boundary: zero serialized
+                # bytes either way, recorded so the transport table still
+                # shows where every image travelled.
+                result.workload["serving_transport"] = "inline"
+                self._collector.record_transport("inline")
                 self._finish(job, result, source="shared-engine")
 
     def _run_batch_process(self, batch: "list[_Job]") -> None:
@@ -788,30 +841,64 @@ class SegmentationServer:
         shared_state = None
         if self._shared_grids is not None:
             shared_state = self._shared_grids.payload_for(shape_key)
+        # Zero-copy dispatch: park each image in a shared-memory slot and
+        # ship only its descriptor; acquire() returning None (oversize
+        # image, ring saturated, shm disabled) falls back to pickling that
+        # image through the pool pipe, per image, not per batch.
+        descriptors: "list[ShmDescriptor | None]" = [
+            self._shm_ring.acquire(job.pixels)
+            if self._shm_ring is not None
+            else None
+            for job in batch
+        ]
         try:
-            entries = self._pool.submit(
-                _run_process_microbatch,
-                [job.pixels for job in batch],
-                shared_state,
-            ).result()
-        except Exception as exc:  # noqa: BLE001 - pool-level failure
-            for job in batch:
-                self._collector.record_failed(
-                    time.perf_counter() - job.submitted_at
-                )
-                job.handle._set_error(
-                    ServingError(f"worker pool failed: {exc!r}")
-                )
-            return
-        for job, (status, payload) in zip(batch, entries):
+            try:
+                entries = self._pool.submit(
+                    _run_process_microbatch,
+                    [
+                        descriptor if descriptor is not None else job.pixels
+                        for descriptor, job in zip(descriptors, batch)
+                    ],
+                    shared_state,
+                ).result()
+            except Exception as exc:  # noqa: BLE001 - pool-level failure
+                for job in batch:
+                    self._collector.record_failed(
+                        time.perf_counter() - job.submitted_at
+                    )
+                    job.handle._set_error(
+                        ServingError(f"worker pool failed: {exc!r}")
+                    )
+                return
+        finally:
+            # The future has resolved either way, so no worker still reads
+            # the slots: return them to the ring before delivering results.
+            if self._shm_ring is not None:
+                for descriptor in descriptors:
+                    if descriptor is not None:
+                        self._shm_ring.release(descriptor)
+        for job, descriptor, (status, payload) in zip(
+            batch, descriptors, entries
+        ):
+            transport = "shm" if descriptor is not None else "pickle"
             if status == "ok":
                 worker_pid = payload.workload.get("serving_worker")
                 if self._shared_grids is not None and worker_pid is not None:
                     # The worker segmented this shape, so it holds the grid
                     # now (imported or self-built): stop shipping it there.
                     self._shared_grids.ack(shape_key, worker_pid)
+                payload.workload["serving_transport"] = transport
+                self._collector.record_transport(
+                    transport,
+                    bytes_in=0 if descriptor is not None else int(job.pixels.nbytes),
+                    bytes_out=int(payload.labels.nbytes),
+                )
                 self._finish(job, payload, source=worker_pid)
             else:
+                self._collector.record_transport(
+                    transport,
+                    bytes_in=0 if descriptor is not None else int(job.pixels.nbytes),
+                )
                 self._collector.record_failed(
                     time.perf_counter() - job.submitted_at
                 )

@@ -1,0 +1,286 @@
+"""Shared-memory image transport for process-mode serving.
+
+Process-mode :class:`repro.serving.server.SegmentationServer` workers
+historically received every image by pickle through the
+``ProcessPoolExecutor`` pipe: the parent serialises the pixel array, the
+kernel copies it through a pipe, and the worker deserialises it — three
+copies and two syscalls per image before a single kernel runs.  This module
+moves the bulk pixels onto ``multiprocessing.shared_memory`` instead:
+
+* the parent owns a :class:`SharedMemoryRing` — a fixed ring of named
+  shared-memory segments (slots) sized for the pool's maximum number of
+  in-flight images;
+* dispatching a micro-batch writes each image's pixels into a free slot
+  (one copy, into memory both sides already map) and ships only a tiny
+  :class:`ShmDescriptor` — ``(segment name, shape, dtype)`` — through the
+  pickle pipe;
+* the worker reconstructs a **read-only NumPy view** over the segment with
+  :func:`attach_view` and segments in place; only the label map comes back
+  through the pipe, never the input pixels;
+* the parent releases the slot once the micro-batch future resolves, so the
+  ring needs exactly as many slots as images that can be in flight at once.
+
+Backpressure and fallback: slot acquisition blocks (bounded by the pool's
+in-flight limit, so it cannot deadlock) with a timeout; an image larger than
+``slot_bytes`` — or an acquire that times out — returns ``None`` and the
+caller falls back to the ordinary pickle path, so oversized or bursty
+traffic degrades to the old behaviour instead of failing.
+
+Cleanup is belt-and-braces: :meth:`SharedMemoryRing.close` unlinks every
+segment deterministically (the server calls it on close, and ``seghdc
+serve`` converts SIGTERM into that close), a ``weakref.finalize`` covers
+garbage collection and normal interpreter exit, and the stdlib resource
+tracker — which the *creating* process keeps registered on purpose —
+unlinks the segments even if the parent dies by SIGKILL.  Workers only ever
+attach (never create), so a crashed worker cannot leak a segment; because
+pool workers share the parent's resource tracker, a worker exit does not
+unlink segments the parent still owns (see :func:`_attach`).
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_SLOT_BYTES",
+    "ShmDescriptor",
+    "SharedMemoryRing",
+    "attach_view",
+    "detach_all",
+]
+
+#: Default slot size: 16 MiB holds a 2048 x 2048 RGB uint8 frame.  Slots are
+#: tmpfs-backed virtual memory — pages materialise only for bytes actually
+#: written — so over-provisioning costs address space, not RAM.
+DEFAULT_SLOT_BYTES = 1 << 24
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Pickle-tiny handle to one image parked in a shared-memory slot.
+
+    ``segment`` is the shared-memory name a worker attaches by; ``index`` is
+    the ring slot (the parent uses it to release the slot after the batch);
+    ``shape``/``dtype`` reconstruct the NumPy view; ``nbytes`` is the pixel
+    payload size, kept for bytes-moved accounting.
+    """
+
+    segment: str
+    index: int
+    shape: tuple
+    dtype: str
+    nbytes: int
+
+
+class SharedMemoryRing:
+    """Parent-owned ring of shared-memory slots for in-flight images.
+
+    Parameters
+    ----------
+    num_slots:
+        Number of slots.  Size it to the maximum number of images a worker
+        pool can hold in flight (``num_workers * max_batch_size`` for the
+        segmentation server) plus slack; acquisition blocks when every slot
+        is busy, which mirrors the bounded job queue's backpressure.
+    slot_bytes:
+        Capacity of each slot.  Images larger than this are not admitted
+        (:meth:`acquire` returns ``None``) and travel by pickle instead.
+    name_prefix:
+        Leading component of the segment names, so ``/dev/shm`` listings
+        (and the leak tests) can attribute segments to this server.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        *,
+        name_prefix: str = "seghdc",
+    ) -> None:
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be positive, got {slot_bytes}")
+        self.slot_bytes = int(slot_bytes)
+        self.num_slots = int(num_slots)
+        token = secrets.token_hex(4)
+        self._segments: list[shared_memory.SharedMemory] = []
+        try:
+            for index in range(self.num_slots):
+                self._segments.append(
+                    shared_memory.SharedMemory(
+                        name=f"{name_prefix}_{token}_{index}",
+                        create=True,
+                        size=self.slot_bytes,
+                    )
+                )
+        except Exception:
+            # Partial construction must not leak the slots already created.
+            self._unlink_all(self._segments)
+            raise
+        self._cond = threading.Condition()
+        self._free: deque[int] = deque(range(self.num_slots))
+        self._closed = False
+        # GC / interpreter-exit safety net; close() defuses it.  The
+        # finalizer must not capture self (that would keep the ring alive).
+        self._finalizer = weakref.finalize(
+            self, SharedMemoryRing._unlink_all, self._segments
+        )
+
+    @staticmethod
+    def _unlink_all(segments: list) -> None:
+        """Close and unlink every segment, tolerating partial teardown."""
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:
+                # A stray exported view keeps the mmap alive; unlink below
+                # still removes the name so nothing persists in /dev/shm.
+                pass
+            except Exception:
+                pass
+            try:
+                segment.unlink()
+            except Exception:
+                pass
+
+    @property
+    def segment_names(self) -> list[str]:
+        """The shared-memory names of every slot (for tests and logging)."""
+        return [segment.name for segment in self._segments]
+
+    def acquire(
+        self, pixels: np.ndarray, *, timeout: "float | None" = 5.0
+    ) -> "ShmDescriptor | None":
+        """Park ``pixels`` in a free slot; ``None`` means "use pickle".
+
+        ``None`` is returned — never an exception — when the image exceeds
+        ``slot_bytes``, when no slot frees up within ``timeout`` seconds, or
+        when the ring is closed, so the caller's pickle fallback keeps the
+        request flowing under every degraded condition.  The copy into the
+        slot is the single parent-side copy of the zero-copy path (the
+        worker reads the slot in place).
+        """
+        pixels = np.asarray(pixels)
+        if pixels.nbytes > self.slot_bytes:
+            return None
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._closed or bool(self._free), timeout=timeout
+            ):
+                return None
+            if self._closed:
+                return None
+            index = self._free.popleft()
+        segment = self._segments[index]
+        target = np.ndarray(pixels.shape, dtype=pixels.dtype, buffer=segment.buf)
+        np.copyto(target, pixels)
+        del target  # no exported views may outlive close()
+        return ShmDescriptor(
+            segment=segment.name,
+            index=index,
+            shape=tuple(pixels.shape),
+            dtype=str(pixels.dtype),
+            nbytes=int(pixels.nbytes),
+        )
+
+    def release(self, descriptor: ShmDescriptor) -> None:
+        """Return a slot to the free list once its batch has resolved."""
+        if not 0 <= descriptor.index < self.num_slots:
+            raise ValueError(f"descriptor index {descriptor.index} out of range")
+        with self._cond:
+            if self._closed or descriptor.index in self._free:
+                return
+            self._free.append(descriptor.index)
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """True once the ring's segments have been unlinked."""
+        with self._cond:
+            return self._closed
+
+    def close(self) -> None:
+        """Unlink every segment.  Idempotent; wakes any blocked acquirer."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._finalizer.detach()
+        self._unlink_all(self._segments)
+
+    def __enter__(self) -> "SharedMemoryRing":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+# ---------------------------------------------------------------------- #
+# One attachment per segment per process: ring segments live for the
+# server's lifetime, so re-mmapping per image would waste the zero-copy win.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership.
+
+    On Python < 3.13 attaching registers the segment with the resource
+    tracker exactly like creating it does.  That is harmless *here* — pool
+    workers share the parent's tracker process (``fork`` children inherit
+    its fd, ``spawn`` children receive it in the preparation data), so the
+    duplicate registration is an idempotent set-add and the parent's
+    ``unlink()`` clears it for everyone.  Crucially the worker must **not**
+    ``resource_tracker.unregister`` the name: with a shared tracker that
+    would strip the *parent's* registration — the SIGKILL safety net — and
+    make the tracker complain when the parent later unlinks.  On 3.13+
+    ``track=False`` skips the duplicate registration outright.  Processes
+    that are not descendants of the ring owner should not attach on
+    < 3.13: their own tracker would unlink the segment when they exit.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_view(descriptor: ShmDescriptor) -> np.ndarray:
+    """Read-only NumPy view over a descriptor's pixels, reconstructed
+    in place — the worker-side half of the zero-copy transport.
+
+    Attachments are cached per segment name for the life of the process (the
+    parent's ring outlives every batch).  The view is marked read-only so a
+    segmenter that mutates its input fails loudly in its own job instead of
+    corrupting a neighbouring in-flight image.
+    """
+    segment = _ATTACHED.get(descriptor.segment)
+    if segment is None:
+        segment = _attach(descriptor.segment)
+        _ATTACHED[descriptor.segment] = segment
+    view = np.ndarray(
+        descriptor.shape, dtype=np.dtype(descriptor.dtype), buffer=segment.buf
+    )
+    view.flags.writeable = False
+    return view
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (worker shutdown / test isolation)."""
+    while _ATTACHED:
+        _, segment = _ATTACHED.popitem()
+        try:
+            segment.close()
+        except BufferError:
+            # A live view still references the buffer; the mapping goes away
+            # with the process, and the parent owns the unlink.
+            pass

@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ServerStats", "StatsCollector", "latency_percentiles"]
+__all__ = [
+    "ServerStats",
+    "StatsCollector",
+    "aggregate_transport",
+    "latency_percentiles",
+    "record_transport_locked",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +47,7 @@ class ServerStats:
     mean_batch_size: float
     latency: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
+    transport: dict = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
@@ -62,6 +69,9 @@ class ServerStats:
             "mean_batch_size": self.mean_batch_size,
             "latency": dict(self.latency),
             "cache": dict(self.cache),
+            "transport": {
+                path: dict(entry) for path, entry in self.transport.items()
+            },
         }
 
 
@@ -83,6 +93,51 @@ def latency_percentiles(latencies) -> dict:
         "p90": float(p90),
         "p99": float(p99),
     }
+
+
+def aggregate_transport(counters: dict) -> dict:
+    """JSON-ready copy of per-path transport counters with derived rates.
+
+    ``counters`` maps a transport path (``"shm"``, ``"pickle"``,
+    ``"http-raw"``, ...) to its raw ``images`` / ``bytes_in`` / ``bytes_out``
+    totals; the copy adds ``bytes_per_image`` — total bytes moved over that
+    path divided by the images that rode it — which is the number the
+    serving benchmarks compare against the cost model's network term.
+    Shared between :class:`StatsCollector` and the HTTP front end's counter
+    set so both report the same transport shape.
+    """
+    report = {}
+    for path, entry in counters.items():
+        images = int(entry.get("images", 0))
+        bytes_in = int(entry.get("bytes_in", 0))
+        bytes_out = int(entry.get("bytes_out", 0))
+        report[path] = {
+            "images": images,
+            "bytes_in": bytes_in,
+            "bytes_out": bytes_out,
+            "bytes_per_image": (
+                (bytes_in + bytes_out) / images if images else 0.0
+            ),
+        }
+    return report
+
+
+def record_transport_locked(
+    counters: dict, path: str, *, images: int, bytes_in: int, bytes_out: int
+) -> None:
+    """Fold one transfer into a per-path counter dict (caller holds the lock).
+
+    The dict layout matches what :func:`aggregate_transport` consumes; both
+    the serving collector and the HTTP front end mutate their counters
+    through this single definition so the two transport tables cannot
+    drift apart.
+    """
+    entry = counters.setdefault(
+        path, {"images": 0, "bytes_in": 0, "bytes_out": 0}
+    )
+    entry["images"] += int(images)
+    entry["bytes_in"] += int(bytes_in)
+    entry["bytes_out"] += int(bytes_out)
 
 
 def _aggregate_cache(snapshots: dict) -> dict:
@@ -120,6 +175,7 @@ class StatsCollector:
         self._batched_jobs = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._cache_snapshots: dict = {}
+        self._transport: dict = {}
 
     # ------------------------------------------------------------------ #
     # recording
@@ -175,6 +231,27 @@ class StatsCollector:
         with self._lock:
             self._cache_snapshots[source] = dict(cache)
 
+    def record_transport(
+        self, path: str, *, images: int = 1, bytes_in: int = 0, bytes_out: int = 0
+    ) -> None:
+        """Count bytes moved across a process/transport boundary.
+
+        ``path`` names how the pixels travelled to the worker — ``"shm"``
+        (descriptor only, zero pickled pixel bytes), ``"pickle"`` (the
+        process-pool pipe), or ``"inline"`` (thread mode, no boundary at
+        all).  ``bytes_in`` counts serialized input pixel bytes and
+        ``bytes_out`` serialized result (label map) bytes, so the shm path
+        reports ``bytes_in == 0`` by construction.
+        """
+        with self._lock:
+            record_transport_locked(
+                self._transport,
+                path,
+                images=images,
+                bytes_in=bytes_in,
+                bytes_out=bytes_out,
+            )
+
     def record_failed(self, latency_seconds: float | None = None) -> None:
         """Count one failure (latency recorded when known)."""
         with self._lock:
@@ -220,4 +297,5 @@ class StatsCollector:
                 ),
                 latency=latency_percentiles(self._latencies),
                 cache=_aggregate_cache(self._cache_snapshots),
+                transport=aggregate_transport(self._transport),
             )

@@ -177,7 +177,7 @@ class TestConcurrentImports:
             "def a():\n"
             "    try:\n"
             "        import repro.api.registry as r\n"
-            "        assert r.available_segmenters() == ['cnn_baseline', 'seghdc']\n"
+            "        assert {'cnn_baseline', 'seghdc'} <= set(r.available_segmenters())\n"
             "    except Exception as e:\n"
             "        errors.append(repr(e))\n"
             "def b():\n"

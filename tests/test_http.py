@@ -25,10 +25,19 @@ import pytest
 from repro.seghdc import SegHDCConfig, SegHDCEngine
 from repro.serving import HTTPRequestError, SegmentationHTTPServer
 from repro.serving.http import (
+    FRAME_MAGIC,
+    RawResponse,
+    StreamingResponse,
+    array_from_npy_bytes,
     array_to_b64_npy,
     decode_image_payload,
     encode_labels,
+    npy_bytes,
+    pack_frames,
+    unpack_frames,
 )
+
+_OCTET = "application/octet-stream"
 
 
 def _config(**overrides):
@@ -116,6 +125,297 @@ class TestPayloadCodecs:
         assert np.array_equal(restored, labels)
         with pytest.raises(HTTPRequestError, match="response_encoding"):
             encode_labels(labels, "protobuf")
+
+
+class TestZeroCopyCodecs:
+    """The raw ``.npy`` codec pair and the multi-array frame container."""
+
+    @pytest.mark.parametrize(
+        "array",
+        [
+            _image((8, 10)),
+            np.arange(24, dtype=np.int32).reshape(4, 6),
+            np.linspace(0.0, 1.0, 12).reshape(3, 4),
+            _image((4, 5, 3)),
+        ],
+        ids=["uint8", "int32", "float64", "rgb"],
+    )
+    def test_npy_roundtrip_is_bit_exact(self, array):
+        decoded = array_from_npy_bytes(npy_bytes(array))
+        assert decoded.dtype == array.dtype
+        assert np.array_equal(decoded, array)
+
+    def test_decode_views_the_body_instead_of_copying(self):
+        """The zero-copy pin: the decoded array must alias the wire bytes
+        (a regression to ``np.load(io.BytesIO(...))`` would double-buffer
+        every image on the hot path)."""
+        data = npy_bytes(_image((16, 16)))
+        decoded = array_from_npy_bytes(data)
+        assert np.shares_memory(decoded, np.frombuffer(data, dtype=np.uint8))
+        assert not decoded.flags.writeable  # it aliases the request body
+
+    def test_encode_skips_the_contiguity_staging_copy(self):
+        """`npy_bytes` must serialize non-contiguous arrays directly (the
+        historical ``np.ascontiguousarray`` staging copy is gone), and the
+        bytes must still decode bit-exactly."""
+        base = np.arange(64, dtype=np.int32).reshape(8, 8)
+        strided = base[::2, ::2]
+        assert not strided.flags.c_contiguous
+        assert np.array_equal(array_from_npy_bytes(npy_bytes(strided)), strided)
+
+    def test_fortran_order_arrays_roundtrip(self):
+        array = np.asfortranarray(np.arange(12, dtype=np.int32).reshape(3, 4))
+        assert np.array_equal(array_from_npy_bytes(npy_bytes(array)), array)
+
+    def test_npy_version_2_headers_parse(self):
+        import io
+
+        buffer = io.BytesIO()
+        array = _image((6, 7))
+        np.lib.format.write_array(buffer, array, version=(2, 0))
+        assert np.array_equal(array_from_npy_bytes(buffer.getvalue()), array)
+
+    @pytest.mark.parametrize(
+        "data, match",
+        [
+            (b"not an npy body", "magic"),
+            (npy_bytes(_image((4, 4)))[:20], ".npy"),
+            (b"\x93NUMPY\x09\x00" + b"\x00" * 32, "version"),
+        ],
+        ids=["bad-magic", "truncated", "bad-version"],
+    )
+    def test_bad_npy_bodies_raise_clean_400s(self, data, match):
+        with pytest.raises(HTTPRequestError, match=match):
+            array_from_npy_bytes(data)
+
+    def test_object_dtypes_are_rejected(self):
+        import io
+
+        buffer = io.BytesIO()
+        np.save(buffer, np.array([{"a": 1}], dtype=object), allow_pickle=True)
+        with pytest.raises(HTTPRequestError, match="object"):
+            array_from_npy_bytes(buffer.getvalue())
+
+    def test_frame_container_roundtrip(self):
+        arrays = [_image((5, 6), seed=i) for i in range(3)]
+        packed = pack_frames(enumerate(arrays))
+        assert packed[:4] == FRAME_MAGIC
+        entries = unpack_frames(packed)
+        assert [index for index, _ in entries] == [0, 1, 2]
+        for (_, decoded), original in zip(entries, arrays):
+            assert np.array_equal(decoded, original)
+
+    def test_error_frames_raise_with_the_framed_message(self):
+        packed = pack_frames([(0, _image((3, 3))), (1, ValueError("boom"))])
+        with pytest.raises(HTTPRequestError, match="boom"):
+            unpack_frames(packed)
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda b: b[:8], "shorter than its header"),
+            (lambda b: b"XXXX" + b[4:], "magic"),
+            (lambda b: b[:-4], "truncated"),
+        ],
+        ids=["short", "bad-magic", "cut-payload"],
+    )
+    def test_malformed_containers_raise_clean_400s(self, mutate, match):
+        packed = pack_frames([(0, _image((4, 4)))])
+        with pytest.raises(HTTPRequestError, match=match):
+            unpack_frames(mutate(packed))
+
+
+class TestRawWireDispatch:
+    """Octet-stream request/response negotiation through handle_request."""
+
+    def _json_reference(self, app, images):
+        body = json.dumps(
+            {
+                "images": [_npy_payload(image) for image in images],
+                "response_encoding": "npy",
+            }
+        ).encode()
+        status, payload = app.handle_request("POST", "/v1/segment", body)
+        assert status == 200, payload.get("error")
+        return [
+            _labels_from(entry, "npy") for entry in payload["results"]
+        ]
+
+    def test_raw_single_image_gets_a_bare_npy_body(self, app):
+        image = _image(seed=5)
+        [expected] = self._json_reference(app, [image])
+        status, payload = app.handle_request(
+            "POST", "/v1/segment", npy_bytes(image), content_type=_OCTET
+        )
+        assert status == 200, payload
+        assert isinstance(payload, RawResponse)
+        assert payload.content_type == _OCTET
+        assert payload.headers["X-Seghdc-Count"] == "1"
+        assert np.array_equal(array_from_npy_bytes(payload.body), expected)
+
+    def test_raw_framed_batch_roundtrip(self, app):
+        images = [_image(seed=i) for i in range(3)]
+        expected = self._json_reference(app, images)
+        body = pack_frames(enumerate(images))
+        status, payload = app.handle_request(
+            "POST", "/v1/segment", body, content_type=_OCTET
+        )
+        assert status == 200, payload
+        assert isinstance(payload, RawResponse)
+        entries = unpack_frames(payload.body)
+        assert [index for index, _ in entries] == [0, 1, 2]
+        for (_, labels), reference in zip(entries, expected):
+            assert np.array_equal(labels, reference)
+
+    def test_raw_request_with_accept_json_opts_back_into_the_envelope(
+        self, app
+    ):
+        image = _image(seed=6)
+        [expected] = self._json_reference(app, [image])
+        status, payload = app.handle_request(
+            "POST",
+            "/v1/segment",
+            npy_bytes(image),
+            content_type=_OCTET,
+            accept="application/json",
+        )
+        assert status == 200, payload
+        assert isinstance(payload, dict)
+        assert payload["response_encoding"] == "npy"
+        assert np.array_equal(
+            _labels_from(payload["results"][0], "npy"), expected
+        )
+
+    def test_json_request_with_accept_octet_upgrades_to_raw(self, app):
+        image = _image(seed=7)
+        [expected] = self._json_reference(app, [image])
+        body = json.dumps({"image": _npy_payload(image)}).encode()
+        status, payload = app.handle_request(
+            "POST", "/v1/segment", body, accept=_OCTET
+        )
+        assert status == 200, payload
+        assert isinstance(payload, RawResponse)
+        assert np.array_equal(array_from_npy_bytes(payload.body), expected)
+
+    def test_response_encoding_raw_in_the_json_body(self, app):
+        images = [_image(seed=i) for i in range(2)]
+        expected = self._json_reference(app, images)
+        body = json.dumps(
+            {
+                "images": [_npy_payload(image) for image in images],
+                "response_encoding": "raw",
+            }
+        ).encode()
+        status, payload = app.handle_request("POST", "/v1/segment", body)
+        assert status == 200, payload
+        assert isinstance(payload, RawResponse)
+        for (_, labels), reference in zip(
+            unpack_frames(payload.body), expected
+        ):
+            assert np.array_equal(labels, reference)
+
+    def test_garbage_octet_stream_bodies_are_400(self, app):
+        status, payload = app.handle_request(
+            "POST", "/v1/segment", b"definitely not npy", content_type=_OCTET
+        )
+        assert status == 400 and ".npy" in payload["error"]
+        status, payload = app.handle_request(
+            "POST",
+            "/v1/segment",
+            pack_frames([]),
+            content_type=_OCTET,
+        )
+        assert status == 400 and "no images" in payload["error"]
+
+    def test_transport_counters_split_by_wire_form(self, app):
+        image = _image(seed=8)
+        app.handle_request(
+            "POST", "/v1/segment", npy_bytes(image), content_type=_OCTET
+        )
+        app.handle_request(
+            "POST",
+            "/v1/segment",
+            json.dumps(
+                {"image": _npy_payload(image), "response_encoding": "npy"}
+            ).encode(),
+        )
+        app.handle_request(
+            "POST",
+            "/v1/segment",
+            json.dumps({"image": image.tolist()}).encode(),
+        )
+        transport = app.http_stats.snapshot()["transport"]
+        assert set(transport) == {"http-raw", "http-base64", "http-json"}
+        raw = transport["http-raw"]
+        assert raw["images"] == 1
+        assert raw["bytes_in"] == len(npy_bytes(image))
+        assert raw["bytes_out"] > 0
+        assert raw["bytes_per_image"] == raw["bytes_in"] + raw["bytes_out"]
+        # Base64 inflates the same pixels by 4/3 on the wire.
+        assert transport["http-base64"]["bytes_in"] > raw["bytes_in"]
+
+
+class TestStreamingDispatch:
+    """The chunked /v1/segment-stream endpoint at the dispatch level."""
+
+    def _consume(self, payload: StreamingResponse) -> bytes:
+        assert isinstance(payload, StreamingResponse)
+        return b"".join(payload.chunks)
+
+    def test_stream_frames_cover_every_image_bit_exactly(self, app):
+        images = [_image(seed=i) for i in range(4)]
+        expected = SegHDCEngine(_config()).segment_batch(images)
+        status, payload = app.handle_request(
+            "POST",
+            "/v1/segment-stream",
+            pack_frames(enumerate(images)),
+            content_type=_OCTET,
+        )
+        assert status == 200
+        entries = dict(unpack_frames(self._consume(payload)))
+        # Frames arrive in completion order; indices map back to inputs.
+        assert sorted(entries) == list(range(len(images)))
+        for index, reference in enumerate(expected):
+            assert np.array_equal(entries[index], reference.labels)
+
+    def test_stream_accepts_the_json_envelope_too(self, app):
+        images = [_image(seed=i) for i in range(2)]
+        expected = SegHDCEngine(_config()).segment_batch(images)
+        body = json.dumps(
+            {"images": [_npy_payload(image) for image in images]}
+        ).encode()
+        status, payload = app.handle_request(
+            "POST", "/v1/segment-stream", body
+        )
+        assert status == 200
+        entries = dict(unpack_frames(self._consume(payload)))
+        for index, reference in enumerate(expected):
+            assert np.array_equal(entries[index], reference.labels)
+
+    def test_stream_failure_becomes_an_error_frame(self, app):
+        # A 1x1 image passes wire validation but fails in the worker
+        # (2 clusters need 2 pixels): the stream must end with an error
+        # frame, not a hung or silently truncated response.
+        status, payload = app.handle_request(
+            "POST",
+            "/v1/segment-stream",
+            npy_bytes(np.array([[3]], dtype=np.uint8)),
+            content_type=_OCTET,
+        )
+        assert status == 200  # headers were already committed by design
+        with pytest.raises(HTTPRequestError, match="cannot form 2 clusters"):
+            unpack_frames(self._consume(payload))
+
+    def test_stream_records_transport_bytes(self, app):
+        image = _image(seed=9)
+        body = npy_bytes(image)
+        _, payload = app.handle_request(
+            "POST", "/v1/segment-stream", body, content_type=_OCTET
+        )
+        self._consume(payload)
+        transport = app.http_stats.snapshot()["transport"]["http-raw"]
+        assert transport["bytes_in"] == len(body)
+        assert transport["bytes_out"] > 0
 
 
 class TestDispatch:
@@ -250,7 +550,7 @@ class TestDispatch:
         # HTTP counters come from the socket layer; dispatch-only calls do
         # not count, so the dict is present with its full shape.
         assert set(payload["http"]) == {
-            "requests", "errors", "by_route", "latency",
+            "requests", "errors", "by_route", "latency", "transport",
         }
 
     def test_everything_is_json_serializable(self, app):
@@ -418,3 +718,54 @@ class TestOverSocket:
         assert cache["position_grid_builds"] == 1, cache
         assert cache["shared_grid_imports"] >= 1
         assert cache["shared_hits"] == len(images)
+
+    def test_raw_octet_stream_bodies_over_socket(self):
+        """Raw ``.npy`` request and response over a real socket, bit-exact
+        against the base64 JSON wire form, with /stats splitting the byte
+        counters by wire form."""
+        images = [_image(seed=i) for i in range(2)]
+        expected = SegHDCEngine(_config()).segment_batch(images)
+        with SegmentationHTTPServer(
+            _config(), port=0, serving={"mode": "thread", "num_workers": 2}
+        ) as server:
+            server.start()
+            url = f"http://{server.host}:{server.port}"
+            request = urllib.request.Request(
+                f"{url}/v1/segment",
+                data=pack_frames(enumerate(images)),
+                headers={"Content-Type": _OCTET},
+            )
+            with urllib.request.urlopen(request, timeout=120) as response:
+                assert response.headers["Content-Type"] == _OCTET
+                assert response.headers["X-Seghdc-Count"] == "2"
+                body = response.read()
+            for (_, labels), reference in zip(unpack_frames(body), expected):
+                assert np.array_equal(labels, reference.labels)
+            with urllib.request.urlopen(f"{url}/stats", timeout=30) as response:
+                stats = json.load(response)
+        transport = stats["http"]["transport"]
+        assert transport["http-raw"]["images"] == 2
+        assert transport["http-raw"]["bytes_out"] == len(body)
+
+    def test_segment_stream_chunked_over_socket(self):
+        """The streaming endpoint over a real socket: urllib transparently
+        decodes the chunked transfer coding, and the reassembled container
+        carries every label map bit-exactly."""
+        images = [_image(seed=i) for i in range(3)]
+        expected = SegHDCEngine(_config()).segment_batch(images)
+        with SegmentationHTTPServer(
+            _config(), port=0, serving={"mode": "thread", "num_workers": 2}
+        ) as server:
+            server.start()
+            request = urllib.request.Request(
+                f"http://{server.host}:{server.port}/v1/segment-stream",
+                data=pack_frames(enumerate(images)),
+                headers={"Content-Type": _OCTET},
+            )
+            with urllib.request.urlopen(request, timeout=120) as response:
+                assert response.headers["Transfer-Encoding"] == "chunked"
+                body = response.read()
+        entries = dict(unpack_frames(body))
+        assert sorted(entries) == list(range(len(images)))
+        for index, reference in enumerate(expected):
+            assert np.array_equal(entries[index], reference.labels)

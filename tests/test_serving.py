@@ -534,6 +534,26 @@ class TestUnifiedSegmenterServing:
             assert stats.mode == "thread"
             assert stats.num_workers == 3
 
+    def test_from_options_carries_the_transport_toggle(self):
+        """ServingOptions.use_shared_memory must reach the server: with the
+        ring disabled, a process-mode pool serves over pickle and says so in
+        the per-path transport counters (also present in as_dict())."""
+        options = ServingOptions(
+            mode="process",
+            num_workers=1,
+            max_batch_size=2,
+            use_shared_memory=False,
+        )
+        with SegmentationServer.from_options(_config(), options) as server:
+            server.segment_batch([_image(seed=3)], timeout=120)
+            stats = server.stats()
+        assert set(stats.transport) == {"pickle"}
+        as_dict = stats.as_dict()
+        assert as_dict["transport"]["pickle"]["images"] == 1
+        assert as_dict["transport"]["pickle"]["bytes_in"] > 0
+        with pytest.raises(ValueError, match="shm_slot_bytes"):
+            ServingOptions(shm_slot_bytes=0)
+
     def test_engine_kwargs_rejected_for_ready_instances(self):
         with pytest.raises(ValueError, match="engine_kwargs"):
             SegmentationServer(

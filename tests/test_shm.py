@@ -1,0 +1,293 @@
+"""Tests for the shared-memory image transport (:mod:`repro.serving.shm`).
+
+Three layers of coverage, mirroring the transport's failure ladder:
+
+* the :class:`SharedMemoryRing` contract — acquire/release recycling,
+  oversize and exhaustion returning ``None`` (never raising), read-only
+  worker views, and deterministic unlink on ``close()`` / garbage
+  collection;
+* the server integration — process-mode label maps bit-exact across
+  shm / pickle / thread-inline transports on both compute backends, with
+  the per-path byte counters proving which transport actually ran (shm
+  moves zero pickled pixel bytes by construction);
+* process lifecycle — a SIGTERM'd ``seghdc serve`` subprocess and a
+  SIGKILL'd pool worker must both leave ``/dev/shm`` clean, because leaked
+  segments outlive the process and eat tmpfs until reboot.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.seghdc import SegHDCConfig, SegHDCEngine
+from repro.serving import SegmentationServer
+from repro.serving.shm import (
+    SharedMemoryRing,
+    attach_view,
+)
+
+_DEV_SHM = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not _DEV_SHM.is_dir(),
+    reason="shared-memory lifecycle checks need a /dev/shm tmpfs",
+)
+
+
+def _shm_entries(names: "list[str] | None" = None) -> set:
+    """The ``/dev/shm`` entries for ``names`` (or every seghdc_* segment)."""
+    if names is not None:
+        return {name for name in names if (_DEV_SHM / name).exists()}
+    return {path.name for path in _DEV_SHM.glob("seghdc_*")}
+
+
+def _image(shape=(20, 24), seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=shape, dtype=np.uint8)
+
+
+def _config(**overrides):
+    base = SegHDCConfig(
+        dimension=300, num_clusters=2, num_iterations=2, alpha=0.2, beta=3, seed=0
+    )
+    return base.with_overrides(**overrides)
+
+
+class TestSharedMemoryRing:
+    def test_acquire_roundtrip_is_bit_exact_through_a_view(self):
+        image = _image((9, 13), seed=4)
+        with SharedMemoryRing(2, 1 << 16) as ring:
+            descriptor = ring.acquire(image)
+            assert descriptor is not None
+            assert descriptor.nbytes == image.nbytes
+            assert descriptor.shape == image.shape
+            view = attach_view(descriptor)
+            assert np.array_equal(view, image)
+            # Read-only: a segmenter mutating its input must fail loudly
+            # instead of corrupting a neighbouring in-flight image.
+            with pytest.raises(ValueError):
+                view[0, 0] = 1
+            ring.release(descriptor)
+
+    def test_oversize_image_returns_none_not_an_exception(self):
+        with SharedMemoryRing(2, 64) as ring:
+            assert ring.acquire(_image((32, 32))) is None
+
+    def test_exhausted_ring_times_out_to_none_and_release_recycles(self):
+        image = _image((4, 4))
+        with SharedMemoryRing(1, 1 << 12) as ring:
+            held = ring.acquire(image)
+            assert held is not None
+            assert ring.acquire(image, timeout=0.05) is None
+            ring.release(held)
+            again = ring.acquire(image, timeout=0.05)
+            assert again is not None
+            # Idempotent: double release must not create a phantom slot.
+            ring.release(again)
+            ring.release(again)
+            assert ring.acquire(image, timeout=0.05) is not None
+
+    def test_close_unlinks_every_segment_and_is_idempotent(self):
+        ring = SharedMemoryRing(3, 1 << 12)
+        names = ring.segment_names
+        assert _shm_entries(names) == set(names)
+        ring.close()
+        assert ring.closed
+        assert _shm_entries(names) == set()
+        ring.close()  # second close is a no-op
+        assert ring.acquire(_image((2, 2))) is None
+
+    def test_garbage_collection_unlinks_a_forgotten_ring(self):
+        ring = SharedMemoryRing(2, 1 << 12)
+        names = ring.segment_names
+        assert _shm_entries(names) == set(names)
+        del ring
+        gc.collect()
+        assert _shm_entries(names) == set()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="num_slots"):
+            SharedMemoryRing(0)
+        with pytest.raises(ValueError, match="slot_bytes"):
+            SharedMemoryRing(1, 0)
+        with SharedMemoryRing(1, 1 << 12) as ring:
+            descriptor = ring.acquire(_image((2, 2)))
+            bogus = type(descriptor)(
+                segment=descriptor.segment,
+                index=99,
+                shape=descriptor.shape,
+                dtype=descriptor.dtype,
+                nbytes=descriptor.nbytes,
+            )
+            with pytest.raises(ValueError, match="out of range"):
+                ring.release(bogus)
+
+
+class TestServerTransport:
+    """The transport ladder through a real process-mode server."""
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_shm_and_pickle_paths_are_bit_exact(self, backend):
+        """use_shared_memory=False parity: both transports reproduce the
+        direct engine's label maps bit-for-bit, and the per-path counters
+        prove which transport each run actually used."""
+        config = _config(backend=backend)
+        images = [_image(seed=i) for i in range(4)]
+        reference = SegHDCEngine(config).segment_batch(images)
+        for use_shm, path in ((True, "shm"), (False, "pickle")):
+            with SegmentationServer(
+                config,
+                mode="process",
+                num_workers=2,
+                max_batch_size=2,
+                use_shared_memory=use_shm,
+            ) as server:
+                served = server.segment_batch(images, timeout=120)
+                stats = server.stats()
+            for expected, observed in zip(reference, served):
+                assert np.array_equal(expected.labels, observed.labels), (
+                    f"{backend}/{path}: served label map diverged"
+                )
+                assert observed.workload["serving_transport"] == path
+            assert set(stats.transport) == {path}
+            counters = stats.transport[path]
+            assert counters["images"] == len(images)
+            if path == "shm":
+                # The whole point: zero pickled pixel bytes to the workers.
+                assert counters["bytes_in"] == 0
+            else:
+                assert counters["bytes_in"] == sum(
+                    image.nbytes for image in images
+                )
+            assert counters["bytes_out"] > 0
+            assert counters["bytes_per_image"] == pytest.approx(
+                (counters["bytes_in"] + counters["bytes_out"]) / len(images)
+            )
+
+    def test_oversize_images_fall_back_to_pickle_per_image(self):
+        """A slot too small for the image degrades that image to pickle
+        without failing the request or disturbing correctly-sized peers."""
+        config = _config()
+        images = [_image(seed=i) for i in range(3)]
+        reference = SegHDCEngine(config).segment_batch(images)
+        with SegmentationServer(
+            config,
+            mode="process",
+            num_workers=1,
+            max_batch_size=2,
+            use_shared_memory=True,
+            shm_slot_bytes=16,  # smaller than any test image
+        ) as server:
+            served = server.segment_batch(images, timeout=120)
+            stats = server.stats()
+        for expected, observed in zip(reference, served):
+            assert np.array_equal(expected.labels, observed.labels)
+            assert observed.workload["serving_transport"] == "pickle"
+        assert stats.transport["pickle"]["images"] == len(images)
+        assert "shm" not in stats.transport
+
+    def test_thread_mode_records_the_inline_path(self):
+        with SegmentationServer(
+            _config(), mode="thread", num_workers=2
+        ) as server:
+            result = server.submit(_image()).result(timeout=60)
+            stats = server.stats()
+        assert result.workload["serving_transport"] == "inline"
+        assert stats.transport["inline"]["images"] == 1
+        assert stats.transport["inline"]["bytes_in"] == 0
+
+    def test_server_close_leaves_no_dev_shm_segments(self):
+        before = _shm_entries()
+        server = SegmentationServer(
+            _config(),
+            mode="process",
+            num_workers=1,
+            max_batch_size=2,
+            use_shared_memory=True,
+        )
+        created = _shm_entries() - before
+        assert created, "process-mode server should have built a ring"
+        server.segment_batch([_image()], timeout=120)
+        server.close()
+        assert _shm_entries() & created == set()
+
+
+class TestProcessLifecycle:
+    def test_sigterm_unlinks_the_serving_ring(self, tmp_path):
+        """`seghdc serve --mode process` owns a ring; SIGTERM (docker stop,
+        CI teardown) must unlink every segment on the way down."""
+        before = _shm_entries()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path("src").resolve()) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0",
+                "--mode", "process",
+                "--workers", "2",
+                "--segmenter", "threshold",
+            ],
+            cwd="/",  # prove no dependence on the repo checkout dir
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            created: set = set()
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    output, _ = process.communicate()
+                    pytest.fail(f"serve subprocess exited early:\n{output}")
+                created = _shm_entries() - before
+                if created:
+                    break
+                time.sleep(0.1)
+            assert created, "server never created its shared-memory ring"
+            process.send_signal(signal.SIGTERM)
+            process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert _shm_entries() & created == set(), (
+            f"SIGTERM leaked shared-memory segments: {created}"
+        )
+
+    def test_killed_worker_does_not_leak_segments(self):
+        """Workers only ever attach; SIGKILL-ing one mid-service must not
+        unlink (or leak) the parent's segments, and the parent's close()
+        still removes everything."""
+        server = SegmentationServer(
+            _config(),
+            mode="process",
+            num_workers=2,
+            max_batch_size=1,
+            use_shared_memory=True,
+        )
+        created = set(server._shm_ring.segment_names)
+        try:
+            server.segment_batch([_image(seed=i) for i in range(4)], timeout=120)
+            victim = next(iter(server._pool._processes.values()))
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=30)
+            # The dead worker's attachment must not have stripped the
+            # parent's segments out from under the survivors.
+            assert _shm_entries(list(created)) == created
+        finally:
+            server.close()
+        assert _shm_entries(list(created)) == set(), (
+            "parent close() failed to unlink after a worker died"
+        )

@@ -13,6 +13,12 @@ What it proves, end to end (real subprocess, real sockets, ``urllib`` only):
    of same-shape images, and ``/stats`` must report **exactly one**
    position-grid build across the whole pool (the parent's), with shared
    imports visible.
+3. **Zero-copy transport** — a 4-worker process-mode server around the
+   ``threshold`` probe serves a 512x512 batch; ``/stats`` must show the
+   shared-memory transport moving **zero** pickled pixel bytes, raw
+   octet-stream responses must be bit-exact against base64, the streaming
+   endpoint must agree, and the raw wire form must sustain >= 1.2x the
+   base64 form's images/sec.
 
 Stats payloads are written under ``--output-dir`` so CI can upload them as
 artifacts.  Exit code is non-zero on any failed assertion, so the CI job
@@ -92,21 +98,32 @@ def _get(url: str, timeout: float = 30.0) -> dict:
 
 
 class _Server:
-    """One booted ``seghdc serve`` subprocess with health-checked startup."""
+    """One booted ``seghdc serve`` subprocess with health-checked startup.
 
-    def __init__(self, port: int, *extra_args: str) -> None:
+    ``seghdc_flags=False`` drops the SegHDC-specific ``--dimension`` /
+    ``--iterations`` flags (they are rejected for other ``--segmenter``
+    choices, e.g. the threshold probe of the zero-copy pass).
+    """
+
+    def __init__(
+        self, port: int, *extra_args: str, seghdc_flags: bool = True
+    ) -> None:
         env = dict(os.environ)
         env["PYTHONPATH"] = "src" + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
         self.port = port
+        config_args = (
+            ["--dimension", str(_DIMENSION), "--iterations", str(_ITERATIONS)]
+            if seghdc_flags
+            else []
+        )
         self.process = subprocess.Popen(
             [
                 sys.executable, "-m", "repro.cli", "serve",
                 "--host", _HOST,
                 "--port", str(port),
-                "--dimension", str(_DIMENSION),
-                "--iterations", str(_ITERATIONS),
+                *config_args,
                 *extra_args,
             ],
             env=env,
@@ -246,6 +263,129 @@ def smoke_shared_grid_cache(port: int, output_dir: Path) -> None:
     )
 
 
+def _post_raw(url: str, body: bytes, timeout: float = 300.0) -> bytes:
+    """POST an octet-stream body; returns the raw response body."""
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"Content-Type": "application/octet-stream"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.read()
+
+
+def smoke_zero_copy(port: int, output_dir: Path) -> None:
+    """Zero-copy acceptance: shm transport + raw wire, measured end to end.
+
+    A 4-worker process-mode server wrapped around the Otsu ``threshold``
+    probe (compute ~ 0, so transport dominates) serves a 512x512 batch, and
+    three things must hold:
+
+    1. the shared-memory transport actually ran — the serving stats report
+       ``transport["shm"]`` with images served and **zero** pickled pixel
+       bytes to the workers;
+    2. raw octet-stream responses are bit-exact against the base64 JSON
+       wire form;
+    3. the raw wire form sustains at least 1.2x the base64 form's
+       images/sec on the same server (best of three, since CI runners are
+       noisy neighbours) — base64 pays a 4/3 inflation plus an encode and
+       a JSON parse per image, which is the wire half of what this PR
+       removed.
+    """
+    from repro.serving.http import npy_bytes, pack_frames, unpack_frames
+
+    images = [
+        np.random.default_rng(31).integers(
+            0, 256, size=(512, 512), dtype=np.uint8
+        )
+        for _ in range(8)
+    ]
+    framed = pack_frames(enumerate(images))
+    json_body = {
+        "images": [_npy_payload(image) for image in images],
+        "response_encoding": "npy",
+        "include_workload": False,
+    }
+    with _Server(
+        port,
+        "--mode", "process",
+        "--workers", "4",
+        "--batch-size", "2",
+        "--segmenter", "threshold",
+        seghdc_flags=False,
+    ) as server:
+        segment_url = f"{server.url}/v1/segment"
+        # Parity: raw framed vs base64 JSON, bit-exact per image.
+        reference = _post(segment_url, json_body)
+        raw_entries = dict(unpack_frames(_post_raw(segment_url, framed)))
+        assert len(raw_entries) == len(images), sorted(raw_entries)
+        for index, entry in enumerate(reference["results"]):
+            assert np.array_equal(raw_entries[index], _labels(entry)), (
+                f"zero-copy: raw label map {index} diverged from base64"
+            )
+
+        # Throughput: same server, same images, only the wire form differs.
+        best_ratio = 0.0
+        raw_ips = b64_ips = 0.0
+        for _ in range(3):
+            start = time.perf_counter()
+            _post(segment_url, json_body)
+            b64_ips = len(images) / (time.perf_counter() - start)
+            start = time.perf_counter()
+            _post_raw(segment_url, framed)
+            raw_ips = len(images) / (time.perf_counter() - start)
+            best_ratio = max(best_ratio, raw_ips / b64_ips)
+            if best_ratio >= 1.2:
+                break
+
+        # Streaming endpoint sanity: same framed body, chunked response.
+        stream_entries = dict(
+            unpack_frames(
+                _post_raw(f"{server.url}/v1/segment-stream", framed)
+            )
+        )
+        for index in range(len(images)):
+            assert np.array_equal(
+                stream_entries[index], raw_entries[index]
+            ), f"zero-copy: streamed label map {index} diverged"
+
+        stats = _get(f"{server.url}/stats")
+        serving_transport = stats["serving"]["transport"]
+        assert "shm" in serving_transport, (
+            "zero-copy: process-mode server never used the shared-memory "
+            f"transport: {serving_transport}"
+        )
+        assert serving_transport["shm"]["images"] > 0, serving_transport
+        assert serving_transport["shm"]["bytes_in"] == 0, (
+            "zero-copy: shm transport moved pickled pixel bytes: "
+            f"{serving_transport}"
+        )
+        http_transport = stats["http"]["transport"]
+        assert http_transport["http-raw"]["images"] >= len(images)
+        assert http_transport["http-base64"]["images"] >= len(images)
+        # Raw moves fewer wire bytes per image than base64, by construction.
+        assert (
+            http_transport["http-raw"]["bytes_per_image"]
+            < http_transport["http-base64"]["bytes_per_image"]
+        ), http_transport
+        expected_raw = len(framed) + sum(
+            len(npy_bytes(labels)) for labels in raw_entries.values()
+        )
+        (output_dir / "stats_zero_copy.json").write_text(
+            json.dumps(stats, indent=2) + "\n"
+        )
+    print(
+        f"[http-smoke] zero-copy: shm bytes_in=0 over "
+        f"{serving_transport['shm']['images']} images, raw parity OK, "
+        f"raw {raw_ips:.1f} img/s vs base64 {b64_ips:.1f} img/s "
+        f"({best_ratio:.2f}x), ~{expected_raw // len(images)} raw B/img"
+    )
+    assert best_ratio >= 1.2, (
+        f"zero-copy: raw wire form reached only {best_ratio:.2f}x base64 "
+        "images/sec (gate: 1.2x)"
+    )
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Run the full smoke; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -258,7 +398,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "--base-port",
         type=int,
         default=18080,
-        help="first TCP port to use (three consecutive ports are taken)",
+        help="first TCP port to use (four consecutive ports are taken)",
     )
     args = parser.parse_args(argv)
     output_dir = Path(args.output_dir)
@@ -266,6 +406,7 @@ def main(argv: "list[str] | None" = None) -> int:
     smoke_backend_parity("dense", args.base_port, output_dir)
     smoke_backend_parity("packed", args.base_port + 1, output_dir)
     smoke_shared_grid_cache(args.base_port + 2, output_dir)
+    smoke_zero_copy(args.base_port + 3, output_dir)
     print("[http-smoke] all checks passed")
     return 0
 
