@@ -157,6 +157,19 @@ class ServingOptions:
         """Validated inverse of :meth:`to_dict`."""
         return config_from_dict(cls, data)
 
+    def with_overrides(self, **overrides) -> "ServingOptions":
+        """A copy with ``overrides`` applied on top of the current values.
+
+        This is the diff seam the live control plane uses: a partial dict
+        (e.g. ``{"num_workers": 4}``) is merged over the current options and
+        the merged whole re-validated through :func:`config_from_dict`, so
+        an unknown or mistyped field is rejected **by name** before any
+        worker pool is built.  Empty overrides return an equal copy.
+        """
+        merged = self.to_dict()
+        merged.update(overrides)
+        return config_from_dict(type(self), merged)
+
     def server_kwargs(self) -> dict:
         """The keyword arguments ``SegmentationServer`` accepts.
 

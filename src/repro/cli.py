@@ -214,8 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     http_parser = subparsers.add_parser(
         "serve",
-        help="serve segmentation over HTTP (POST /v1/segment, /v1/run-spec; "
-        "GET /v1/segmenters, /healthz, /stats)",
+        help="serve segmentation over HTTP (POST /v1/segment, /v1/run-spec, "
+        "/v1/config with --allow-reconfig; GET /v1/segmenters, /healthz, "
+        "/stats)",
     )
     http_parser.add_argument("--host", default="127.0.0.1")
     http_parser.add_argument(
@@ -268,6 +269,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     http_parser.add_argument(
         "--width", type=int, default=64, help="nominal image width (see --height)"
+    )
+    http_parser.add_argument(
+        "--allow-reconfig",
+        action="store_true",
+        help="enable POST /v1/config hot reconfiguration (generation-based "
+        "swap: validated diffs rebuild the worker pool without dropping "
+        "in-flight requests; disabled by default)",
+    )
+    http_parser.add_argument(
+        "--watch-spec",
+        metavar="FILE",
+        default=None,
+        help="poll FILE (a JSON run-spec or config diff) and hot-apply "
+        "changes to its segmenter/config/serving fields through the same "
+        "control plane as POST /v1/config",
+    )
+    http_parser.add_argument(
+        "--watch-interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch-spec polls",
     )
     _add_dimension_option(http_parser, default=1000)
     _add_iterations_option(http_parser, default=3)
@@ -629,7 +651,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.api import ServingOptions
-    from repro.serving import SegmentationHTTPServer
+    from repro.serving import SegmentationHTTPServer, SpecWatcher
 
     spec = _segmenter_spec_from_args(args)
     batch_size = args.batch_size
@@ -644,7 +666,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         share_grid_cache=not args.no_shared_grids,
     )
     with SegmentationHTTPServer(
-        spec, host=args.host, port=args.port, serving=options
+        spec,
+        host=args.host,
+        port=args.port,
+        serving=options,
+        allow_reconfig=args.allow_reconfig,
     ) as server:
         print(
             f"seghdc serve: {spec['segmenter']} on "
@@ -654,9 +680,29 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
         print(
             "endpoints: POST /v1/segment  POST /v1/segment-stream  "
-            "POST /v1/run-spec  GET /v1/segmenters  GET /healthz  GET /stats",
+            "POST /v1/run-spec  GET /v1/segmenters  GET /healthz  GET /stats"
+            + ("  POST /v1/config" if args.allow_reconfig else ""),
             flush=True,
         )
+        watcher = None
+        if args.watch_spec is not None:
+            # The watcher goes through the operator's own file, so it works
+            # with or without --allow-reconfig (which gates the *network*
+            # reconfiguration path only).
+            def _print_outcome(outcome: dict) -> None:
+                print(f"watch-spec: {outcome}", flush=True)
+
+            watcher = SpecWatcher(
+                server.control,
+                args.watch_spec,
+                interval=args.watch_interval,
+                on_outcome=_print_outcome,
+            ).start()
+            print(
+                f"watching {args.watch_spec} every {args.watch_interval}s "
+                "for config changes",
+                flush=True,
+            )
         # SIGTERM (docker stop, CI teardown) must shut the worker pool down
         # like Ctrl-C does: an abrupt exit would orphan process-mode
         # workers, which keep inherited pipes open and hang supervisors
@@ -671,6 +717,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             print("shutting down", flush=True)
         finally:
             signal.signal(signal.SIGTERM, previous_handler)
+            if watcher is not None:
+                watcher.stop()
     return 0
 
 

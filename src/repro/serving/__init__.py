@@ -17,10 +17,15 @@ user-registered algorithm) into a long-lived concurrent service:
   :class:`ServingOptions` toggles it);
 * :class:`repro.serving.stats.ServerStats` — queue depth, end-to-end latency
   percentiles, and cache hit rates aggregated from result workloads;
+* :class:`repro.serving.control.ControlPlane` — generation-based hot
+  reconfiguration: validated config/serving diffs build a warmed
+  generation N+1 next to the live one, swap atomically, and drain the old
+  pool without dropping a request (:class:`SpecWatcher` is the
+  file-driven front end for ``seghdc serve --watch-spec``);
 * :class:`repro.serving.http.SegmentationHTTPServer` — the stdlib HTTP
   front end (``POST /v1/segment``, ``POST /v1/run-spec``,
-  ``GET /v1/segmenters``, ``GET /healthz``, ``GET /stats``), wired to the
-  CLI as ``seghdc serve``.
+  ``POST /v1/config``, ``GET /v1/segmenters``, ``GET /healthz``,
+  ``GET /stats``), wired to the CLI as ``seghdc serve``.
 
 In process mode the server also runs the cross-engine shared grid cache:
 encoder grids are built once in the parent and shipped to worker processes,
@@ -30,6 +35,12 @@ so cold starts stop scaling with worker count (see
 
 from repro.api.spec import ServingOptions
 from repro.serving.batcher import ShapeBatcher
+from repro.serving.control import (
+    ControlError,
+    ControlPlane,
+    GenerationHandle,
+    SpecWatcher,
+)
 from repro.serving.http import HTTPRequestError, SegmentationHTTPServer
 from repro.serving.jobqueue import BoundedJobQueue
 from repro.serving.server import (
@@ -44,8 +55,12 @@ from repro.serving.stats import ServerStats, StatsCollector
 
 __all__ = [
     "BoundedJobQueue",
+    "ControlError",
+    "ControlPlane",
+    "GenerationHandle",
     "HTTPRequestError",
     "JobHandle",
+    "SpecWatcher",
     "SegmentationHTTPServer",
     "SegmentationServer",
     "ServerClosed",

@@ -49,13 +49,29 @@ Endpoints
     ``output`` field is ignored: a network request must not write files on
     the server host.
 
+``POST /v1/config``
+    Hot reconfiguration (requires the server to be built with
+    ``allow_reconfig=True`` / ``seghdc serve --allow-reconfig``; 403
+    otherwise).  The JSON body is a diff with any of ``"segmenter"``,
+    ``"config"`` and ``"serving"`` — e.g. ``{"config": {"backend":
+    "packed"}}`` — validated by the control plane **naming offending
+    fields** (400).  A successful swap answers 200 with the outcome dict
+    (``status: "swapped"``, the new ``generation``, the ``changed`` field
+    list); a no-op diff answers 200 with ``status: "unchanged"``; a diff
+    whose new generation fails to build or warm answers 409 with ``status:
+    "rolled_back"`` — the old generation keeps serving.  See
+    :class:`repro.serving.control.ControlPlane` for the drain/swap
+    protocol; in-flight requests always finish on the generation that
+    admitted them.
+
 ``GET /v1/segmenters``
     Registry listing: every registered segmenter with its description and
     config fields, every compute backend with its capabilities, and the
     serving topology of this server.
 
 ``GET /healthz``
-    Liveness: status, uptime, mode, worker count.
+    Liveness: status, uptime, mode, worker count, ``config_generation``,
+    and whether reconfiguration is enabled.
 
 ``GET /stats``
     The wrapped server's :class:`ServerStats` (latency percentiles, cache
@@ -96,6 +112,7 @@ import numpy as np
 from repro.api.registry import available_segmenters, segmenter_entry
 from repro.api.spec import ServingOptions
 from repro.hdc.backend import available_backends, make_backend
+from repro.serving.control import ControlError, ControlPlane
 from repro.serving.server import SegmentationServer, ServerSaturated
 from repro.serving.stats import (
     aggregate_transport,
@@ -620,6 +637,11 @@ class SegmentationHTTPServer:
         shared grid cache.
     engine_kwargs:
         Forwarded to the wrapped server (SegHDC engine tunables).
+    allow_reconfig:
+        Enable ``POST /v1/config`` hot reconfiguration.  Off by default —
+        changing the served algorithm over the network is an operator
+        decision, so the endpoint answers 403 unless the deployment opted
+        in (``seghdc serve --allow-reconfig``).
     """
 
     def __init__(
@@ -630,10 +652,12 @@ class SegmentationHTTPServer:
         port: int = 8080,
         serving: "ServingOptions | Mapping | None" = None,
         engine_kwargs: dict | None = None,
+        allow_reconfig: bool = False,
     ) -> None:
-        self._server = SegmentationServer.from_options(
+        self._control = ControlPlane(
             segmenter, serving, engine_kwargs=engine_kwargs
         )
+        self._allow_reconfig = bool(allow_reconfig)
         self._run_spec_slots = threading.BoundedSemaphore(
             MAX_CONCURRENT_RUN_SPECS
         )
@@ -645,7 +669,7 @@ class SegmentationHTTPServer:
         try:
             self._httpd = _BoundHTTPServer((host, port), _Handler)
         except Exception:
-            self._server.close(drain=False)
+            self._control.close(drain=False)
             raise
         self._httpd.app = self
 
@@ -653,9 +677,14 @@ class SegmentationHTTPServer:
     # lifecycle
     # ------------------------------------------------------------------ #
     @property
+    def control(self) -> ControlPlane:
+        """The control plane owning the wrapped server across generations."""
+        return self._control
+
+    @property
     def server(self) -> SegmentationServer:
-        """The wrapped segmentation server (stats, drain, etc.)."""
-        return self._server
+        """The live generation's segmentation server (stats, drain, etc.)."""
+        return self._control.server
 
     @property
     def host(self) -> str:
@@ -700,7 +729,7 @@ class SegmentationHTTPServer:
         self._httpd.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
-        self._server.close(drain=True)
+        self._control.close(drain=True)
 
     # ------------------------------------------------------------------ #
     # routing
@@ -737,6 +766,7 @@ class SegmentationHTTPServer:
             ("POST", "/v1/segment"): self._handle_segment,
             ("POST", "/v1/segment-stream"): self._handle_segment_stream,
             ("POST", "/v1/run-spec"): self._handle_run_spec,
+            ("POST", "/v1/config"): self._handle_config,
         }
         known_paths = {r for _, r in routes}
         handler = routes.get((method, route))
@@ -752,8 +782,15 @@ class SegmentationHTTPServer:
                 # they get the raw body + headers instead of parsed JSON.
                 return 200, handler(request)
             if method == "POST":
-                return 200, handler(self._parse_json_body(body))
-            return 200, handler()
+                result = handler(self._parse_json_body(body))
+            else:
+                result = handler()
+            # A handler may pick its own status by returning a
+            # (status, payload) tuple (e.g. /v1/config's 409 on rollback);
+            # plain payloads keep the default 200.
+            if isinstance(result, tuple):
+                return result
+            return 200, result
         except HTTPRequestError as exc:
             return exc.status, {"error": str(exc)}
         except ServerSaturated as exc:
@@ -783,17 +820,47 @@ class SegmentationHTTPServer:
         return {
             "status": "ok",
             "uptime_seconds": time.perf_counter() - self._started_at,
-            "mode": self._server.mode,
-            "num_workers": self._server.num_workers,
+            "mode": self._control.mode,
+            "num_workers": self._control.num_workers,
+            "config_generation": self._control.generation,
+            "reconfig_allowed": self._allow_reconfig,
         }
 
     def _handle_stats(self) -> dict:
-        """Serving stats (latency, cache, queue) + HTTP counters."""
+        """Serving stats (latency, cache, queue) + HTTP counters.
+
+        ``serving.control`` carries the control-plane snapshot —
+        ``config_generation``, per-generation job counts, last-swap outcome
+        — so a dashboard can watch a hot reconfiguration land.
+        """
         return {
             "uptime_seconds": time.perf_counter() - self._started_at,
-            "serving": self._server.stats().as_dict(),
+            "config_generation": self._control.generation,
+            "serving": self._control.stats().as_dict(),
             "http": self.http_stats.snapshot(),
         }
+
+    def _handle_config(self, payload: dict) -> tuple:
+        """``POST /v1/config``: hot-swap the served configuration.
+
+        Returns ``(status, outcome)``: 200 for ``swapped``/``unchanged``,
+        409 when the new generation rolled back (the outcome dict carries
+        the failing stage and error), 400 via :class:`HTTPRequestError` for
+        a diff the control plane rejects by field name, and 403 when the
+        server was not started with ``allow_reconfig``.
+        """
+        if not self._allow_reconfig:
+            raise HTTPRequestError(
+                "reconfiguration is disabled; start the server with "
+                "--allow-reconfig (allow_reconfig=True) to enable "
+                "POST /v1/config",
+                status=403,
+            )
+        try:
+            outcome = self._control.reconfigure(payload, reason="http")
+        except (ControlError, ValueError) as exc:
+            raise HTTPRequestError(f"invalid config diff: {exc}") from None
+        return (409 if outcome["status"] == "rolled_back" else 200), outcome
 
     def _handle_segmenters(self) -> dict:
         """Registry listing: segmenters, backends + capabilities, topology."""
@@ -816,14 +883,14 @@ class SegmentationHTTPServer:
             {"name": name, "capabilities": make_backend(name).capabilities()}
             for name in available_backends()
         ]
-        describe = getattr(self._server.segmenter, "describe", None)
         return {
             "segmenters": segmenters,
             "backends": backends,
             "serving": {
-                "segmenter": describe() if callable(describe) else None,
-                "mode": self._server.mode,
-                "num_workers": self._server.num_workers,
+                "segmenter": self._control.describe(),
+                "mode": self._control.mode,
+                "num_workers": self._control.num_workers,
+                "config_generation": self._control.generation,
             },
         }
 
@@ -989,14 +1056,18 @@ class SegmentationHTTPServer:
         decoded = self._decode_segment_request(request, MAX_STREAM_IMAGES)
         images = decoded["images"]
         http_stats = self.http_stats
-        server = self._server
+        control = self._control
 
         def chunks() -> Iterator[bytes]:
             """Produce the container header, then one frame per result."""
             bytes_out = 0
             try:
                 yield _CONTAINER_HEADER.pack(FRAME_MAGIC, 1, 0, len(images))
-                iterator = server.map(images)
+                # Riding the control plane's map means a stream that spans
+                # a hot reconfiguration keeps flowing: later images land on
+                # the new generation, already-admitted ones finish on the
+                # old, and no frame is dropped or duplicated.
+                iterator = control.map(images)
                 while True:
                     try:
                         index, result = next(iterator)
@@ -1041,7 +1112,7 @@ class SegmentationHTTPServer:
         handles = []
         try:
             for image in images:
-                handles.append(self._server.submit(image, block=False))
+                handles.append(self._control.submit(image, block=False))
         except ServerSaturated:
             for handle in handles:
                 try:

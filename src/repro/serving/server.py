@@ -59,6 +59,7 @@ older jobs of a different shape, see
 
 from __future__ import annotations
 
+import copy as copy_module
 import importlib
 import os
 import queue as queue_module
@@ -127,13 +128,56 @@ class JobHandle:
         return self._event.is_set()
 
     def result(self, timeout: float | None = None) -> SegmentationResult:
-        """Block for the segmentation result; re-raises worker exceptions."""
+        """Block for the segmentation result; re-raises worker exceptions.
+
+        The raise is a **per-waiter copy** of the worker's exception: a
+        raised exception object accumulates traceback frames, so handing the
+        same object to every concurrent waiter would let their tracebacks
+        accrete across threads.  Each waiter gets its own copy (falling back
+        to a :class:`ServingError` chained to the original for exceptions
+        that refuse to copy), with the worker-side traceback preserved.
+        """
         if not self._event.wait(timeout):
             raise TimeoutError(f"job {self.job_id} not done after {timeout}s")
         if self._error is not None:
-            raise self._error
+            raise self._copied_error()
         assert self._result is not None
         return self._result
+
+    def exception(self, timeout: float | None = None) -> "BaseException | None":
+        """The worker's exception (a per-waiter copy) or ``None`` on success.
+
+        Blocks like :meth:`result`; raises ``TimeoutError`` when the job is
+        not done within ``timeout``.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} not done after {timeout}s")
+        if self._error is None:
+            return None
+        return self._copied_error()
+
+    def _copied_error(self) -> BaseException:
+        """A fresh exception object per caller (see :meth:`result`)."""
+        error = self._error
+        assert error is not None
+        try:
+            clone = copy_module.copy(error)
+        except Exception:  # noqa: BLE001 - uncopyable exception
+            clone = None
+        if type(clone) is not type(error):
+            # copy() round-trips through __reduce__, which can build a
+            # different (or no) object for exotic exceptions; chain a fresh
+            # wrapper instead of sharing the original mutable object.
+            wrapper = ServingError(f"job {self.job_id} failed: {error!r}")
+            wrapper.__cause__ = error
+            return wrapper
+        # copy() rebuilds from args/__dict__ only: carry the dunder context
+        # over so the copy raises exactly like the original would have.
+        clone.__cause__ = error.__cause__
+        clone.__context__ = error.__context__
+        clone.__suppress_context__ = error.__suppress_context__
+        clone.__traceback__ = error.__traceback__
+        return clone
 
     def _on_done(self, callback) -> None:
         """Run ``callback(handle)`` once the job finishes (immediately if it
@@ -170,6 +214,106 @@ class _Job:
     shape_key: tuple
     submitted_at: float
     handle: JobHandle = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def _collect_with_deadline(handles: list, timeout: "float | None") -> list:
+    """Collect every handle's result under ONE shared deadline.
+
+    The batch-level ``timeout`` means what it says: each successive wait
+    gets only the time remaining on a single monotonic deadline, instead of
+    restarting the clock per handle (which silently stretched the total
+    wait to ``N x timeout``).  Shared by :meth:`SegmentationServer.
+    segment_batch` and the control plane's batch path.
+    """
+    deadline = None if timeout is None else time.monotonic() + max(0.0, timeout)
+    results = []
+    for handle in handles:
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        results.append(handle.result(remaining))
+    return results
+
+
+def _map_streaming(submit, max_in_flight: int, images, timeout: "float | None"):
+    """Generator behind :meth:`SegmentationServer.map` (and the control
+    plane's generation-aware ``map``).
+
+    ``submit`` is any callable returning a handle with ``_on_done`` /
+    ``result`` (a :class:`JobHandle` or the control plane's generation
+    wrapper); everything else — the feeder thread, completion-order yields,
+    producer-aware timeout, consumer-side in-flight bound — is identical for
+    every front end, so it lives here once.  See
+    :meth:`SegmentationServer.map` for the full behavioral contract.
+    """
+    done: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+    feed_error: list[BaseException] = []
+    stop = threading.Event()
+    _SUBMITTED = object()  # sentinel carrying the final submit count
+    # Consumer-side backpressure: one slot per in-flight job, returned
+    # when the consumer takes the result at the yield point.
+    in_flight = threading.Semaphore(max_in_flight)
+
+    submitted = [0]  # feeder-side submit count, read by the consumer
+
+    def feed() -> None:
+        count = 0
+        try:
+            for index, image in enumerate(images):
+                while not in_flight.acquire(timeout=0.1):
+                    if stop.is_set():
+                        return  # the finally still reports the count
+                if stop.is_set():
+                    break
+                handle = submit(image)
+                handle._on_done(
+                    lambda finished, i=index: done.put((i, finished))
+                )
+                count += 1
+                submitted[0] = count
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            feed_error.append(exc)
+        finally:
+            done.put((_SUBMITTED, count))
+
+    feeder = threading.Thread(target=feed, name="seghdc-map-feeder", daemon=True)
+    feeder.start()
+    yielded = 0
+    expected: "int | None" = None
+    try:
+        while expected is None or yielded < expected:
+            waited = 0.0
+            while True:
+                poll = None if timeout is None else min(timeout, 0.1)
+                try:
+                    index, payload = done.get(timeout=poll)
+                    break
+                except queue_module.Empty:
+                    pending = (
+                        expected if expected is not None else submitted[0]
+                    ) - yielded
+                    if pending <= 0:
+                        # Idle: waiting on the producer, not the server
+                        # — the timeout clock does not run.
+                        waited = 0.0
+                        continue
+                    waited += poll
+                    if waited >= timeout:
+                        raise TimeoutError(
+                            f"map: no result within {timeout}s with "
+                            f"{pending} job(s) in flight "
+                            f"({yielded} yielded so far)"
+                        ) from None
+            if index is _SUBMITTED:
+                expected = payload
+                continue
+            yielded += 1
+            in_flight.release()
+            yield index, payload.result(0)
+    finally:
+        stop.set()
+    if feed_error:
+        raise feed_error[0]
 
 
 # ---------------------------------------------------------------------- #
@@ -586,13 +730,28 @@ class SegmentationServer:
         still sitting in the queue fail with :class:`ServerClosed`; jobs
         already picked up by a worker run to completion either way.
         Idempotent.
+
+        ``timeout`` bounds the **whole** close: one monotonic deadline is
+        computed up front and every internal wait (the drain barrier, each
+        worker join) gets only the time remaining, so a close can never
+        block for ``(1 + num_workers) x timeout`` the way reusing the raw
+        timeout per wait would.
         """
+        deadline = (
+            None if timeout is None else time.monotonic() + max(0.0, timeout)
+        )
+
+        def remaining() -> "float | None":
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.monotonic())
+
         with self._close_lock:
             if self._closed:
                 return
             self._closed = True
         if drain:
-            self._collector.wait_idle(timeout)
+            self._collector.wait_idle(remaining())
         leftovers = self._queue.close()
         for job in leftovers:
             job.handle._set_error(
@@ -600,7 +759,7 @@ class SegmentationServer:
             )
             self._collector.record_failed()
         for worker in self._workers:
-            worker.join(timeout)
+            worker.join(remaining())
         if self._pool is not None:
             self._pool.shutdown(wait=True)
         if self._shm_ring is not None:
@@ -663,9 +822,16 @@ class SegmentationServer:
         timeout: float | None = None,
     ) -> list[SegmentationResult]:
         """Submit every image (blocking on backpressure) and collect results
-        in input order — a drop-in, concurrent ``engine.segment_batch``."""
+        in input order — a drop-in, concurrent ``engine.segment_batch``.
+
+        ``timeout`` bounds the whole batch, not each handle: the waits share
+        one monotonic deadline, so ``segment_batch(images, timeout=2.0)``
+        raises ``TimeoutError`` about two seconds in even when every handle
+        keeps finishing *just* inside a per-handle window (the old
+        ``N x timeout`` accounting bug).
+        """
         handles = [self.submit(image, block=True) for image in images]
-        return [handle.result(timeout) for handle in handles]
+        return _collect_with_deadline(handles, timeout)
 
     def map(
         self,
@@ -701,74 +867,12 @@ class SegmentationServer:
         so a consumer slower than the workers stalls submission instead of
         letting finished results pile up without bound.
         """
-        done: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
-        feed_error: list[BaseException] = []
-        stop = threading.Event()
-        _SUBMITTED = object()  # sentinel carrying the final submit count
-        # Consumer-side backpressure: one slot per in-flight job, returned
-        # when the consumer takes the result at the yield point.
-        in_flight = threading.Semaphore(self._queue.max_depth)
-
-        submitted = [0]  # feeder-side submit count, read by the consumer
-
-        def feed() -> None:
-            count = 0
-            try:
-                for index, image in enumerate(images):
-                    while not in_flight.acquire(timeout=0.1):
-                        if stop.is_set():
-                            return  # the finally still reports the count
-                    if stop.is_set():
-                        break
-                    handle = self.submit(image, block=True)
-                    handle._on_done(
-                        lambda finished, i=index: done.put((i, finished))
-                    )
-                    count += 1
-                    submitted[0] = count
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                feed_error.append(exc)
-            finally:
-                done.put((_SUBMITTED, count))
-
-        feeder = threading.Thread(target=feed, name="seghdc-map-feeder", daemon=True)
-        feeder.start()
-        yielded = 0
-        expected: int | None = None
-        try:
-            while expected is None or yielded < expected:
-                waited = 0.0
-                while True:
-                    poll = None if timeout is None else min(timeout, 0.1)
-                    try:
-                        index, payload = done.get(timeout=poll)
-                        break
-                    except queue_module.Empty:
-                        pending = (
-                            expected if expected is not None else submitted[0]
-                        ) - yielded
-                        if pending <= 0:
-                            # Idle: waiting on the producer, not the server
-                            # — the timeout clock does not run.
-                            waited = 0.0
-                            continue
-                        waited += poll
-                        if waited >= timeout:
-                            raise TimeoutError(
-                                f"map: no result within {timeout}s with "
-                                f"{pending} job(s) in flight "
-                                f"({yielded} yielded so far)"
-                            ) from None
-                if index is _SUBMITTED:
-                    expected = payload
-                    continue
-                yielded += 1
-                in_flight.release()
-                yield index, payload.result(0)
-        finally:
-            stop.set()
-        if feed_error:
-            raise feed_error[0]
+        return _map_streaming(
+            lambda image: self.submit(image, block=True),
+            self._queue.max_depth,
+            images,
+            timeout,
+        )
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every admitted job has finished; ``False`` on timeout."""

@@ -48,6 +48,11 @@ class ServerStats:
     latency: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
     transport: dict = field(default_factory=dict)
+    #: Live-control-plane snapshot (``config_generation``, per-generation
+    #: job counts, last-swap outcome) attached by
+    #: :meth:`repro.serving.control.ControlPlane.stats`; empty for a bare
+    #: :class:`SegmentationServer`.
+    control: dict = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
@@ -56,7 +61,7 @@ class ServerStats:
 
     def as_dict(self) -> dict:
         """JSON-friendly representation (used by ``serve-bench``)."""
-        return {
+        payload = {
             "mode": self.mode,
             "num_workers": self.num_workers,
             "submitted": self.submitted,
@@ -73,6 +78,9 @@ class ServerStats:
                 path: dict(entry) for path, entry in self.transport.items()
             },
         }
+        if self.control:
+            payload["control"] = dict(self.control)
+        return payload
 
 
 def latency_percentiles(latencies) -> dict:

@@ -769,3 +769,92 @@ class TestOverSocket:
         assert sorted(entries) == list(range(len(images)))
         for index, reference in enumerate(expected):
             assert np.array_equal(entries[index], reference.labels)
+
+
+class TestConfigEndpoint:
+    """``POST /v1/config``: the HTTP face of the live control plane."""
+
+    @staticmethod
+    def _post_config(server, diff):
+        return server.handle_request(
+            "POST",
+            "/v1/config",
+            json.dumps(diff).encode(),
+            content_type="application/json",
+        )
+
+    def test_disabled_by_default(self, app):
+        status, payload = self._post_config(app, {"config": {}})
+        assert status == 403
+        assert "allow-reconfig" in payload["error"]
+
+    def test_swap_reports_generation_everywhere(self):
+        with SegmentationHTTPServer(
+            _config(),
+            port=0,
+            serving={"mode": "thread", "num_workers": 2},
+            allow_reconfig=True,
+        ) as server:
+            status, health = server.handle_request("GET", "/healthz", b"")
+            assert status == 200
+            assert health["config_generation"] == 1
+            assert health["reconfig_allowed"] is True
+
+            status, outcome = self._post_config(
+                server, {"config": {"backend": "packed"}}
+            )
+            assert status == 200
+            assert outcome["status"] == "swapped"
+            assert outcome["generation"] == 2
+            assert outcome["changed"] == ["config.backend"]
+
+            status, payload = server.handle_request(
+                "POST",
+                "/v1/segment",
+                json.dumps({"image": {"pixels": _image().tolist()}}).encode(),
+                content_type="application/json",
+            )
+            assert status == 200
+            assert (
+                payload["results"][0]["workload"]["config_generation"] == 2
+            )
+
+            status, stats = server.handle_request("GET", "/stats", b"")
+            assert status == 200
+            assert stats["config_generation"] == 2
+            control = stats["serving"]["control"]
+            assert control["config_generation"] == 2
+            assert control["last_swap"]["status"] == "swapped"
+            assert control["generations"]["2"]["completed"] >= 1
+
+            status, listing = server.handle_request(
+                "GET", "/v1/segmenters", b""
+            )
+            assert status == 200
+            assert listing["serving"]["config_generation"] == 2
+            assert (
+                listing["serving"]["segmenter"]["config"]["backend"]
+                == "packed"
+            )
+
+    def test_invalid_diff_is_a_400_naming_the_field(self):
+        with SegmentationHTTPServer(
+            _config(),
+            port=0,
+            serving={"mode": "thread", "num_workers": 1},
+            allow_reconfig=True,
+        ) as server:
+            status, payload = self._post_config(
+                server, {"config": {"bogus": 1}}
+            )
+            assert status == 400
+            assert "bogus" in payload["error"]
+            status, payload = self._post_config(server, {"nonsense": 1})
+            assert status == 400
+            assert "nonsense" in payload["error"]
+            # The server keeps serving on the untouched generation.
+            assert server.control.generation == 1
+
+    def test_get_method_not_allowed(self, app):
+        status, payload = app.handle_request("GET", "/v1/config", b"")
+        assert status == 405

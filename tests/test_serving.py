@@ -653,3 +653,137 @@ class TestStressConcurrency:
         assert stats.cache["hit_rate"] == pytest.approx((total - 2) / total)
         # Micro-batching actually happened (jobs > batches).
         assert 0 < stats.batches_dispatched <= total
+
+
+class _StallSegmenter:
+    """Segmenter whose ``segment`` blocks until released (lifecycle tests)."""
+
+    def __init__(
+        self,
+        release: threading.Event,
+        started: "threading.Event | None" = None,
+    ) -> None:
+        self._release = release
+        self._started = started
+
+    def segment(self, image):
+        if self._started is not None:
+            self._started.set()
+        self._release.wait()
+        pixels = np.asarray(getattr(image, "pixels", image))
+        from repro.api import SegmentationResult
+
+        return SegmentationResult(
+            labels=np.zeros(pixels.shape[:2], dtype=np.int32),
+            elapsed_seconds=0.0,
+            num_clusters=1,
+        )
+
+    def segment_batch(self, images):
+        return [self.segment(image) for image in images]
+
+    def describe(self):
+        return {"segmenter": "stall"}
+
+
+class _SlowSegmenter(_StallSegmenter):
+    """Segmenter taking a fixed wall time per image (deadline tests)."""
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(release=threading.Event())
+        self._seconds = seconds
+
+    def segment(self, image):
+        time.sleep(self._seconds)
+        pixels = np.asarray(getattr(image, "pixels", image))
+        from repro.api import SegmentationResult
+
+        return SegmentationResult(
+            labels=np.zeros(pixels.shape[:2], dtype=np.int32),
+            elapsed_seconds=self._seconds,
+            num_clusters=1,
+        )
+
+
+class TestLifecycleDeadlines:
+    """Regression tests for the shared-deadline fixes in close/segment_batch.
+
+    Before the fix, ``close(drain=True, timeout=T)`` could block for
+    ``(1 + num_workers) * T`` (the timeout was reused for ``wait_idle`` and
+    every ``worker.join``) and ``segment_batch(timeout=T)`` for ``N * T``
+    (per-handle waits); both now share one monotonic deadline so the
+    caller-visible timeout means wall time.
+    """
+
+    def test_close_timeout_is_a_shared_deadline(self):
+        release = threading.Event()
+        started = threading.Event()
+        server = SegmentationServer(
+            _StallSegmenter(release, started), mode="thread", num_workers=2
+        )
+        try:
+            server.submit(_image())
+            assert started.wait(5)
+            start = time.monotonic()
+            server.close(drain=True, timeout=0.6)
+            elapsed = time.monotonic() - start
+            # Old behavior: 0.6 (wait_idle) + 2 x 0.6 (joins) ~= 1.8s.
+            assert elapsed < 1.2, f"close took {elapsed:.2f}s for timeout=0.6"
+        finally:
+            release.set()
+
+    def test_segment_batch_timeout_is_a_shared_deadline(self):
+        server = SegmentationServer(
+            _SlowSegmenter(0.25), mode="thread", num_workers=1
+        )
+        try:
+            images = [_image(seed=i) for i in range(3)]
+            start = time.monotonic()
+            # One worker x 0.25s/image: results land at ~0.25/0.50/0.75s.
+            # The old per-handle waits returned at ~0.75s WITHOUT raising
+            # (each individual wait stayed under 0.4); the shared deadline
+            # raises at ~0.4s.
+            with pytest.raises(TimeoutError):
+                server.segment_batch(images, timeout=0.4)
+            elapsed = time.monotonic() - start
+            assert elapsed < 0.7, (
+                f"segment_batch took {elapsed:.2f}s for timeout=0.4"
+            )
+        finally:
+            server.close(drain=True, timeout=5)
+
+    def test_result_raises_a_fresh_copy_per_waiter(self):
+        class _Failing(_StallSegmenter):
+            def __init__(self):
+                super().__init__(release=threading.Event())
+
+            def segment(self, image):
+                raise ValueError("kaboom")
+
+        with SegmentationServer(
+            _Failing(), mode="thread", num_workers=1
+        ) as server:
+            handle = server.submit(_image())
+            caught = []
+
+            def waiter():
+                try:
+                    handle.result(timeout=10)
+                except ValueError as exc:
+                    caught.append(exc)
+
+            threads = [threading.Thread(target=waiter) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert len(caught) == 2
+            first, second = caught
+            # Each waiter gets its own exception object (concurrent raises
+            # must not accrete tracebacks onto one shared instance) ...
+            assert first is not second
+            # ... that still looks like the worker's error and chains to it.
+            assert type(first) is ValueError
+            assert str(first) == "kaboom" == str(second)
+            assert handle.exception(timeout=1) is not None
+            assert handle.exception(timeout=1) is not handle.exception(1)

@@ -19,6 +19,16 @@ What it proves, end to end (real subprocess, real sockets, ``urllib`` only):
    octet-stream responses must be bit-exact against base64, the streaming
    endpoint must agree, and the raw wire form must sustain >= 1.2x the
    base64 form's images/sec.
+4. **Hot reconfiguration** — a ``--allow-reconfig`` server streams a long
+   batch while ``POST /v1/config`` switches dense→packed mid-stream: the
+   stream must deliver every frame exactly once (zero dropped, zero
+   duplicated), every label map must stay bit-exact against the dense
+   reference (dense and packed are bit-identical by contract, so the swap
+   must be invisible), the old generation must drain clean
+   (``submitted == completed``), post-swap requests must report
+   ``config_generation`` 2 on the packed backend, and an invalid diff must
+   come back 400 naming the offending field.  Pass 1 additionally asserts
+   that a server booted *without* ``--allow-reconfig`` answers 403.
 
 Stats payloads are written under ``--output-dir`` so CI can upload them as
 artifacts.  Exit code is non-zero on any failed assertion, so the CI job
@@ -38,7 +48,9 @@ import json
 import os
 import subprocess
 import sys
+import threading
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -213,6 +225,12 @@ def smoke_backend_parity(backend: str, port: int, output_dir: Path) -> None:
 
         health = _get(f"{server.url}/healthz")
         assert health["status"] == "ok", health
+        assert health["reconfig_allowed"] is False, health
+        # Without --allow-reconfig the control endpoint must refuse.
+        status, error = _post_expecting_error(
+            f"{server.url}/v1/config", {"config": {"backend": backend}}
+        )
+        assert status == 403, (status, error)
         stats = _get(f"{server.url}/stats")
         assert stats["serving"]["completed"] >= len(images), stats
         assert stats["serving"]["failed"] == 0, stats
@@ -261,6 +279,15 @@ def smoke_shared_grid_cache(port: int, output_dir: Path) -> None:
         f"{cache['shared_grid_imports']} imports, "
         f"{cache['shared_hits']} shared hits OK"
     )
+
+
+def _post_expecting_error(url: str, payload: dict) -> tuple:
+    """POST JSON expecting a 4xx; returns ``(status, error message)``."""
+    try:
+        _post(url, payload)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc).get("error", "")
+    raise SystemExit(f"POST {url} unexpectedly succeeded")
 
 
 def _post_raw(url: str, body: bytes, timeout: float = 300.0) -> bytes:
@@ -386,6 +413,106 @@ def smoke_zero_copy(port: int, output_dir: Path) -> None:
     )
 
 
+def smoke_hot_reconfig(port: int, output_dir: Path) -> None:
+    """Pass 4: a dense→packed hot swap under sustained streaming traffic.
+
+    The streaming request runs on a background thread while the main thread
+    POSTs the config diff, so the swap genuinely lands mid-stream: early
+    frames are segmented by generation 1 (dense), late frames by
+    generation 2 (packed).  Because the two backends are bit-identical, one
+    dense reference validates every frame regardless of which generation
+    produced it — the swap must be invisible except in the stats.
+    """
+    from repro.seghdc import SegHDCEngine
+    from repro.serving.http import pack_frames, unpack_frames
+
+    rng = np.random.default_rng(23)
+    images = [
+        rng.integers(0, 256, size=(48, 64), dtype=np.uint8) for _ in range(48)
+    ]
+    reference = SegHDCEngine(_config("dense")).segment_batch(images)
+    framed = pack_frames(enumerate(images))
+    with _Server(
+        port,
+        "--mode", "thread",
+        "--workers", "2",
+        "--backend", "dense",
+        "--max-queue-depth", "4",
+        "--allow-reconfig",
+    ) as server:
+        health = _get(f"{server.url}/healthz")
+        assert health["config_generation"] == 1, health
+        assert health["reconfig_allowed"] is True, health
+
+        stream_box: dict = {}
+
+        def run_stream() -> None:
+            try:
+                stream_box["body"] = _post_raw(
+                    f"{server.url}/v1/segment-stream", framed
+                )
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                stream_box["error"] = exc
+
+        stream = threading.Thread(target=run_stream)
+        stream.start()
+        time.sleep(0.4)  # let generation 1 admit and serve early frames
+        outcome = _post(
+            f"{server.url}/v1/config", {"config": {"backend": "packed"}}
+        )
+        assert outcome["status"] == "swapped", outcome
+        assert outcome["generation"] == 2, outcome
+        assert outcome["changed"] == ["config.backend"], outcome
+        stream.join(timeout=300)
+        assert "error" not in stream_box, stream_box
+        entries = unpack_frames(stream_box["body"])
+
+        # Zero dropped, zero duplicated: every index exactly once.
+        indices = sorted(index for index, _ in entries)
+        assert indices == list(range(len(images))), (
+            f"dropped/duplicated frames across the swap: {indices}"
+        )
+        for index, labels in entries:
+            assert np.array_equal(labels, reference[index].labels), (
+                f"hot-reconfig: label map {index} diverged across the swap"
+            )
+
+        # Post-swap traffic runs generation 2 on the packed backend.
+        payload = _post(
+            f"{server.url}/v1/segment", {"image": _npy_payload(images[0])}
+        )
+        workload = payload["results"][0]["workload"]
+        assert workload["config_generation"] == 2, workload
+        assert workload["backend"] == "packed", workload
+
+        # An invalid diff is a 400 naming the field; generation unchanged.
+        status, error = _post_expecting_error(
+            f"{server.url}/v1/config", {"config": {"bogus": 1}}
+        )
+        assert status == 400 and "bogus" in error, (status, error)
+
+        stats = _get(f"{server.url}/stats")
+        assert stats["config_generation"] == 2, stats
+        control = stats["serving"]["control"]
+        assert control["config_generation"] == 2, control
+        assert control["last_swap"]["status"] == "swapped", control
+        gen1 = control["generations"]["1"]
+        # The old generation drained clean: everything it admitted finished
+        # on its own pool before retirement.
+        assert gen1["submitted"] == gen1["completed"], control
+        assert gen1["failed"] == 0, control
+        gen2 = control["generations"]["2"]
+        assert gen2["completed"] >= 1, control
+        (output_dir / "stats_hot_reconfig.json").write_text(
+            json.dumps(stats, indent=2) + "\n"
+        )
+    print(
+        f"[http-smoke] hot-reconfig: {len(images)} frames exactly-once "
+        f"across dense→packed swap (gen1 served {gen1['completed']}, "
+        f"gen2 {gen2['completed']}), rollback-free OK"
+    )
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Run the full smoke; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -398,7 +525,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "--base-port",
         type=int,
         default=18080,
-        help="first TCP port to use (four consecutive ports are taken)",
+        help="first TCP port to use (five consecutive ports are taken)",
     )
     args = parser.parse_args(argv)
     output_dir = Path(args.output_dir)
@@ -407,6 +534,7 @@ def main(argv: "list[str] | None" = None) -> int:
     smoke_backend_parity("packed", args.base_port + 1, output_dir)
     smoke_shared_grid_cache(args.base_port + 2, output_dir)
     smoke_zero_copy(args.base_port + 3, output_dir)
+    smoke_hot_reconfig(args.base_port + 4, output_dir)
     print("[http-smoke] all checks passed")
     return 0
 
