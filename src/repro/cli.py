@@ -9,6 +9,8 @@ Examples::
     seghdc segment --segmenter cnn_baseline --iterations 30
     seghdc serve-bench --mode thread --workers 4 --backend packed
     seghdc serve --port 8080 --mode process --workers 4
+    seghdc cluster --replicas 2 --port 8080
+    seghdc cluster-bench --replicas 2 --output results/cluster_bench.json
     seghdc run --spec examples/run_spec.json
 """
 
@@ -295,6 +297,92 @@ def build_parser() -> argparse.ArgumentParser:
     _add_iterations_option(http_parser, default=3)
     _add_segmenter_option(http_parser)
     _add_backend_option(http_parser)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="serve segmentation through a shape-affinity gateway over N "
+        "supervised replica processes (each a full 'seghdc serve')",
+    )
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="gateway TCP port (0 picks an ephemeral port; the bound port "
+        "is printed as SEGHDC_GATEWAY_PORT=<port>)",
+    )
+    cluster_parser.add_argument(
+        "--replicas", type=int, default=2, help="replica processes to spawn"
+    )
+    cluster_parser.add_argument(
+        "--mode",
+        default="thread",
+        choices=("thread", "process"),
+        help="worker mode inside each replica",
+    )
+    cluster_parser.add_argument(
+        "--workers", type=int, default=2, help="workers per replica"
+    )
+    cluster_parser.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.5,
+        help="seconds between health-probe rounds",
+    )
+    cluster_parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="restart budget per replica before it stays down",
+    )
+    cluster_parser.add_argument(
+        "--dataset", default="dsb2018", choices=available_datasets()
+    )
+    cluster_parser.add_argument("--height", type=int, default=64)
+    cluster_parser.add_argument("--width", type=int, default=64)
+    _add_dimension_option(cluster_parser, default=1000)
+    _add_iterations_option(cluster_parser, default=3)
+    _add_segmenter_option(cluster_parser)
+    _add_backend_option(cluster_parser)
+
+    cluster_bench_parser = subparsers.add_parser(
+        "cluster-bench",
+        help="boot gateway + replicas, drive a multi-shape workload, and "
+        "report fleet RPS / latency percentiles / per-replica grid builds "
+        "(the shape-affinity proof)",
+    )
+    cluster_bench_parser.add_argument("--replicas", type=int, default=2)
+    cluster_bench_parser.add_argument(
+        "--images",
+        type=int,
+        default=24,
+        help="requests sent, round-robin across three image shapes",
+    )
+    cluster_bench_parser.add_argument(
+        "--mode", default="thread", choices=("thread", "process")
+    )
+    cluster_bench_parser.add_argument("--workers", type=int, default=2)
+    cluster_bench_parser.add_argument(
+        "--dataset", default="dsb2018", choices=available_datasets()
+    )
+    cluster_bench_parser.add_argument(
+        "--height",
+        type=int,
+        default=48,
+        help="base image height; the workload uses this and two larger "
+        "shapes",
+    )
+    cluster_bench_parser.add_argument("--width", type=int, default=48)
+    _add_dimension_option(cluster_bench_parser, default=1000)
+    _add_iterations_option(cluster_bench_parser, default=3)
+    _add_segmenter_option(cluster_bench_parser)
+    _add_backend_option(cluster_bench_parser)
+    cluster_bench_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the benchmark result (RPS, p50/p99, per-replica grid "
+        "builds, routing table) as JSON",
+    )
     return parser
 
 
@@ -672,6 +760,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         serving=options,
         allow_reconfig=args.allow_reconfig,
     ) as server:
+        # Machine-parsable bound-port line, printed first and flushed: with
+        # --port 0 the kernel picks the port, and supervisors/smoke tests
+        # read it back from this line instead of racing for a free one.
+        print(f"SEGHDC_SERVE_PORT={server.bound_port}", flush=True)
         print(
             f"seghdc serve: {spec['segmenter']} on "
             f"http://{server.host}:{server.port} "
@@ -722,6 +814,187 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replica_serve_args(args: argparse.Namespace) -> list:
+    """The ``seghdc serve`` flags every replica subprocess inherits.
+
+    Forwards the fleet-relevant spec flags verbatim; sentinel-defaulted
+    options (``--dimension``/``--iterations``/``--backend``) are only
+    forwarded when explicitly passed, so each replica applies the same
+    defaults ``seghdc serve`` would.
+    """
+    forwarded = [
+        "--mode",
+        args.mode,
+        "--workers",
+        str(args.workers),
+        "--dataset",
+        args.dataset,
+        "--height",
+        str(args.height),
+        "--width",
+        str(args.width),
+    ]
+    for flag, value in (
+        ("--dimension", args.dimension),
+        ("--iterations", args.iterations),
+        ("--backend", args.backend),
+    ):
+        if value is not None:
+            forwarded += [flag, str(value)]
+    if args.segmenter != "seghdc":
+        forwarded += ["--segmenter", args.segmenter]
+    if args.config_json is not None:
+        forwarded += ["--config-json", args.config_json]
+    return forwarded
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serving.cluster import ClusterGateway, ReplicaSupervisor
+
+    gateway = ClusterGateway(
+        host=args.host, port=args.port, probe_interval=args.probe_interval
+    )
+    supervisor = ReplicaSupervisor(
+        gateway,
+        replicas=args.replicas,
+        replica_args=_replica_serve_args(args),
+        max_restarts=args.max_restarts,
+    )
+    # Same machine-parsable contract as `seghdc serve`: the gateway's bound
+    # port comes first, flushed, before the slow part (booting replicas).
+    print(f"SEGHDC_GATEWAY_PORT={gateway.bound_port}", flush=True)
+    try:
+        supervisor.start()
+        gateway.wait_ready(timeout=120.0)
+        print(
+            f"seghdc cluster: gateway on http://{gateway.host}:{gateway.port} "
+            f"over {args.replicas} replicas ({args.mode} x{args.workers} "
+            "each)",
+            flush=True,
+        )
+        for replica_id, facts in supervisor.snapshot().items():
+            print(
+                f"  {replica_id}: http://127.0.0.1:{facts['port']} "
+                f"(pid {facts['pid']})",
+                flush=True,
+            )
+
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+
+        previous_handler = signal.signal(signal.SIGTERM, _terminate)
+        try:
+            gateway.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+        finally:
+            signal.signal(signal.SIGTERM, previous_handler)
+    finally:
+        supervisor.stop()
+        gateway.close()
+    return 0
+
+
+def _run_cluster_bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serving.cluster import (
+        ClusterGateway,
+        ReplicaClient,
+        ReplicaSupervisor,
+    )
+
+    # Three distinct shapes exercise the affinity boundary: with a healthy
+    # ring each shape's position grid is built on exactly one replica, so
+    # fleet-wide builds == 3 regardless of replica count or request volume.
+    shapes = [
+        (args.height, args.width),
+        (args.height + 16, args.width + 16),
+        (args.height + 32, args.width + 32),
+    ]
+    rng = np.random.default_rng(0)
+    images = [
+        rng.integers(0, 256, size=shapes[i % len(shapes)], dtype=np.uint8)
+        for i in range(args.images)
+    ]
+    gateway = ClusterGateway(port=0, probe_interval=0.2)
+    supervisor = ReplicaSupervisor(
+        gateway,
+        replicas=args.replicas,
+        replica_args=_replica_serve_args(args),
+    )
+    try:
+        gateway.start()
+        supervisor.start()
+        gateway.wait_ready(timeout=120.0)
+        with ReplicaClient("gateway", gateway.host, gateway.port) as client:
+            latencies = []
+            start = time.perf_counter()
+            for image in images:
+                request_start = time.perf_counter()
+                client.segment_raw([image])
+                latencies.append(time.perf_counter() - request_start)
+            total_seconds = time.perf_counter() - start
+            # The fleet rollup rides the prober's cached snapshots; one
+            # explicit round makes them current before the read.
+            gateway.prober.probe_all()
+            stats = client.get_json("/stats")
+    finally:
+        supervisor.stop()
+        gateway.close()
+
+    rps = len(images) / total_seconds
+    p50, p99 = np.percentile(np.asarray(latencies), [50.0, 99.0])
+    per_replica = stats["fleet"]["per_replica"]
+    builds = {
+        replica_id: (entry or {}).get("position_grid_builds", 0)
+        for replica_id, entry in per_replica.items()
+    }
+    total_builds = sum(builds.values())
+    routing = stats["gateway"]["routing_table"]
+    affinity_ok = total_builds == len(shapes)
+
+    print(
+        f"cluster-bench replicas={args.replicas} images={len(images)} "
+        f"shapes={len(shapes)} mode={args.mode} workers={args.workers}"
+    )
+    print(
+        f"throughput: {rps:8.2f} requests/s  "
+        f"p50={p50 * 1000:.1f}ms p99={p99 * 1000:.1f}ms"
+    )
+    print(
+        "grid builds: "
+        + ", ".join(f"{rid}={count}" for rid, count in sorted(builds.items()))
+        + f"  (fleet total {total_builds}, shapes {len(shapes)}"
+        + (", affinity holds)" if affinity_ok else ", AFFINITY VIOLATED)")
+    )
+    for shape_label, replica_id in sorted(routing.items()):
+        print(f"routing: {shape_label} -> {replica_id}")
+    if args.output:
+        payload = {
+            "replicas": args.replicas,
+            "images": len(images),
+            "shapes": ["x".join(map(str, shape)) for shape in shapes],
+            "mode": args.mode,
+            "workers": args.workers,
+            "requests_per_second": rps,
+            "latency": {"p50": float(p50), "p99": float(p99)},
+            "grid_builds_per_replica": builds,
+            "grid_builds_total": total_builds,
+            "affinity_holds": affinity_ok,
+            "routing_table": routing,
+            "failovers": stats["gateway"]["failovers"],
+            "fleet": stats["fleet"],
+        }
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2))
+        print(f"benchmark JSON written to {path}")
+    return 0 if affinity_ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -754,6 +1027,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve_bench(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "cluster":
+        return _run_cluster(args)
+    if args.command == "cluster-bench":
+        return _run_cluster_bench(args)
     scale = ExperimentScale.from_name(args.scale)
     result = run_experiment(
         args.command,

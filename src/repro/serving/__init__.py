@@ -25,7 +25,12 @@ user-registered algorithm) into a long-lived concurrent service:
 * :class:`repro.serving.http.SegmentationHTTPServer` — the stdlib HTTP
   front end (``POST /v1/segment``, ``POST /v1/run-spec``,
   ``POST /v1/config``, ``GET /v1/segmenters``, ``GET /healthz``,
-  ``GET /stats``), wired to the CLI as ``seghdc serve``.
+  ``GET /stats``), wired to the CLI as ``seghdc serve``;
+* :mod:`repro.serving.cluster` — the multi-node tier: a
+  :class:`ClusterGateway` routing the same HTTP surface across a fleet of
+  replica servers by shape affinity (consistent-hash ring, health-probed
+  membership, exactly-once failover), with a :class:`ReplicaSupervisor`
+  spawning and restarting the replica processes (``seghdc cluster``).
 
 In process mode the server also runs the cross-engine shared grid cache:
 encoder grids are built once in the parent and shipped to worker processes,
@@ -35,6 +40,13 @@ so cold starts stop scaling with worker count (see
 
 from repro.api.spec import ServingOptions
 from repro.serving.batcher import ShapeBatcher
+from repro.serving.cluster import (
+    ClusterGateway,
+    ConsistentHashRing,
+    HealthProber,
+    ReplicaClient,
+    ReplicaSupervisor,
+)
 from repro.serving.control import (
     ControlError,
     ControlPlane,
@@ -55,11 +67,16 @@ from repro.serving.stats import ServerStats, StatsCollector
 
 __all__ = [
     "BoundedJobQueue",
+    "ClusterGateway",
+    "ConsistentHashRing",
     "ControlError",
     "ControlPlane",
     "GenerationHandle",
     "HTTPRequestError",
+    "HealthProber",
     "JobHandle",
+    "ReplicaClient",
+    "ReplicaSupervisor",
     "SpecWatcher",
     "SegmentationHTTPServer",
     "SegmentationServer",

@@ -1,0 +1,52 @@
+"""Multi-node serving: a sharded replica fleet behind one gateway.
+
+The cluster layer promotes the single-host shape-affinity insight to a
+fleet: each replica's per-shape grid cache is its expensive warm state, so a
+consistent-hash ring (:mod:`~repro.serving.cluster.ring`) pins every
+``(H, W, C)`` to one replica, a gateway
+(:mod:`~repro.serving.cluster.gateway`) re-exposes the single-host HTTP
+surface and fans work across the fleet with bounded exactly-once failover, a
+health prober (:mod:`~repro.serving.cluster.health`) drives ring membership
+with hysteresis, and a supervisor (:mod:`~repro.serving.cluster.supervisor`)
+spawns and restarts the ``seghdc serve`` replica processes themselves.
+
+Usage::
+
+    gateway = ClusterGateway(port=0).start()
+    supervisor = ReplicaSupervisor(gateway, replicas=2)
+    supervisor.start()
+    gateway.wait_ready()
+    # ... POST /v1/segment at gateway.port, exactly like a single replica
+    supervisor.stop(); gateway.close()
+
+    # CLI equivalent
+    #   seghdc cluster --replicas 2 --port 8080
+"""
+
+from repro.serving.cluster.client import (
+    ReplicaClient,
+    ReplicaHTTPError,
+    ReplicaUnavailable,
+)
+from repro.serving.cluster.gateway import ClusterGateway
+from repro.serving.cluster.health import HealthProber, ReplicaHealth
+from repro.serving.cluster.ring import (
+    DEFAULT_VNODES,
+    ConsistentHashRing,
+    shape_key_bytes,
+)
+from repro.serving.cluster.supervisor import ReplicaProcess, ReplicaSupervisor
+
+__all__ = [
+    "ClusterGateway",
+    "ConsistentHashRing",
+    "DEFAULT_VNODES",
+    "HealthProber",
+    "ReplicaClient",
+    "ReplicaHTTPError",
+    "ReplicaHealth",
+    "ReplicaProcess",
+    "ReplicaSupervisor",
+    "ReplicaUnavailable",
+    "shape_key_bytes",
+]

@@ -1,0 +1,196 @@
+"""Consistent-hash ring: shape-affinity placement of work across replicas.
+
+The fleet's most expensive warm state is each replica's per-shape encoder
+grid cache (``SegHDCEngine``'s ``(H, W, C)``-keyed LRU), so the gateway must
+keep same-shape traffic pinned to the same replica — a request that lands on
+a cold replica pays a full position-grid build.  A consistent-hash ring
+gives exactly that placement with **bounded disruption**: each replica owns
+the arcs of a fixed hash circle covered by its virtual nodes, a shape key
+hashes to a point on the circle, and the owning replica is the first virtual
+node clockwise from that point.  Adding or removing one replica only moves
+the keys on the arcs that replica's virtual nodes cover (~``1/N`` of the key
+space) — every other shape keeps its warm replica.
+
+Hashing is :func:`hashlib.blake2b` over stable byte strings, **never**
+Python's :func:`hash`: builtin ``hash`` is salted per process
+(``PYTHONHASHSEED``), and the gateway, the supervisor, the bench harness and
+the CI smoke all need to agree on placement across process boundaries.
+
+Usage::
+
+    ring = ConsistentHashRing(["replica-0", "replica-1"])
+    ring.node_for((512, 512, 1))        # -> "replica-0" (say)
+    ring.add("replica-2")               # moves ~1/3 of the keys, no more
+    for node in ring.walk((512, 512, 1)):
+        ...                             # failover order: owner first, then
+                                        # the next distinct replicas clockwise
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Iterable, Iterator
+
+__all__ = ["ConsistentHashRing", "shape_key_bytes"]
+
+#: Virtual nodes per replica.  More points smooth the load split (the arc
+#: lengths concentrate around 1/N) at O(vnodes * log) memory/lookup cost;
+#: 64 keeps a 2-8 replica fleet within a small factor of perfectly even.
+DEFAULT_VNODES = 64
+
+
+def shape_key_bytes(key) -> bytes:
+    """Canonical byte string of a routing key (shape tuple or string).
+
+    ``(H, W, C)`` tuples — the serving layer's shape keys — serialize as
+    ``b"512x512x1"`` so the same shape always hashes identically regardless
+    of int subtype (numpy ints included); strings and other scalars fall
+    back to their ``str`` form.  One definition, used by the ring and by
+    anything that wants to pre-compute a placement (tests, the smoke).
+    """
+    if isinstance(key, tuple):
+        return "x".join(str(int(part)) for part in key).encode("ascii")
+    return str(key).encode("utf-8")
+
+
+def _hash_point(data: bytes) -> int:
+    """Map bytes to a 64-bit point on the ring (process-stable)."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRing:
+    """Thread-safe consistent-hash ring over replica ids.
+
+    Parameters
+    ----------
+    nodes:
+        Initial replica ids (any hashable strings).
+    vnodes:
+        Virtual nodes per replica (see :data:`DEFAULT_VNODES`).
+    """
+
+    def __init__(
+        self, nodes: "Iterable[str]" = (), *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self._vnodes = int(vnodes)
+        self._lock = threading.Lock()
+        self._nodes: set[str] = set()
+        self._points: list[int] = []       # sorted hash points
+        self._owners: list[str] = []       # owner of each point (parallel)
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def add(self, node: str) -> bool:
+        """Add a replica; returns ``False`` if it was already present.
+
+        Idempotent by design: the health prober re-adds a replica every
+        time it recovers, and a double-add must not double its share of the
+        ring.
+        """
+        node = str(node)
+        with self._lock:
+            if node in self._nodes:
+                return False
+            self._nodes.add(node)
+            for index in range(self._vnodes):
+                point = _hash_point(f"{node}#{index}".encode("utf-8"))
+                at = bisect.bisect_left(self._points, point)
+                self._points.insert(at, point)
+                self._owners.insert(at, node)
+            return True
+
+    def remove(self, node: str) -> bool:
+        """Remove a replica; returns ``False`` if it was not present.
+
+        Only the removed replica's arcs change owner — every other shape's
+        placement is untouched (the bounded-disruption property the tests
+        pin).
+        """
+        node = str(node)
+        with self._lock:
+            if node not in self._nodes:
+                return False
+            self._nodes.discard(node)
+            keep = [
+                (point, owner)
+                for point, owner in zip(self._points, self._owners)
+                if owner != node
+            ]
+            self._points = [point for point, _ in keep]
+            self._owners = [owner for _, owner in keep]
+            return True
+
+    @property
+    def nodes(self) -> list[str]:
+        """Sorted list of the replicas currently on the ring."""
+        with self._lock:
+            return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        """Number of replicas on the ring."""
+        with self._lock:
+            return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        """Whether ``node`` is currently on the ring."""
+        with self._lock:
+            return str(node) in self._nodes
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+    def node_for(self, key) -> str:
+        """The replica owning ``key`` (first virtual node clockwise).
+
+        Raises :class:`LookupError` on an empty ring — the gateway turns
+        that into a 503, since with zero live replicas there is nowhere to
+        route.
+        """
+        with self._lock:
+            if not self._points:
+                raise LookupError("consistent-hash ring has no replicas")
+            at = bisect.bisect_right(
+                self._points, _hash_point(shape_key_bytes(key))
+            )
+            return self._owners[at % len(self._owners)]
+
+    def walk(self, key, *, exclude: "set[str] | None" = None) -> Iterator[str]:
+        """Distinct replicas in ring order starting at ``key``'s owner.
+
+        The failover order: the first yielded node is :meth:`node_for`'s
+        answer, each subsequent one is the next *distinct* replica clockwise
+        — exactly the replica that would own the key if everything before it
+        left.  ``exclude`` drops replicas already tried, so a retry loop
+        never re-sends to the node that just failed.  Yields nothing on an
+        empty ring.
+        """
+        excluded = exclude or set()
+        with self._lock:
+            points, owners = list(self._points), list(self._owners)
+        if not points:
+            return
+        start = bisect.bisect_right(points, _hash_point(shape_key_bytes(key)))
+        seen: set[str] = set()
+        for step in range(len(owners)):
+            owner = owners[(start + step) % len(owners)]
+            if owner in seen or owner in excluded:
+                continue
+            seen.add(owner)
+            yield owner
+
+    def assignments(self, keys: Iterable) -> dict:
+        """Map each key to its owning replica (one consistent snapshot)."""
+        return {key: self.node_for(key) for key in keys}
+
+    def describe(self) -> dict:
+        """JSON-ready summary (replicas, vnode count) for ``/stats``."""
+        return {"replicas": self.nodes, "vnodes_per_replica": self._vnodes}

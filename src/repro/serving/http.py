@@ -71,7 +71,10 @@ Endpoints
 
 ``GET /healthz``
     Liveness: status, uptime, mode, worker count, ``config_generation``,
-    and whether reconfiguration is enabled.
+    whether reconfiguration is enabled, and the replica identity triple
+    (``instance_id`` — random hex minted per server instance, ``pid``,
+    ``started_at``) that lets a fleet health prober detect silent restarts
+    behind a reused address.
 
 ``GET /stats``
     The wrapped server's :class:`ServerStats` (latency percentiles, cache
@@ -99,6 +102,8 @@ import ast
 import base64
 import io
 import json
+import os
+import secrets
 import struct
 import threading
 import time
@@ -122,11 +127,13 @@ from repro.serving.stats import (
 
 __all__ = [
     "HTTPRequestError",
+    "RawRequest",
     "RawResponse",
     "SegmentationHTTPServer",
     "StreamingResponse",
     "array_from_npy_bytes",
     "decode_image_payload",
+    "decode_segment_request",
     "encode_labels",
     "npy_bytes",
     "pack_frames",
@@ -435,6 +442,110 @@ def encode_labels(labels: np.ndarray, encoding: str):
     )
 
 
+def _parse_json_object(body: bytes) -> dict:
+    """Parse a request body as one JSON object, with clean 400s.
+
+    Module-level (rather than a server method) because the cluster gateway
+    parses the same bodies without owning a :class:`SegmentationHTTPServer`.
+    """
+    if not body:
+        raise HTTPRequestError("request body is empty; expected JSON")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HTTPRequestError(f"body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise HTTPRequestError(
+            f"JSON body must be an object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def decode_segment_request(request: RawRequest, max_images: int) -> dict:
+    """Normalize either wire form of a segment request.
+
+    Octet-stream bodies carry a bare ``.npy`` (single image) or the framed
+    container (batch); the arrays stay zero-copy views of the body.  JSON
+    bodies are the historical form.  Returns a dict with the decoded
+    ``images``, the ``single``/``encoding``/``include_workload`` options,
+    and the transport-accounting facts (``path``, ``bytes_in`` — image wire
+    bytes, not envelope).  Shared by the single-host front end and the
+    cluster gateway so both speak byte-identical wire forms.
+    """
+    if request.content_type == _OCTET_STREAM:
+        view = memoryview(request.body)
+        if len(view) >= 4 and view[:4] == FRAME_MAGIC:
+            raw_arrays = [array for _, array in unpack_frames(view)]
+            single = False
+        else:
+            raw_arrays = [array_from_npy_bytes(view)]
+            single = True
+        if not raw_arrays:
+            raise HTTPRequestError("framed body carries no images")
+        if len(raw_arrays) > max_images:
+            raise HTTPRequestError(
+                f"{len(raw_arrays)} images in one request; the limit "
+                f"is {max_images}"
+            )
+        # A raw request defaults to a raw response; Accept with an
+        # explicit JSON preference opts back into the JSON envelope.
+        encoding = "npy" if request.accept == "application/json" else "raw"
+        return {
+            "images": [_validated_image(array) for array in raw_arrays],
+            "single": single,
+            "encoding": encoding,
+            "include_workload": False,
+            "path": "http-raw",
+            "bytes_in": len(request.body),
+        }
+    payload = _parse_json_object(request.body)
+    if ("image" in payload) == ("images" in payload):
+        raise HTTPRequestError(
+            "provide exactly one of 'image' (single payload) or "
+            "'images' (list of payloads)"
+        )
+    single = "image" in payload
+    raw_images = [payload["image"]] if single else payload["images"]
+    if not isinstance(raw_images, list):
+        raise HTTPRequestError(
+            f"'images' must be a list, got {type(raw_images).__name__}"
+        )
+    if not raw_images:
+        raise HTTPRequestError("'images' is empty")
+    if len(raw_images) > max_images:
+        raise HTTPRequestError(
+            f"{len(raw_images)} images in one request; the limit is "
+            f"{max_images}"
+        )
+    encoding = payload.get("response_encoding", "list")
+    if encoding not in _RESPONSE_ENCODINGS:
+        raise HTTPRequestError(
+            f"unknown response_encoding {encoding!r}; expected one of "
+            f"{_RESPONSE_ENCODINGS}"
+        )
+    if request.accept == _OCTET_STREAM:
+        encoding = "raw"
+    images = [decode_image_payload(entry) for entry in raw_images]
+    base64_input = any(
+        isinstance(entry, Mapping) and "data" in entry
+        for entry in raw_images
+    )
+    bytes_in = sum(
+        len(entry["data"])
+        if isinstance(entry, Mapping) and "data" in entry
+        else int(image.nbytes)
+        for entry, image in zip(raw_images, images)
+    )
+    return {
+        "images": images,
+        "single": single,
+        "encoding": encoding,
+        "include_workload": bool(payload.get("include_workload", True)),
+        "path": "http-base64" if base64_input else "http-json",
+        "bytes_in": bytes_in,
+    }
+
+
 def _json_default(value):
     """JSON fallback for numpy scalars/arrays that ride along in workloads."""
     if isinstance(value, (np.integer,)):
@@ -488,15 +599,29 @@ class _HttpStats:
             )
 
     def snapshot(self) -> dict:
-        """JSON-ready copy of the counters and latency percentiles."""
+        """JSON-ready copy of the counters and latency percentiles.
+
+        Counters and the latency sample are copied in one critical section
+        (percentiles always consistent with ``requests``), and the
+        percentile math runs outside the lock so stats polling never
+        blocks request recording (same discipline as
+        :meth:`repro.serving.stats.StatsCollector.snapshot`).
+        """
         with self._lock:
-            return {
-                "requests": self._requests,
-                "errors": self._errors,
-                "by_route": dict(self._by_route),
-                "latency": latency_percentiles(self._latencies),
-                "transport": aggregate_transport(self._transport),
+            requests = self._requests
+            errors = self._errors
+            by_route = dict(self._by_route)
+            latencies = tuple(self._latencies)
+            transport = {
+                path: dict(entry) for path, entry in self._transport.items()
             }
+        return {
+            "requests": requests,
+            "errors": errors,
+            "by_route": by_route,
+            "latency": latency_percentiles(latencies),
+            "transport": aggregate_transport(transport),
+        }
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -662,6 +787,13 @@ class SegmentationHTTPServer:
             MAX_CONCURRENT_RUN_SPECS
         )
         self.http_stats = _HttpStats()
+        # Replica identity: a fresh random id per server instance lets a
+        # fleet health prober distinguish "same replica, still warm" from
+        # "something restarted behind the same host:port with a cold cache"
+        # — the port alone cannot tell (supervisors reuse addresses).
+        self.instance_id = secrets.token_hex(8)
+        self._pid = os.getpid()
+        self._started_at_unix = time.time()
         self._started_at = time.perf_counter()
         self._serve_thread: threading.Thread | None = None
         self._serving = False
@@ -695,6 +827,14 @@ class SegmentationHTTPServer:
     def port(self) -> int:
         """Bound TCP port (the real one, also when constructed with 0)."""
         return self._httpd.server_address[1]
+
+    @property
+    def bound_port(self) -> int:
+        """Alias of :attr:`port`, named for the supervisor/smoke contract:
+        after ``port=0`` this is the ephemeral port the kernel actually
+        assigned, the value ``seghdc serve`` prints as
+        ``SEGHDC_SERVE_PORT=<port>``."""
+        return self.port
 
     def __enter__(self) -> "SegmentationHTTPServer":
         return self
@@ -800,25 +940,26 @@ class SegmentationHTTPServer:
 
     @staticmethod
     def _parse_json_body(body: bytes) -> dict:
-        if not body:
-            raise HTTPRequestError("request body is empty; expected JSON")
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise HTTPRequestError(f"body is not valid JSON: {exc}") from None
-        if not isinstance(payload, dict):
-            raise HTTPRequestError(
-                f"JSON body must be an object, got {type(payload).__name__}"
-            )
-        return payload
+        """Parse one JSON-object body (see :func:`_parse_json_object`)."""
+        return _parse_json_object(body)
 
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
     def _handle_healthz(self) -> dict:
-        """Liveness payload: cheap enough for aggressive probe intervals."""
+        """Liveness payload: cheap enough for aggressive probe intervals.
+
+        ``instance_id`` / ``pid`` / ``started_at`` identify this exact
+        server process instance: a prober that sees the same address answer
+        with a *different* instance id knows the replica silently restarted
+        (fresh grid cache, stats reset to zero) and re-warms its routing
+        assumptions instead of trusting stale counters.
+        """
         return {
             "status": "ok",
+            "instance_id": self.instance_id,
+            "pid": self._pid,
+            "started_at": self._started_at_unix,
             "uptime_seconds": time.perf_counter() - self._started_at,
             "mode": self._control.mode,
             "num_workers": self._control.num_workers,
@@ -895,87 +1036,8 @@ class SegmentationHTTPServer:
         }
 
     def _decode_segment_request(self, request: RawRequest, max_images: int):
-        """Normalize either wire form of a segment request.
-
-        Octet-stream bodies carry a bare ``.npy`` (single image) or the
-        framed container (batch); the arrays stay zero-copy views of the
-        body.  JSON bodies are the historical form.  Returns a dict with
-        the decoded ``images``, the ``single``/``encoding``/
-        ``include_workload`` options, and the transport-accounting facts
-        (``path``, ``bytes_in`` — image wire bytes, not envelope).
-        """
-        if request.content_type == _OCTET_STREAM:
-            view = memoryview(request.body)
-            if len(view) >= 4 and view[:4] == FRAME_MAGIC:
-                raw_arrays = [array for _, array in unpack_frames(view)]
-                single = False
-            else:
-                raw_arrays = [array_from_npy_bytes(view)]
-                single = True
-            if not raw_arrays:
-                raise HTTPRequestError("framed body carries no images")
-            if len(raw_arrays) > max_images:
-                raise HTTPRequestError(
-                    f"{len(raw_arrays)} images in one request; the limit "
-                    f"is {max_images}"
-                )
-            # A raw request defaults to a raw response; Accept with an
-            # explicit JSON preference opts back into the JSON envelope.
-            encoding = "npy" if request.accept == "application/json" else "raw"
-            return {
-                "images": [_validated_image(array) for array in raw_arrays],
-                "single": single,
-                "encoding": encoding,
-                "include_workload": False,
-                "path": "http-raw",
-                "bytes_in": len(request.body),
-            }
-        payload = self._parse_json_body(request.body)
-        if ("image" in payload) == ("images" in payload):
-            raise HTTPRequestError(
-                "provide exactly one of 'image' (single payload) or "
-                "'images' (list of payloads)"
-            )
-        single = "image" in payload
-        raw_images = [payload["image"]] if single else payload["images"]
-        if not isinstance(raw_images, list):
-            raise HTTPRequestError(
-                f"'images' must be a list, got {type(raw_images).__name__}"
-            )
-        if not raw_images:
-            raise HTTPRequestError("'images' is empty")
-        if len(raw_images) > max_images:
-            raise HTTPRequestError(
-                f"{len(raw_images)} images in one request; the limit is "
-                f"{max_images}"
-            )
-        encoding = payload.get("response_encoding", "list")
-        if encoding not in _RESPONSE_ENCODINGS:
-            raise HTTPRequestError(
-                f"unknown response_encoding {encoding!r}; expected one of "
-                f"{_RESPONSE_ENCODINGS}"
-            )
-        if request.accept == _OCTET_STREAM:
-            encoding = "raw"
-        images = [decode_image_payload(entry) for entry in raw_images]
-        base64_input = any(
-            isinstance(entry, Mapping) and "data" in entry
-            for entry in raw_images
-        )
-        bytes_in = sum(
-            len(entry["data"])
-            if isinstance(entry, Mapping) and "data" in entry
-            else int(image.nbytes)
-            for entry, image in zip(raw_images, images)
-        )
-        return {
-            "images": images,
-            "single": single,
-            "encoding": encoding,
-            "include_workload": bool(payload.get("include_workload", True)),
-            "path": "http-base64" if base64_input else "http-json",
-            "bytes_in": bytes_in,
-        }
+        """Normalize a segment request (see :func:`decode_segment_request`)."""
+        return decode_segment_request(request, max_images)
 
     def _handle_segment(self, request: RawRequest):
         """Segment one image or a batch through the wrapped server.

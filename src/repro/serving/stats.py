@@ -287,23 +287,47 @@ class StatsCollector:
     def snapshot(
         self, *, mode: str, num_workers: int, queue_depth: int
     ) -> ServerStats:
-        """Immutable :class:`ServerStats` of the current counters."""
+        """Immutable :class:`ServerStats` of the current counters.
+
+        The counter reads and the latency-sample copy happen in **one**
+        critical section, so the reported percentiles can never disagree
+        with ``completed``/``failed`` mid-update (a worker landing between
+        two separate lock acquisitions would bump a counter whose latency
+        the sample missed, or vice versa — visible as ``latency.count``
+        drifting from the finished-job count under ``cluster-bench`` load).
+        The O(n log n) percentile math itself runs *outside* the lock on
+        the copied sample: a fleet prober polling every replica's
+        ``/stats`` each probe round must not stall ``record_completed`` on
+        the serving hot path.
+        """
         with self._lock:
-            pending = self._submitted - self._completed - self._failed
-            return ServerStats(
-                mode=mode,
-                num_workers=num_workers,
-                submitted=self._submitted,
-                completed=self._completed,
-                failed=self._failed,
-                rejected=self._rejected,
-                queue_depth=queue_depth,
-                in_flight=max(0, pending - queue_depth),
-                batches_dispatched=self._batches,
-                mean_batch_size=(
-                    self._batched_jobs / self._batches if self._batches else 0.0
-                ),
-                latency=latency_percentiles(self._latencies),
-                cache=_aggregate_cache(self._cache_snapshots),
-                transport=aggregate_transport(self._transport),
-            )
+            submitted = self._submitted
+            completed = self._completed
+            failed = self._failed
+            rejected = self._rejected
+            batches = self._batches
+            batched_jobs = self._batched_jobs
+            latencies = tuple(self._latencies)
+            cache_snapshots = {
+                source: dict(snapshot)
+                for source, snapshot in self._cache_snapshots.items()
+            }
+            transport = {
+                path: dict(entry) for path, entry in self._transport.items()
+            }
+        pending = submitted - completed - failed
+        return ServerStats(
+            mode=mode,
+            num_workers=num_workers,
+            submitted=submitted,
+            completed=completed,
+            failed=failed,
+            rejected=rejected,
+            queue_depth=queue_depth,
+            in_flight=max(0, pending - queue_depth),
+            batches_dispatched=batches,
+            mean_batch_size=(batched_jobs / batches if batches else 0.0),
+            latency=latency_percentiles(latencies),
+            cache=_aggregate_cache(cache_snapshots),
+            transport=aggregate_transport(transport),
+        )

@@ -1,0 +1,215 @@
+"""Tests for the consistent-hash ring (:mod:`repro.serving.cluster.ring`).
+
+Pins the three properties the fleet's routing depends on: reasonable load
+spread across 2-8 replicas, **bounded disruption** (removing one replica
+remaps only that replica's keys, re-adding restores them), and placement
+that is deterministic **across processes** — the ring must hash with
+blake2b, never builtin ``hash()``, whose per-process ``PYTHONHASHSEED``
+salt would scatter the routing table every restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.serving.cluster.ring import (
+    DEFAULT_VNODES,
+    ConsistentHashRing,
+    shape_key_bytes,
+)
+
+
+def _keys(count: int = 240) -> list:
+    """Distinct (H, W, C) shape keys, the fleet's routing domain."""
+    keys = []
+    for i in range(count):
+        keys.append((32 + (i % 20) * 8, 32 + (i // 20) * 8, 1 + i % 3))
+    assert len(set(keys)) == len(keys)
+    return keys
+
+
+class TestShapeKeyBytes:
+    def test_tuple_form_is_canonical(self):
+        assert shape_key_bytes((512, 512, 1)) == b"512x512x1"
+        assert shape_key_bytes((64, 48)) == b"64x48"
+
+    def test_numpy_ints_hash_like_python_ints(self):
+        plain = shape_key_bytes((64, 48, 3))
+        numpyed = shape_key_bytes(
+            (np.int64(64), np.int32(48), np.uint8(3))
+        )
+        assert plain == numpyed
+
+    def test_string_keys_pass_through(self):
+        assert shape_key_bytes("replica-0") == b"replica-0"
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = ConsistentHashRing(["a"])
+        assert ring.add("a") is False
+        assert ring.add("b") is True
+        assert sorted(ring.nodes) == ["a", "b"]
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+
+    def test_remove_unknown_is_noop(self):
+        ring = ConsistentHashRing(["a"])
+        assert ring.remove("zzz") is False
+        assert ring.remove("a") is True
+        assert len(ring) == 0
+
+    def test_empty_ring_raises_lookup_error(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(LookupError):
+            ring.node_for((64, 64, 1))
+        assert list(ring.walk((64, 64, 1))) == []
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+
+
+class TestDistribution:
+    @pytest.mark.parametrize("replicas", [2, 3, 4, 6, 8])
+    def test_load_spread_within_bounds(self, replicas):
+        """Every replica owns a non-degenerate share of the key space.
+
+        With 64 vnodes the arc lengths concentrate around 1/N; the bounds
+        here are deliberately loose (between 1/(4N) and 4/N of the keys)
+        so the test pins 'no starved or hot replica', not an exact split.
+        """
+        ring = ConsistentHashRing(
+            [f"replica-{i}" for i in range(replicas)]
+        )
+        keys = _keys()
+        counts = {node: 0 for node in ring.nodes}
+        for key in keys:
+            counts[ring.node_for(key)] += 1
+        floor = len(keys) / (4 * replicas)
+        ceiling = 4 * len(keys) / replicas
+        for node, count in counts.items():
+            assert floor <= count <= ceiling, (
+                f"{node} owns {count}/{len(keys)} keys with {replicas} "
+                f"replicas (bounds {floor:.0f}..{ceiling:.0f}): {counts}"
+            )
+
+
+class TestBoundedDisruption:
+    def test_removal_remaps_only_the_removed_replicas_keys(self):
+        ring = ConsistentHashRing([f"replica-{i}" for i in range(4)])
+        keys = _keys()
+        before = ring.assignments(keys)
+        ring.remove("replica-2")
+        after = ring.assignments(keys)
+        for key in keys:
+            if before[key] == "replica-2":
+                assert after[key] != "replica-2"
+            else:
+                assert after[key] == before[key], (
+                    f"key {key} moved from {before[key]} to {after[key]} "
+                    "although its owner never left the ring"
+                )
+
+    def test_readding_restores_the_original_assignments(self):
+        ring = ConsistentHashRing([f"replica-{i}" for i in range(4)])
+        keys = _keys()
+        before = ring.assignments(keys)
+        ring.remove("replica-1")
+        ring.add("replica-1")
+        assert ring.assignments(keys) == before
+
+    def test_join_moves_roughly_one_nth_of_the_keys(self):
+        ring = ConsistentHashRing([f"replica-{i}" for i in range(3)])
+        keys = _keys()
+        before = ring.assignments(keys)
+        ring.add("replica-3")
+        after = ring.assignments(keys)
+        moved = sum(1 for key in keys if before[key] != after[key])
+        # Every moved key must have moved TO the new replica (consistent
+        # hashing never shuffles keys between old replicas on a join) ...
+        for key in keys:
+            if before[key] != after[key]:
+                assert after[key] == "replica-3"
+        # ... and the volume is about 1/4 of the key space, loosely bound.
+        assert moved <= len(keys) // 2, moved
+
+
+class TestWalk:
+    def test_walk_starts_at_the_owner_and_covers_all_replicas(self):
+        nodes = [f"replica-{i}" for i in range(4)]
+        ring = ConsistentHashRing(nodes)
+        key = (128, 160, 3)
+        order = list(ring.walk(key))
+        assert order[0] == ring.node_for(key)
+        assert sorted(order) == sorted(nodes)
+        assert len(order) == len(set(order))
+
+    def test_walk_exclude_skips_dead_replicas(self):
+        ring = ConsistentHashRing([f"replica-{i}" for i in range(3)])
+        key = (64, 64, 1)
+        owner = ring.node_for(key)
+        order = list(ring.walk(key, exclude={owner}))
+        assert owner not in order
+        assert len(order) == 2
+
+
+class TestCrossProcessDeterminism:
+    _SCRIPT = (
+        "import json, sys\n"
+        "from repro.serving.cluster.ring import ConsistentHashRing\n"
+        "ring = ConsistentHashRing("
+        "[f'replica-{i}' for i in range(4)])\n"
+        "keys = [(32 + (i % 20) * 8, 32 + (i // 20) * 8, 1 + i % 3) "
+        "for i in range(240)]\n"
+        "print(json.dumps({'x'.join(map(str, k)): ring.node_for(k) "
+        "for k in keys}))\n"
+    )
+
+    def _assignments_in_subprocess(self, hash_seed: str) -> dict:
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", self._SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+            check=True,
+        )
+        return json.loads(completed.stdout)
+
+    def test_placement_survives_hash_randomization(self):
+        """Two processes with different PYTHONHASHSEEDs agree exactly.
+
+        This is the regression that matters operationally: a gateway
+        restarted with a different hash seed must route every shape to the
+        same replica as before, or the whole fleet's grid caches go cold.
+        Builtin ``hash()`` would fail this test; blake2b cannot.
+        """
+        first = self._assignments_in_subprocess("1")
+        second = self._assignments_in_subprocess("31337")
+        assert first == second
+        # And the parent process (whatever its seed) agrees too.
+        ring = ConsistentHashRing([f"replica-{i}" for i in range(4)])
+        local = {
+            "x".join(map(str, key)): ring.node_for(key) for key in _keys()
+        }
+        assert local == first
+
+    def test_vnode_count_is_part_of_the_contract(self):
+        # DEFAULT_VNODES is baked into every point hash; changing it moves
+        # the whole routing table, so the default is pinned explicitly.
+        assert DEFAULT_VNODES == 64

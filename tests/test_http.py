@@ -858,3 +858,35 @@ class TestConfigEndpoint:
     def test_get_method_not_allowed(self, app):
         status, payload = app.handle_request("GET", "/v1/config", b"")
         assert status == 405
+
+
+class TestReplicaIdentity:
+    """``/healthz`` identity triple + ``bound_port`` (fleet satellite)."""
+
+    def test_healthz_carries_the_identity_triple(self, app):
+        import os
+        import re
+        import time
+
+        status, body = app.handle_request("GET", "/healthz", b"")
+        assert status == 200
+        # instance_id: fresh random hex per process start, for the fleet
+        # prober's silent-restart detection.
+        assert re.fullmatch(r"[0-9a-f]{16}", body["instance_id"])
+        assert body["pid"] == os.getpid()
+        assert 0 < body["started_at"] <= time.time()
+
+    def test_instance_ids_are_distinct_across_servers(self, app):
+        with SegmentationHTTPServer(
+            _config(), port=0, serving={"mode": "thread", "num_workers": 1}
+        ) as other:
+            _, first = app.handle_request("GET", "/healthz", b"")
+            _, second = other.handle_request("GET", "/healthz", b"")
+            assert first["instance_id"] != second["instance_id"]
+
+    def test_bound_port_reports_the_ephemeral_port(self):
+        with SegmentationHTTPServer(
+            _config(), port=0, serving={"mode": "thread", "num_workers": 1}
+        ).start() as server:
+            assert server.bound_port == server.port
+            assert server.bound_port != 0

@@ -787,3 +787,59 @@ class TestLifecycleDeadlines:
             assert str(first) == "kaboom" == str(second)
             assert handle.exception(timeout=1) is not None
             assert handle.exception(timeout=1) is not handle.exception(1)
+
+
+class TestStatsSnapshotConsistency:
+    """The collector's snapshot must be one atomic cut of its counters."""
+
+    def test_latency_count_never_disagrees_with_finished_jobs(self):
+        """Snapshots taken under concurrent recording stay self-consistent.
+
+        Counters and the latency reservoir are copied in a single critical
+        section; a snapshot where ``latency.count`` drifts from
+        ``completed + failed`` (within the reservoir window) means a worker
+        landed between two separate lock acquisitions — exactly the skew a
+        fleet prober polling ``/stats`` under load would surface.
+        """
+        from repro.serving.stats import StatsCollector
+
+        collector = StatsCollector(latency_window=100_000)
+        per_thread = 400
+        stop = threading.Event()
+
+        def hammer(seed: int) -> None:
+            for i in range(per_thread):
+                collector.record_submitted()
+                if (seed + i) % 7 == 0:
+                    collector.record_failed(0.001)
+                else:
+                    collector.record_completed(
+                        0.001, cache={"position_grid_builds": 1, "hits": i}
+                    )
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            observed = 0
+            while any(thread.is_alive() for thread in threads) or observed < 5:
+                stats = collector.snapshot(
+                    mode="thread", num_workers=1, queue_depth=0
+                )
+                finished = stats.completed + stats.failed
+                assert stats.latency["count"] == finished, (
+                    f"torn snapshot: {stats.latency['count']} latency "
+                    f"samples vs {finished} finished jobs"
+                )
+                assert stats.submitted >= finished
+                observed += 1
+                if stop.is_set():
+                    break
+        finally:
+            for thread in threads:
+                thread.join(timeout=30)
+        stats = collector.snapshot(mode="thread", num_workers=1, queue_depth=0)
+        assert stats.completed + stats.failed == 4 * per_thread
+        assert stats.latency["count"] == 4 * per_thread
