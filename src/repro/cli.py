@@ -383,6 +383,129 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the benchmark result (RPS, p50/p99, per-replica grid "
         "builds, routing table) as JSON",
     )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive a serving endpoint with scheduled open/closed-loop "
+        "traffic, or (without --url) run the canned load/chaos experiments "
+        "(worker SIGKILL + replica SIGKILL under open-loop load)",
+    )
+    loadgen_parser.add_argument(
+        "--url",
+        default=None,
+        metavar="HOST:PORT",
+        help="an already-running seghdc serve / cluster gateway endpoint; "
+        "omitted, the canned chaos experiments boot their own stacks",
+    )
+    loadgen_parser.add_argument(
+        "--schedule",
+        default="constant",
+        choices=("constant", "step", "ramp", "poisson"),
+        help="arrival process: 'step' doubles --rate halfway through, "
+        "'ramp' sweeps --rate to --end-rate",
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=20.0, help="arrival rate (requests/s)"
+    )
+    loadgen_parser.add_argument(
+        "--end-rate",
+        type=float,
+        default=None,
+        help="ramp end rate (defaults to 2x --rate)",
+    )
+    loadgen_parser.add_argument(
+        "--duration", type=float, default=10.0, help="schedule seconds"
+    )
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=0, help="poisson arrival seed"
+    )
+    loadgen_parser.add_argument(
+        "--loop",
+        default="open",
+        choices=("open", "closed"),
+        help="open: fire at arrival times regardless of completions; "
+        "closed: --concurrency back-to-back senders",
+    )
+    loadgen_parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=16,
+        help="sender threads (open: in-flight bound; closed: offered "
+        "concurrency)",
+    )
+    loadgen_parser.add_argument(
+        "--mix",
+        default="48x64:3,32x40:1",
+        help="weighted image shapes, HxW[:weight] comma-separated",
+    )
+    loadgen_parser.add_argument(
+        "--slo",
+        type=float,
+        default=0.5,
+        help="p99 latency SLO in seconds (drives slo_violation_seconds)",
+    )
+    loadgen_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="canned experiments only: the short CI sweep variant",
+    )
+    loadgen_parser.add_argument(
+        "--out-dir",
+        default="results",
+        help="parent directory for the timestamped result folder",
+    )
+    loadgen_parser.add_argument(
+        "--output", default=None, help="also write the BENCH JSON here"
+    )
+
+    autoscale_parser = subparsers.add_parser(
+        "autoscale-bench",
+        help="close the loop: step-doubling load + mid-run worker SIGKILL "
+        "against an autoscaled process-mode SegHDC control plane; reports "
+        "SLO violations, heal/scale latencies, and predicted vs converged "
+        "worker count",
+    )
+    autoscale_parser.add_argument("--height", type=int, default=48)
+    autoscale_parser.add_argument("--width", type=int, default=48)
+    _add_dimension_option(autoscale_parser, default=500)
+    _add_iterations_option(autoscale_parser, default=2)
+    autoscale_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="phase-1 arrival rate (requests/s); phase 2 doubles it. "
+        "Default: 80%% of the measured serial rate, so one worker holds "
+        "phase 1 and the doubling forces a scale-up",
+    )
+    autoscale_parser.add_argument(
+        "--phase-seconds",
+        type=float,
+        default=8.0,
+        help="seconds per load phase (two phases total)",
+    )
+    autoscale_parser.add_argument(
+        "--slo",
+        type=float,
+        default=2.0,
+        help="p99 latency SLO in seconds the autoscaler defends",
+    )
+    autoscale_parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=4,
+        help="autoscaler's upper worker bound",
+    )
+    autoscale_parser.add_argument(
+        "--concurrency", type=int, default=32, help="load sender threads"
+    )
+    autoscale_parser.add_argument(
+        "--out-dir",
+        default="results",
+        help="parent directory for the timestamped result folder",
+    )
+    autoscale_parser.add_argument(
+        "--output", default=None, help="also write the BENCH JSON here"
+    )
     return parser
 
 
@@ -995,6 +1118,315 @@ def _run_cluster_bench(args: argparse.Namespace) -> int:
     return 0 if affinity_ok else 1
 
 
+def _run_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import (
+        HttpTarget,
+        LoadGenerator,
+        ResultFolder,
+        ShapeMix,
+        make_schedule,
+    )
+
+    if args.url is None:
+        from repro.loadgen.experiments import run_experiments
+
+        meta = run_experiments(out_dir=args.out_dir, quick=args.quick)
+        for name, summary in sorted(meta["scenarios"].items()):
+            print(
+                f"{name}: issued={summary['issued']} "
+                f"ok={summary['by_status'].get('ok', 0)} "
+                f"lost={summary['lost']} dup={summary['duplicated']} "
+                f"sustained={summary['sustained_rps']:.1f} rps "
+                f"p99={summary['latency']['p99'] * 1000:.0f}ms "
+                f"slo_violation_s={summary.get('slo_violation_seconds')}"
+            )
+        print(f"results in {meta['result_dir']}")
+        print("BENCH " + json.dumps(meta, default=str))
+        if args.output:
+            path = Path(args.output)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(meta, indent=2, default=str) + "\n")
+            print(f"benchmark JSON written to {path}")
+        return 0 if meta["exactly_once"] else 1
+
+    host, _, port_text = args.url.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(
+            f"seghdc: error: --url must be HOST:PORT, got {args.url!r}"
+        )
+    if args.schedule == "constant":
+        spec = {"kind": "constant", "rate": args.rate, "duration": args.duration}
+    elif args.schedule == "step":
+        spec = {
+            "kind": "step",
+            "phases": [
+                {"rate": args.rate, "duration": args.duration / 2},
+                {"rate": 2 * args.rate, "duration": args.duration / 2},
+            ],
+        }
+    elif args.schedule == "ramp":
+        spec = {
+            "kind": "ramp",
+            "start_rate": args.rate,
+            "end_rate": args.end_rate or 2 * args.rate,
+            "duration": args.duration,
+        }
+    else:
+        spec = {
+            "kind": "poisson",
+            "rate": args.rate,
+            "duration": args.duration,
+            "seed": args.seed,
+        }
+    schedule = make_schedule(spec)
+    mix = ShapeMix.parse(args.mix, seed=args.seed)
+    folder = ResultFolder(args.out_dir, "loadgen")
+    with HttpTarget(
+        host,
+        int(port_text),
+        request_timeout=60.0,
+        pool_size=args.concurrency,
+    ) as target:
+        report = LoadGenerator(
+            target,
+            schedule,
+            mix,
+            mode=args.loop,
+            concurrency=args.concurrency,
+            stats_interval=0.2,
+        ).run()
+    summary = report.summary(slo_p99_seconds=args.slo)
+    folder.write_run(
+        folder.new_run(),
+        summary=summary,
+        requests=report.requests_as_dicts(),
+    )
+    folder.write_meta({"command": "loadgen", "url": args.url, "summary": summary})
+    print(
+        f"loadgen {args.loop}-loop {args.schedule} rate={args.rate}/s "
+        f"duration={args.duration}s -> {args.url}"
+    )
+    print(
+        f"issued={summary['issued']} ok={summary['by_status'].get('ok', 0)} "
+        f"lost={summary['lost']} dup={summary['duplicated']} "
+        f"sustained={summary['sustained_rps']:.1f} rps "
+        f"p50={summary['latency']['p50'] * 1000:.0f}ms "
+        f"p99={summary['latency']['p99'] * 1000:.0f}ms "
+        f"slo_violation_s={summary['slo_violation_seconds']}"
+    )
+    print(f"results in {folder.path}")
+    print("BENCH " + json.dumps(summary, default=str))
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2, default=str) + "\n")
+        print(f"benchmark JSON written to {path}")
+    return 0 if summary["lost"] == 0 and summary["duplicated"] == 0 else 1
+
+
+def _run_autoscale_bench(args: argparse.Namespace) -> int:
+    import os as _os
+    import signal as _signal
+
+    from repro.api.registry import make_segmenter
+    from repro.device.cost_model import recommend_workers, seghdc_cost
+    from repro.loadgen import (
+        LoadGenerator,
+        ResultFolder,
+        ServerTarget,
+        ShapeMix,
+        make_schedule,
+    )
+    from repro.loadgen.chaos import ChaosEvent, ChaosInjector
+    from repro.seghdc import SegHDCConfig
+    from repro.serving.autoscale import (
+        AutoscalePolicy,
+        Autoscaler,
+        ControlPlaneActuator,
+        observe_control,
+    )
+    from repro.serving.control import ControlPlane
+
+    dimension = (
+        args.dimension if args.dimension is not None else args.dimension_default
+    )
+    iterations = (
+        args.iterations
+        if args.iterations is not None
+        else args.iterations_default
+    )
+    config = (
+        SegHDCConfig.paper_defaults("dsb2018")
+        .with_overrides(dimension=dimension, num_iterations=iterations)
+        .scaled_for_shape(args.height, args.width)
+    )
+    spec = {"segmenter": "seghdc", "config": config.to_dict()}
+    mix = ShapeMix([((args.height, args.width), 1.0)], seed=3)
+
+    # Measure the serial rate on THIS machine: the cost model's absolute
+    # device numbers don't describe the CI runner, so the prediction is
+    # calibrated by attributing the whole measured per-image time to the
+    # compute term (it multiplies with workers up to the core count; the
+    # measured rate already folds in this machine's memory behaviour).
+    probe = make_segmenter(spec)
+    probe.segment(mix.image_for(0))  # warm: position grid build
+    probe_rounds = 5
+    serial_start = time.perf_counter()
+    for index in range(1, probe_rounds + 1):
+        probe.segment(mix.image_for(index))
+    serial_rate = probe_rounds / (time.perf_counter() - serial_start)
+
+    rate1 = args.rate if args.rate is not None else 0.8 * serial_rate
+    rate2 = 2 * rate1
+    cost = seghdc_cost(
+        args.height,
+        args.width,
+        dimension=config.dimension,
+        num_clusters=config.num_clusters,
+        num_iterations=config.num_iterations,
+        backend=config.backend,
+        counter_depth=config.counter_depth,
+        bundle_chunk_rows=config.bundle_chunk_rows,
+    )
+    # Containers routinely under-report cpu_count (cgroup quotas aren't
+    # affinity), so the recommendation assumes parallelism up to the
+    # autoscaler's own bound; the predicted-vs-converged check below then
+    # measures how true that assumption was on this machine.
+    cores = max(_os.cpu_count() or 1, args.max_workers)
+    recommendation = recommend_workers(
+        cost,
+        target_images_per_second=rate2,
+        compute_throughput_flops=cost.operations * serial_rate,
+        memory_bandwidth_bytes=1e18,  # folded into the calibrated compute term
+        num_cores=cores,
+        max_workers=args.max_workers,
+    )
+    print(
+        f"serial rate: {serial_rate:.2f} images/s measured; load "
+        f"{rate1:.1f} -> {rate2:.1f} rps; predicted workers for peak: "
+        f"{recommendation.num_workers} (feasible={recommendation.feasible})"
+    )
+
+    control = ControlPlane(
+        spec,
+        {
+            "mode": "process",
+            "num_workers": 1,
+            "max_queue_depth": 512,
+            "max_batch_size": 4,
+        },
+    )
+    schedule = make_schedule(
+        {
+            "kind": "step",
+            "phases": [
+                {"rate": rate1, "duration": args.phase_seconds},
+                {"rate": rate2, "duration": args.phase_seconds},
+            ],
+        }
+    )
+    policy = AutoscalePolicy(
+        slo_p99_seconds=args.slo,
+        min_workers=1,
+        max_workers=args.max_workers,
+        breach_rounds=2,
+        calm_rounds=1000,  # no scale-down inside a two-phase bench
+        cooldown_seconds=2.0,
+        min_samples=4,
+    )
+
+    def kill_worker(_target) -> dict:
+        pids = control.server.worker_pids()
+        if not pids:
+            return {"note": "no live worker processes to kill"}
+        _os.kill(pids[0], _signal.SIGKILL)
+        return {"killed_pid": pids[0]}
+
+    injector = ChaosInjector(
+        [ChaosEvent(0.45 * schedule.duration, "kill-worker")],
+        {"kill-worker": kill_worker},
+    )
+    folder = ResultFolder(args.out_dir, "autoscale-bench")
+    try:
+        control.submit(mix.image_for(0), block=True).result(120.0)
+        with Autoscaler(
+            observe_control(control),
+            ControlPlaneActuator(control),
+            policy,
+            predictor=lambda obs: recommendation.num_workers,
+        ).start(interval=0.25) as autoscaler:
+            with injector:
+                report = LoadGenerator(
+                    ServerTarget(control, request_timeout=60.0),
+                    schedule,
+                    mix,
+                    mode="open",
+                    concurrency=args.concurrency,
+                    stats_interval=0.1,
+                ).run()
+        scaler = autoscaler.summary()
+    finally:
+        control.close(drain=False)
+
+    summary = report.summary(slo_p99_seconds=args.slo)
+    converged = scaler["converged_workers"]
+    payload = {
+        "benchmark": "autoscale-bench",
+        "segmenter": spec,
+        "serial_images_per_second": serial_rate,
+        "rates": {"phase1": rate1, "phase2": rate2},
+        "phase_seconds": args.phase_seconds,
+        "slo_p99_seconds": args.slo,
+        "issued": summary["issued"],
+        "responses": summary["responses"],
+        "lost": summary["lost"],
+        "duplicated": summary["duplicated"],
+        "by_status": summary["by_status"],
+        "sustained_rps": summary["sustained_rps"],
+        "latency": summary["latency"],
+        "slo_violation_seconds": summary["slo_violation_seconds"],
+        "max_queue_depth": summary["max_queue_depth"],
+        "autoscaler": scaler,
+        "chaos": list(injector.injected),
+        "prediction": {
+            **recommendation.as_dict(),
+            "converged_workers": converged,
+            "tolerance": 1,
+            "within_tolerance": abs(converged - recommendation.num_workers)
+            <= 1,
+        },
+    }
+    folder.write_run(
+        folder.new_run(),
+        summary=payload,
+        requests=report.requests_as_dicts(),
+        events=list(injector.injected)
+        + [
+            dict(d, source="autoscaler")
+            for d in autoscaler.decisions
+            if d.get("action") not in (None, "hold")
+        ],
+    )
+    folder.write_meta(payload)
+    print(
+        f"autoscale-bench: issued={payload['issued']} lost={payload['lost']} "
+        f"dup={payload['duplicated']} "
+        f"p99={summary['latency']['p99'] * 1000:.0f}ms "
+        f"slo_violation_s={payload['slo_violation_seconds']} "
+        f"scale_ups={scaler['scale_ups']} heals={scaler['heals']} "
+        f"workers: predicted={recommendation.num_workers} "
+        f"converged={converged}"
+    )
+    print(f"results in {folder.path}")
+    print("BENCH " + json.dumps(payload, default=str))
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"benchmark JSON written to {path}")
+    return 0 if payload["lost"] == 0 and payload["duplicated"] == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -1031,6 +1463,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_cluster(args)
     if args.command == "cluster-bench":
         return _run_cluster_bench(args)
+    if args.command == "loadgen":
+        return _run_loadgen(args)
+    if args.command == "autoscale-bench":
+        return _run_autoscale_bench(args)
     scale = ExperimentScale.from_name(args.scale)
     result = run_experiment(
         args.command,

@@ -26,10 +26,12 @@ from repro.device.errors import DeviceOutOfMemoryError
 from repro.device.profile import DeviceProfile, HOST_PROFILE, RASPBERRY_PI_4
 from repro.device.cost_model import (
     ServingEstimate,
+    WorkerRecommendation,
     WorkloadCost,
     cnn_baseline_cost,
     http_wire_bytes,
     packed_bundle_cost,
+    recommend_workers,
     seghdc_cost,
     serving_estimate,
 )
@@ -47,10 +49,12 @@ __all__ = [
     "RASPBERRY_PI_4",
     "RASPBERRY_PI_4_ENERGY",
     "ServingEstimate",
+    "WorkerRecommendation",
     "WorkloadCost",
     "cnn_baseline_cost",
     "http_wire_bytes",
     "packed_bundle_cost",
+    "recommend_workers",
     "seghdc_cost",
     "serving_estimate",
 ]

@@ -21,10 +21,12 @@ from repro.hdc.hypervector import packed_words_per_hv
 
 __all__ = [
     "ServingEstimate",
+    "WorkerRecommendation",
     "WorkloadCost",
     "cnn_baseline_cost",
     "http_wire_bytes",
     "packed_bundle_cost",
+    "recommend_workers",
     "seghdc_cost",
     "serving_estimate",
 ]
@@ -319,6 +321,100 @@ def serving_estimate(
         speedup=images_per_second / serial_rate,
         bottleneck=bottleneck,
         peak_memory_bytes=cost.peak_memory_bytes * parallel_workers,
+    )
+
+
+@dataclass(frozen=True)
+class WorkerRecommendation:
+    """Outcome of sizing a worker pool for a target arrival rate.
+
+    ``num_workers`` is the smallest pool whose modelled throughput covers
+    ``target_images_per_second`` (or the largest pool considered when the
+    target is unreachable — see ``feasible``); ``estimate`` is that pool's
+    full :class:`ServingEstimate` so callers can inspect the predicted
+    bottleneck and headroom.
+    """
+
+    num_workers: int
+    feasible: bool
+    target_images_per_second: float
+    estimate: ServingEstimate
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for BENCH JSON payloads."""
+        return {
+            "num_workers": self.num_workers,
+            "feasible": self.feasible,
+            "target_images_per_second": self.target_images_per_second,
+            "predicted_images_per_second": self.estimate.images_per_second,
+            "bottleneck": self.estimate.bottleneck,
+        }
+
+
+def recommend_workers(
+    cost: WorkloadCost,
+    *,
+    target_images_per_second: float,
+    compute_throughput_flops: float,
+    memory_bandwidth_bytes: float,
+    num_cores: int,
+    network_bandwidth_bytes: "float | None" = None,
+    network_bytes_per_image: float = 0.0,
+    max_workers: "int | None" = None,
+) -> WorkerRecommendation:
+    """Smallest worker pool whose roofline throughput meets a target rate.
+
+    Inverts :func:`serving_estimate`: throughput is non-decreasing in the
+    worker count (compute multiplies up to the core count; the memory bus
+    and NIC are shared ceilings independent of workers), so a linear scan
+    from one worker up finds the minimal pool.  Beyond
+    ``min(max_workers, num_cores)`` extra workers add queue depth but no
+    rate, so the scan never looks past it; an unreachable target — the
+    shared memory/network ceiling sits below it — returns that largest
+    useful pool with ``feasible=False`` instead of pretending a bigger pool
+    would help.
+
+    This is the autoscaler's prediction seam: the control loop's measured
+    converged worker count is checked against this recommendation (see
+    ``tests/test_device.py``), and ``seghdc autoscale-bench`` reports both.
+    """
+    if target_images_per_second <= 0:
+        raise ValueError(
+            f"target_images_per_second must be positive, got "
+            f"{target_images_per_second}"
+        )
+    ceiling = num_cores if max_workers is None else min(max_workers, num_cores)
+    if ceiling < 1:
+        raise ValueError(
+            f"max_workers must allow at least one worker, got {max_workers}"
+        )
+
+    def estimate_for(workers: int) -> ServingEstimate:
+        return serving_estimate(
+            cost,
+            num_workers=workers,
+            compute_throughput_flops=compute_throughput_flops,
+            memory_bandwidth_bytes=memory_bandwidth_bytes,
+            num_cores=num_cores,
+            network_bandwidth_bytes=network_bandwidth_bytes,
+            network_bytes_per_image=network_bytes_per_image,
+        )
+
+    estimate = estimate_for(1)
+    for workers in range(1, ceiling + 1):
+        estimate = estimate_for(workers)
+        if estimate.images_per_second >= target_images_per_second:
+            return WorkerRecommendation(
+                num_workers=workers,
+                feasible=True,
+                target_images_per_second=float(target_images_per_second),
+                estimate=estimate,
+            )
+    return WorkerRecommendation(
+        num_workers=ceiling,
+        feasible=False,
+        target_images_per_second=float(target_images_per_second),
+        estimate=estimate,
     )
 
 

@@ -14,8 +14,10 @@ from dataclasses import dataclass
 
 from repro.device.cost_model import (
     ServingEstimate,
+    WorkerRecommendation,
     WorkloadCost,
     cnn_baseline_cost,
+    recommend_workers,
     seghdc_cost,
     serving_estimate,
 )
@@ -127,6 +129,40 @@ class EdgeDeviceSimulator:
                 profile.name,
             )
         return estimate
+
+    def recommend_serving_workers(
+        self,
+        cost: WorkloadCost,
+        *,
+        target_images_per_second: float,
+        network_bytes_per_image: float = 0.0,
+        max_workers: "int | None" = None,
+    ) -> WorkerRecommendation:
+        """Smallest pool on this device that sustains a target arrival rate.
+
+        The device-profile front end of
+        :func:`repro.device.cost_model.recommend_workers` — the autoscaler
+        uses this as its predicted scale target and the measured converged
+        worker count is asserted against it (within a documented tolerance)
+        in the prediction-accuracy tests.
+        """
+        profile = self.profile
+        if cost.kind == "tensor":
+            throughput = profile.tensor_throughput_flops
+        elif cost.kind == "hdc":
+            throughput = profile.hdc_throughput_flops
+        else:
+            raise ValueError(f"unknown workload kind {cost.kind!r}")
+        return recommend_workers(
+            cost,
+            target_images_per_second=target_images_per_second,
+            compute_throughput_flops=throughput,
+            memory_bandwidth_bytes=profile.memory_bandwidth_bytes,
+            num_cores=profile.num_cores,
+            network_bandwidth_bytes=profile.network_bandwidth_bytes,
+            network_bytes_per_image=network_bytes_per_image,
+            max_workers=max_workers,
+        )
 
     def estimate_seghdc(
         self,

@@ -1,0 +1,126 @@
+"""Chaos injection: scheduled faults fired mid-run on a side thread.
+
+A chaos plan is a list of :class:`ChaosEvent`\\ s — *at this offset, do
+this to that* — executed by a :class:`ChaosInjector` thread while the load
+generator keeps the target hot.  Actions are plain callables resolved from
+a context dict at fire time (``{"kill-worker": fn, "kill-replica": fn}``),
+so the injector stays agnostic of serving internals: the experiment wires
+`SIGKILL a pool worker` or `kill a cluster replica` in as closures over the
+live server objects.
+
+Every injection (and any action failure) is recorded with its actual fire
+offset, so the run's ``events.json`` aligns the fault timeline with the
+per-request latency timeline — "p99 spiked at t=6.2s" becomes "because we
+killed worker 12345 at t=6.0s".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["ChaosEvent", "ChaosInjector"]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned fault: fire ``action`` on ``target`` at ``at_seconds``."""
+
+    at_seconds: float
+    action: str
+    target: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.at_seconds < 0:
+            raise ValueError(
+                f"at_seconds must be >= 0, got {self.at_seconds}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for the events log."""
+        return {
+            "at_seconds": self.at_seconds,
+            "action": self.action,
+            "target": self.target,
+        }
+
+
+class ChaosInjector:
+    """Fire a chaos plan on a daemon thread, recording what happened.
+
+    Parameters
+    ----------
+    events:
+        The plan (fired in ``at_seconds`` order regardless of input order).
+    actions:
+        Maps each event's ``action`` name to a callable taking the event's
+        ``target`` (may be ``None``).  Unknown actions are recorded as
+        errors rather than crashing the run.
+    """
+
+    def __init__(
+        self,
+        events: "Sequence[ChaosEvent]",
+        actions: "Mapping[str, Callable]",
+    ) -> None:
+        self._events = sorted(events, key=lambda e: e.at_seconds)
+        self._actions = dict(actions)
+        #: What actually fired: event dict + ``fired_at`` + outcome.
+        self.injected: list[dict] = []
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._start_time: "float | None" = None
+
+    def start(self) -> "ChaosInjector":
+        """Begin the countdown; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("chaos injector already started")
+        self._start_time = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-injector", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Cancel pending events and join the thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ChaosInjector":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        """Walk the plan, sleeping up to each event's offset, then fire."""
+        assert self._start_time is not None
+        for event in self._events:
+            delay = event.at_seconds - (
+                time.perf_counter() - self._start_time
+            )
+            if delay > 0 and self._stop.wait(delay):
+                return
+            if self._stop.is_set():
+                return
+            fired_at = time.perf_counter() - self._start_time
+            record = dict(event.as_dict(), fired_at=fired_at)
+            action = self._actions.get(event.action)
+            if action is None:
+                record["outcome"] = "error"
+                record["error"] = f"unknown action {event.action!r}"
+            else:
+                try:
+                    result = action(event.target)
+                except Exception as exc:  # noqa: BLE001 - log, don't crash
+                    record["outcome"] = "error"
+                    record["error"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    record["outcome"] = "ok"
+                    if result is not None:
+                        record["result"] = result
+            self.injected.append(record)

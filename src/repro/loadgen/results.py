@@ -1,0 +1,99 @@
+"""Timestamped multi-run result folders for load/chaos experiments.
+
+Every experiment invocation gets its own folder so repeated runs never
+clobber each other::
+
+    results/
+      step-double-20260807-143012/
+        meta.json          # experiment-level spec + summary rollup
+        run-01/
+          summary.json     # LoadReport.summary() + scenario extras
+          requests.json    # per-request records (index, latency, status)
+          events.json      # chaos injections / autoscaler decisions
+        run-02/
+          ...
+
+:class:`ResultFolder` owns the layout; the timestamp is injectable so tests
+can pin folder names instead of monkeypatching the clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["ResultFolder", "write_json"]
+
+
+def write_json(path, payload) -> Path:
+    """Write ``payload`` as pretty JSON, creating parent dirs; returns path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+class ResultFolder:
+    """One experiment's timestamped folder with numbered run subfolders.
+
+    Parameters
+    ----------
+    base:
+        Parent directory for all experiments (created if missing).
+    label:
+        Experiment name; the folder is ``<label>-<timestamp>``.
+    timestamp:
+        ``YYYYmmdd-HHMMSS`` string; defaults to the current local time.
+        Injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base,
+        label: str,
+        *,
+        timestamp: "str | None" = None,
+    ) -> None:
+        if not label or any(sep in label for sep in ("/", "\\")):
+            raise ValueError(f"label must be a bare name, got {label!r}")
+        if timestamp is None:
+            timestamp = time.strftime("%Y%m%d-%H%M%S")
+        self.label = str(label)
+        self.timestamp = str(timestamp)
+        self.path = Path(base) / f"{label}-{self.timestamp}"
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._runs = 0
+
+    def new_run(self) -> Path:
+        """Create and return the next ``run-NN`` subfolder."""
+        self._runs += 1
+        run_path = self.path / f"run-{self._runs:02d}"
+        run_path.mkdir(parents=True, exist_ok=True)
+        return run_path
+
+    @property
+    def runs(self) -> int:
+        """How many run folders have been created."""
+        return self._runs
+
+    def write_meta(self, payload: dict) -> Path:
+        """Write the experiment-level ``meta.json``."""
+        return write_json(self.path / "meta.json", payload)
+
+    def write_run(
+        self,
+        run_path,
+        *,
+        summary: dict,
+        requests: "list | None" = None,
+        events: "list | None" = None,
+    ) -> Path:
+        """Write one run's artifacts into its folder; returns the folder."""
+        run_path = Path(run_path)
+        write_json(run_path / "summary.json", summary)
+        if requests is not None:
+            write_json(run_path / "requests.json", requests)
+        if events is not None:
+            write_json(run_path / "events.json", events)
+        return run_path

@@ -1,0 +1,268 @@
+"""Arrival-rate schedules: when the load generator fires each request.
+
+A schedule is a deterministic *arrival process* over a bounded duration.
+Every schedule knows its instantaneous ``rate_at(t)`` and can materialise
+the full list of ``arrival_times()`` — offsets in seconds from the run
+start at which the open-loop generator dispatches requests.  Determinism
+matters: two runs of the same schedule issue requests at identical offsets
+(the Poisson schedule draws its exponential gaps from a seeded RNG), so
+latency regressions between runs are attributable to the server, not the
+harness.
+
+The deterministic schedules are built by inverting the cumulative arrival
+intensity ``Λ(t) = ∫ rate`` at integer counts — the k-th request fires when
+exactly ``k`` arrivals "should" have happened — which handles the ramp's
+continuously changing rate exactly instead of approximating it with steps.
+
+:func:`make_schedule` is the declarative front end (CLI flags and sweep
+specs build schedules through it): ``{"kind": "step", "phases": [{"rate":
+20, "duration": 5}, {"rate": 40, "duration": 5}]}``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Mapping, Sequence
+
+__all__ = [
+    "ArrivalSchedule",
+    "ConstantSchedule",
+    "PoissonSchedule",
+    "RampSchedule",
+    "StepSchedule",
+    "make_schedule",
+]
+
+
+class ArrivalSchedule:
+    """Base class: a bounded arrival process with a queryable rate."""
+
+    #: Total schedule length in seconds (set by subclasses).
+    duration: float = 0.0
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (requests/second) at offset ``t``."""
+        raise NotImplementedError
+
+    def arrival_times(self) -> list[float]:
+        """Request dispatch offsets in seconds, sorted ascending."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-ready spec (round-trips through :func:`make_schedule`)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_positive(name: str, value: float) -> float:
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+        return float(value)
+
+
+class ConstantSchedule(ArrivalSchedule):
+    """A fixed rate for a fixed duration: arrivals every ``1/rate``."""
+
+    def __init__(self, rate: float, duration: float) -> None:
+        self.rate = self._check_positive("rate", rate)
+        self.duration = self._check_positive("duration", duration)
+
+    def rate_at(self, t: float) -> float:
+        """``rate`` inside the window, 0 outside."""
+        return self.rate if 0 <= t < self.duration else 0.0
+
+    def arrival_times(self) -> list[float]:
+        """The k-th request at ``k / rate`` (k = 1..rate*duration)."""
+        count = math.floor(self.rate * self.duration + 1e-9)
+        return [k / self.rate for k in range(1, count + 1)]
+
+    def describe(self) -> dict:
+        """Spec form: ``{"kind": "constant", "rate", "duration"}``."""
+        return {
+            "kind": "constant",
+            "rate": self.rate,
+            "duration": self.duration,
+        }
+
+
+class StepSchedule(ArrivalSchedule):
+    """Piecewise-constant phases — the load-doubling bench's shape.
+
+    ``phases`` is a sequence of ``(rate, duration)`` pairs; the canonical
+    SLO bench runs ``[(r, d), (2r, d)]`` to measure how fast the autoscaler
+    absorbs a doubling.
+    """
+
+    def __init__(self, phases: "Sequence[tuple[float, float]]") -> None:
+        if not phases:
+            raise ValueError("a step schedule needs at least one phase")
+        self.phases = [
+            (
+                self._check_positive("phase rate", rate),
+                self._check_positive("phase duration", duration),
+            )
+            for rate, duration in phases
+        ]
+        self.duration = sum(duration for _, duration in self.phases)
+
+    def rate_at(self, t: float) -> float:
+        """The rate of the phase containing ``t`` (0 outside the window)."""
+        if t < 0:
+            return 0.0
+        offset = 0.0
+        for rate, duration in self.phases:
+            if t < offset + duration:
+                return rate
+            offset += duration
+        return 0.0
+
+    def arrival_times(self) -> list[float]:
+        """Cumulative-intensity inversion across the phase boundaries."""
+        times: list[float] = []
+        cumulative = 0.0  # Λ at the current phase start
+        offset = 0.0
+        for rate, duration in self.phases:
+            end_cumulative = cumulative + rate * duration
+            k = math.floor(cumulative) + 1
+            while k <= end_cumulative + 1e-9:
+                times.append(offset + (k - cumulative) / rate)
+                k += 1
+            cumulative = end_cumulative
+            offset += duration
+        return times
+
+    def describe(self) -> dict:
+        """Spec form with one ``{"rate", "duration"}`` entry per phase."""
+        return {
+            "kind": "step",
+            "phases": [
+                {"rate": rate, "duration": duration}
+                for rate, duration in self.phases
+            ],
+        }
+
+
+class RampSchedule(ArrivalSchedule):
+    """A linear rate sweep from ``start_rate`` to ``end_rate``.
+
+    The cumulative intensity is the quadratic
+    ``Λ(t) = r0·t + (r1-r0)·t²/(2T)``; each arrival solves ``Λ(t) = k``
+    exactly, so the instantaneous spacing genuinely tightens (or relaxes)
+    through the ramp instead of jumping between stair steps.
+    """
+
+    def __init__(
+        self, start_rate: float, end_rate: float, duration: float
+    ) -> None:
+        self.start_rate = self._check_positive("start_rate", start_rate)
+        self.end_rate = self._check_positive("end_rate", end_rate)
+        self.duration = self._check_positive("duration", duration)
+
+    def rate_at(self, t: float) -> float:
+        """Linear interpolation inside the window, 0 outside."""
+        if not 0 <= t < self.duration:
+            return 0.0
+        fraction = t / self.duration
+        return self.start_rate + (self.end_rate - self.start_rate) * fraction
+
+    def arrival_times(self) -> list[float]:
+        """Solve the quadratic ``Λ(t) = k`` per arrival."""
+        r0, r1, T = self.start_rate, self.end_rate, self.duration
+        total = (r0 + r1) / 2.0 * T  # Λ(T)
+        a = (r1 - r0) / (2.0 * T)
+        times: list[float] = []
+        for k in range(1, math.floor(total + 1e-9) + 1):
+            if abs(a) < 1e-12:
+                times.append(k / r0)
+            else:
+                times.append(
+                    (-r0 + math.sqrt(r0 * r0 + 4.0 * a * k)) / (2.0 * a)
+                )
+        return times
+
+    def describe(self) -> dict:
+        """Spec form: ``{"kind": "ramp", "start_rate", "end_rate",
+        "duration"}``."""
+        return {
+            "kind": "ramp",
+            "start_rate": self.start_rate,
+            "end_rate": self.end_rate,
+            "duration": self.duration,
+        }
+
+
+class PoissonSchedule(ArrivalSchedule):
+    """Memoryless arrivals: i.i.d. exponential gaps at a mean rate.
+
+    The realistic open-loop traffic shape — bursts and lulls arise
+    naturally.  Gaps come from a seeded :class:`random.Random`, so a given
+    ``(rate, duration, seed)`` always produces the same burst pattern and a
+    chaos run can be replayed exactly.
+    """
+
+    def __init__(self, rate: float, duration: float, *, seed: int = 0) -> None:
+        self.rate = self._check_positive("rate", rate)
+        self.duration = self._check_positive("duration", duration)
+        self.seed = int(seed)
+
+    def rate_at(self, t: float) -> float:
+        """The mean rate inside the window, 0 outside."""
+        return self.rate if 0 <= t < self.duration else 0.0
+
+    def arrival_times(self) -> list[float]:
+        """Exponential inter-arrival gaps until the window closes."""
+        rng = random.Random(self.seed)
+        times: list[float] = []
+        t = rng.expovariate(self.rate)
+        while t < self.duration:
+            times.append(t)
+            t += rng.expovariate(self.rate)
+        return times
+
+    def describe(self) -> dict:
+        """Spec form: ``{"kind": "poisson", "rate", "duration", "seed"}``."""
+        return {
+            "kind": "poisson",
+            "rate": self.rate,
+            "duration": self.duration,
+            "seed": self.seed,
+        }
+
+
+def make_schedule(spec: Mapping) -> ArrivalSchedule:
+    """Build a schedule from its declarative spec dict.
+
+    ``spec["kind"]`` selects the class; remaining fields are its
+    parameters (see each class's ``describe()`` for the round-trip shape).
+    Unknown kinds and missing/invalid fields raise ``ValueError`` naming
+    the problem.
+    """
+    if not isinstance(spec, Mapping):
+        raise ValueError(
+            f"schedule spec must be a mapping, got {type(spec).__name__}"
+        )
+    kind = spec.get("kind")
+    try:
+        if kind == "constant":
+            return ConstantSchedule(spec["rate"], spec["duration"])
+        if kind == "step":
+            phases = spec["phases"]
+            return StepSchedule(
+                [(phase["rate"], phase["duration"]) for phase in phases]
+            )
+        if kind == "ramp":
+            return RampSchedule(
+                spec["start_rate"], spec["end_rate"], spec["duration"]
+            )
+        if kind == "poisson":
+            return PoissonSchedule(
+                spec["rate"], spec["duration"], seed=spec.get("seed", 0)
+            )
+    except KeyError as exc:
+        raise ValueError(
+            f"schedule kind {kind!r} is missing field {exc.args[0]!r}"
+        ) from None
+    raise ValueError(
+        f"unknown schedule kind {kind!r}; expected one of: "
+        f"constant, step, ramp, poisson"
+    )

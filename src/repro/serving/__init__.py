@@ -30,7 +30,11 @@ user-registered algorithm) into a long-lived concurrent service:
   :class:`ClusterGateway` routing the same HTTP surface across a fleet of
   replica servers by shape affinity (consistent-hash ring, health-probed
   membership, exactly-once failover), with a :class:`ReplicaSupervisor`
-  spawning and restarting the replica processes (``seghdc cluster``).
+  spawning and restarting the replica processes (``seghdc cluster``);
+* :class:`repro.serving.autoscale.Autoscaler` — the latency-SLO control
+  loop (OBSERVE ``/stats`` → DECIDE against an :class:`AutoscalePolicy`
+  with hysteresis → ACTUATE through the control plane or the cluster
+  supervisor), driven under load by :mod:`repro.loadgen`.
 
 In process mode the server also runs the cross-engine shared grid cache:
 encoder grids are built once in the parent and shipped to worker processes,
@@ -39,6 +43,13 @@ so cold starts stop scaling with worker count (see
 """
 
 from repro.api.spec import ServingOptions
+from repro.serving.autoscale import (
+    AutoscalePolicy,
+    Autoscaler,
+    ControlPlaneActuator,
+    Observation,
+    SupervisorActuator,
+)
 from repro.serving.batcher import ShapeBatcher
 from repro.serving.cluster import (
     ClusterGateway,
@@ -66,12 +77,17 @@ from repro.serving.shm import SharedMemoryRing, ShmDescriptor, attach_view
 from repro.serving.stats import ServerStats, StatsCollector
 
 __all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
     "BoundedJobQueue",
     "ClusterGateway",
     "ConsistentHashRing",
     "ControlError",
     "ControlPlane",
+    "ControlPlaneActuator",
     "GenerationHandle",
+    "Observation",
+    "SupervisorActuator",
     "HTTPRequestError",
     "HealthProber",
     "JobHandle",

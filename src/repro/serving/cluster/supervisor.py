@@ -250,6 +250,69 @@ class ReplicaSupervisor:
         self._gateway.register_replica(replica_id, "127.0.0.1", replica.port)
 
     # ------------------------------------------------------------------ #
+    # scaling
+    # ------------------------------------------------------------------ #
+    def scale_to(self, replicas: int) -> dict:
+        """Grow or shrink the fleet to ``replicas`` live processes.
+
+        The cluster actuation seam for the autoscaler.  Growing spawns and
+        registers new ``replica-<k>`` ids (fresh restart budgets); shrinking
+        retires the highest-numbered replicas — each is unregistered from
+        the gateway *first* so the ring stops routing to it, then
+        SIGTERMed for a graceful drain.  A retired id is forgotten by the
+        monitor before termination, so scale-down is never mistaken for a
+        crash and restarted.  Returns an outcome dict with the ids spawned
+        and retired; a spawn failure surfaces as ``RuntimeError`` after the
+        already-spawned replicas were registered (the fleet is left at
+        whatever size was reached, never half-registered).
+        """
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        started = time.monotonic()
+        spawned: list = []
+        retired: list = []
+        with self._lock:
+            previous = self._count
+            current_ids = set(self._processes)
+            self._count = int(replicas)
+        if replicas > len(current_ids):
+            index = 0
+            while len(current_ids) + len(spawned) < replicas:
+                replica_id = f"replica-{index}"
+                index += 1
+                if replica_id in current_ids:
+                    continue
+                replica = self._spawn_one(replica_id)
+                with self._lock:
+                    self._processes[replica_id] = replica
+                    self._restarts[replica_id] = 0
+                self._gateway.register_replica(
+                    replica_id, "127.0.0.1", replica.port
+                )
+                spawned.append(replica_id)
+        elif replicas < len(current_ids):
+            doomed = sorted(
+                current_ids,
+                key=lambda rid: int(rid.rsplit("-", 1)[-1]),
+            )[replicas:]
+            for replica_id in doomed:
+                with self._lock:
+                    replica = self._processes.pop(replica_id, None)
+                    self._restarts.pop(replica_id, None)
+                if replica is None:
+                    continue
+                self._gateway.unregister_replica(replica_id)
+                replica.terminate()
+                retired.append(replica_id)
+        return {
+            "previous_replicas": previous,
+            "target_replicas": int(replicas),
+            "spawned": spawned,
+            "retired": retired,
+            "duration_seconds": time.monotonic() - started,
+        }
+
+    # ------------------------------------------------------------------ #
     # views / teardown
     # ------------------------------------------------------------------ #
     def replica(self, replica_id: str) -> "ReplicaProcess | None":

@@ -412,6 +412,43 @@ class ControlPlane:
                         "duration_seconds": time.monotonic() - started,
                     }
                 )
+            return self._build_and_swap(
+                new_spec, new_options, changed, reason, started
+            )
+
+    def rebuild(self, *, reason: str = "heal") -> dict:
+        """Force a generation swap onto the *same* spec and serving options.
+
+        The healing path: a SIGKILLed process-pool worker leaves the
+        executor permanently broken (``BrokenProcessPool`` — every
+        subsequent batch fails), and :meth:`reconfigure` short-circuits a
+        no-op diff, so recovering at the same configuration needs this
+        explicit rebuild.  The full swap protocol applies — build, warm
+        probe, atomic swap, drain — so jobs still pending on the broken
+        generation get their error verdicts while new traffic lands on a
+        fresh pool.  The autoscaler calls this when it observes a failure
+        spike.
+        """
+        with self._swap_lock:
+            if self._closed:
+                raise ControlError("control plane is closed")
+            started = time.monotonic()
+            new_spec = dict(self._spec) if self._spec is not None else None
+            return self._build_and_swap(
+                new_spec, self._options, ["rebuild"], reason, started
+            )
+
+    def _build_and_swap(
+        self,
+        new_spec: "dict | None",
+        new_options: ServingOptions,
+        changed: list,
+        reason: str,
+        started: float,
+    ) -> dict:
+        """Build/warm/swap/drain one new generation (caller holds the swap
+        lock); shared by :meth:`reconfigure` and :meth:`rebuild`."""
+        with self._swap_lock:
             next_generation = self._generation + 1
             try:
                 new_server = SegmentationServer.from_options(

@@ -107,7 +107,6 @@ import secrets
 import struct
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator, Mapping
@@ -120,6 +119,7 @@ from repro.hdc.backend import available_backends, make_backend
 from repro.serving.control import ControlError, ControlPlane
 from repro.serving.server import SegmentationServer, ServerSaturated
 from repro.serving.stats import (
+    LatencyReservoir,
     aggregate_transport,
     latency_percentiles,
     record_transport_locked,
@@ -558,14 +558,20 @@ def _json_default(value):
 
 
 class _HttpStats:
-    """Thread-safe HTTP-level counters + request latency reservoir."""
+    """Thread-safe HTTP-level counters + request latency reservoir.
+
+    Like :class:`repro.serving.stats.StatsCollector`, the latency sample is
+    a bounded uniform :class:`repro.serving.stats.LatencyReservoir` — an
+    arbitrarily long serving run keeps constant memory while the reported
+    percentiles describe the whole run, not just its tail.
+    """
 
     def __init__(self, *, latency_window: int = 4096) -> None:
         self._lock = threading.Lock()
         self._requests = 0
         self._errors = 0
         self._by_route: dict = {}
-        self._latencies: deque = deque(maxlen=latency_window)
+        self._latencies = LatencyReservoir(latency_window)
         self._transport: dict = {}
 
     def record(self, route: str, status: int, seconds: float) -> None:
@@ -575,7 +581,7 @@ class _HttpStats:
             if status >= 400:
                 self._errors += 1
             self._by_route[route] = self._by_route.get(route, 0) + 1
-            self._latencies.append(float(seconds))
+            self._latencies.add(float(seconds))
 
     def record_transport(
         self, path: str, *, images: int, bytes_in: int, bytes_out: int
@@ -611,7 +617,8 @@ class _HttpStats:
             requests = self._requests
             errors = self._errors
             by_route = dict(self._by_route)
-            latencies = tuple(self._latencies)
+            latencies = self._latencies.snapshot()
+            latency_total = self._latencies.total
             transport = {
                 path: dict(entry) for path, entry in self._transport.items()
             }
@@ -619,7 +626,7 @@ class _HttpStats:
             "requests": requests,
             "errors": errors,
             "by_route": by_route,
-            "latency": latency_percentiles(latencies),
+            "latency": latency_percentiles(latencies, total=latency_total),
             "transport": aggregate_transport(transport),
         }
 

@@ -878,6 +878,21 @@ class SegmentationServer:
         """Block until every admitted job has finished; ``False`` on timeout."""
         return self._collector.wait_idle(timeout)
 
+    def worker_pids(self) -> list[int]:
+        """OS pids of the live worker processes (process mode only).
+
+        Thread mode has no worker processes and returns ``[]``.  The
+        executor spawns workers lazily, so the list is empty until the
+        first batch has been dispatched.  This is the chaos-injection seam:
+        the load harness SIGKILLs a pid from here to prove that a broken
+        pool fails its in-flight jobs loudly (``ServingError``, never a
+        silent drop) and that a control-plane rebuild restores service.
+        """
+        if self._pool is None:
+            return []
+        processes = getattr(self._pool, "_processes", None) or {}
+        return sorted(int(pid) for pid in processes)
+
     def stats(self) -> ServerStats:
         """Snapshot of counters, queue depth, latency percentiles, cache."""
         if self._shared_grids is not None:

@@ -16,19 +16,75 @@ per worker process in process mode) and sums across sources.
 
 from __future__ import annotations
 
+import random
 import threading
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = [
+    "LatencyReservoir",
     "ServerStats",
     "StatsCollector",
     "aggregate_transport",
     "latency_percentiles",
     "record_transport_locked",
 ]
+
+
+class LatencyReservoir:
+    """Bounded, whole-run-representative latency sample (Algorithm R).
+
+    The previous sliding-window ``deque(maxlen=...)`` kept only the *most
+    recent* latencies, so an hour-long load run reported percentiles of its
+    last few seconds — and sizing the window to cover the run meant memory
+    growing with run length.  A uniform reservoir keeps memory capped at
+    ``capacity`` samples while every recorded latency has equal probability
+    of being in the sample, so the percentiles describe the whole run no
+    matter how long it lasts.
+
+    The replacement RNG is seeded, so a replayed run produces an identical
+    sample — load-test reports are reproducible bit-for-bit.  Not
+    thread-safe on its own: callers (:class:`StatsCollector`, the HTTP
+    front end's counter set) already serialize recording under their lock.
+    """
+
+    __slots__ = ("_capacity", "_samples", "_rng", "_total")
+
+    def __init__(self, capacity: int = 4096, *, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+        self._total = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples (the memory bound)."""
+        return self._capacity
+
+    @property
+    def total(self) -> int:
+        """Every latency ever recorded, retained or not."""
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, value: float) -> None:
+        """Record one latency; evicts a uniformly random sample when full."""
+        self._total += 1
+        if len(self._samples) < self._capacity:
+            self._samples.append(float(value))
+            return
+        slot = self._rng.randrange(self._total)
+        if slot < self._capacity:
+            self._samples[slot] = float(value)
+
+    def snapshot(self) -> tuple:
+        """Copy of the current sample (call under the owner's lock)."""
+        return tuple(self._samples)
 
 
 @dataclass(frozen=True)
@@ -83,19 +139,28 @@ class ServerStats:
         return payload
 
 
-def latency_percentiles(latencies) -> dict:
+def latency_percentiles(latencies, *, total: "int | None" = None) -> dict:
     """Count/mean/p50/p90/p99 summary of a latency sample (seconds).
 
     Shared between the serving collector and the HTTP front end so both
     report the same latency shape; an empty sample yields all-zero fields
-    rather than NaNs.
+    rather than NaNs.  ``total`` overrides the reported ``count`` when the
+    sample is a bounded reservoir standing in for a larger population
+    (:class:`LatencyReservoir`): the percentiles come from the sample, the
+    count reports every latency the run actually recorded.
     """
     if not latencies:
-        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": int(total or 0),
+            "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+        }
     values = np.asarray(latencies, dtype=np.float64)
     p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
     return {
-        "count": int(values.size),
+        "count": int(values.size if total is None else total),
         "mean": float(values.mean()),
         "p50": float(p50),
         "p90": float(p90),
@@ -167,7 +232,13 @@ def _aggregate_cache(snapshots: dict) -> dict:
 
 
 class StatsCollector:
-    """Thread-safe counters + latency reservoir + cache snapshot registry."""
+    """Thread-safe counters + latency reservoir + cache snapshot registry.
+
+    ``latency_window`` bounds the *retained* latency sample; recording is
+    unbounded-duration safe because the sample is a uniform
+    :class:`LatencyReservoir`, not a buffer of every latency (the reported
+    ``latency.count`` still counts every finished job).
+    """
 
     def __init__(self, *, latency_window: int = 4096) -> None:
         if latency_window < 1:
@@ -181,7 +252,7 @@ class StatsCollector:
         self._rejected = 0
         self._batches = 0
         self._batched_jobs = 0
-        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._latencies = LatencyReservoir(latency_window)
         self._cache_snapshots: dict = {}
         self._transport: dict = {}
 
@@ -222,7 +293,7 @@ class StatsCollector:
         """Count one success with its latency and cache snapshot."""
         with self._lock:
             self._completed += 1
-            self._latencies.append(float(latency_seconds))
+            self._latencies.add(float(latency_seconds))
             if cache is not None:
                 self._cache_snapshots[source] = dict(cache)
             self._lock.notify_all()
@@ -265,7 +336,7 @@ class StatsCollector:
         with self._lock:
             self._failed += 1
             if latency_seconds is not None:
-                self._latencies.append(float(latency_seconds))
+                self._latencies.add(float(latency_seconds))
             self._lock.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -307,7 +378,8 @@ class StatsCollector:
             rejected = self._rejected
             batches = self._batches
             batched_jobs = self._batched_jobs
-            latencies = tuple(self._latencies)
+            latencies = self._latencies.snapshot()
+            latency_total = self._latencies.total
             cache_snapshots = {
                 source: dict(snapshot)
                 for source, snapshot in self._cache_snapshots.items()
@@ -327,7 +399,7 @@ class StatsCollector:
             in_flight=max(0, pending - queue_depth),
             batches_dispatched=batches,
             mean_batch_size=(batched_jobs / batches if batches else 0.0),
-            latency=latency_percentiles(latencies),
+            latency=latency_percentiles(latencies, total=latency_total),
             cache=_aggregate_cache(cache_snapshots),
             transport=aggregate_transport(transport),
         )

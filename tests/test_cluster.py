@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import re
+import time
 
 import numpy as np
 import pytest
@@ -406,3 +407,51 @@ class TestSupervisorContract:
         assert PORT_LINE.match("SEGHDC_SERVE_PORT=0\n") is not None
         assert PORT_LINE.match("seghdc serve: on http://x:1") is None
         assert PORT_LINE.match("XSEGHDC_SERVE_PORT=1") is None
+
+    def test_scale_to_grows_and_shrinks_the_fleet(self):
+        """``scale_to`` is the cluster autoscaler's actuation seam.
+
+        Growing spawns and registers new lowest-free-id replicas; shrinking
+        retires the highest-numbered ones — unregistered from the gateway
+        *before* the SIGTERM (the ring must stop routing first) and removed
+        from monitor tracking so the restart loop cannot resurrect them.
+        """
+        from repro.serving.cluster import ClusterGateway, ReplicaSupervisor
+
+        gateway = ClusterGateway(port=0, probe_interval=0.1)
+        supervisor = ReplicaSupervisor(
+            gateway,
+            replicas=1,
+            replica_args=[
+                "--mode", "thread", "--workers", "1",
+                "--segmenter", "threshold",
+            ],
+            monitor_interval=0.2,
+        )
+        try:
+            supervisor.start()
+            gateway.wait_ready(timeout=120.0)
+            assert sorted(supervisor.snapshot()) == ["replica-0"]
+
+            grown = supervisor.scale_to(2)
+            assert grown["previous_replicas"] == 1
+            assert grown["spawned"] == ["replica-1"]
+            assert grown["retired"] == []
+            assert sorted(supervisor.snapshot()) == ["replica-0", "replica-1"]
+            assert set(gateway.prober.replica_stats()) == {
+                "replica-0", "replica-1",
+            }
+
+            shrunk = supervisor.scale_to(1)
+            assert shrunk["retired"] == ["replica-1"]
+            assert sorted(supervisor.snapshot()) == ["replica-0"]
+            # The retired replica left the gateway's membership too.
+            assert set(gateway.prober.replica_stats()) == {"replica-0"}
+            # And the monitor does not resurrect it.
+            time.sleep(0.6)
+            assert sorted(supervisor.snapshot()) == ["replica-0"]
+            with pytest.raises(ValueError):
+                supervisor.scale_to(0)
+        finally:
+            supervisor.stop()
+            gateway.close()

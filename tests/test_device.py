@@ -11,6 +11,7 @@ from repro.device import (
     HOST_PROFILE,
     RASPBERRY_PI_4,
     cnn_baseline_cost,
+    recommend_workers,
     seghdc_cost,
     serving_estimate,
 )
@@ -323,3 +324,275 @@ class TestServingEstimate:
             )
         with pytest.raises(ValueError):
             DeviceProfile("x", 1, 1, 1, 1, num_cores=0)
+
+
+class TestRecommendWorkers:
+    """The serving-estimate inversion that sizes worker pools."""
+
+    def _kwargs(self):
+        return dict(
+            compute_throughput_flops=1e8,
+            memory_bandwidth_bytes=1e12,  # compute-bound: rate scales with W
+            num_cores=8,
+        )
+
+    def _cost(self):
+        return seghdc_cost(
+            64, 64, dimension=800, num_clusters=2, num_iterations=3
+        )
+
+    def test_minimal_feasible_pool(self):
+        cost = self._cost()
+        kwargs = self._kwargs()
+        serial = serving_estimate(cost, num_workers=1, **kwargs)
+        target = 2.5 * serial.images_per_second
+        rec = recommend_workers(
+            cost, target_images_per_second=target, **kwargs
+        )
+        assert rec.feasible
+        assert rec.num_workers == 3  # smallest W with W x serial >= 2.5x
+        assert rec.estimate.images_per_second >= target
+        # Minimality: one fewer worker would miss the target.
+        smaller = serving_estimate(
+            cost, num_workers=rec.num_workers - 1, **kwargs
+        )
+        assert smaller.images_per_second < target
+
+    def test_trivial_target_needs_one_worker(self):
+        cost = self._cost()
+        kwargs = self._kwargs()
+        rec = recommend_workers(
+            cost, target_images_per_second=1e-6, **kwargs
+        )
+        assert rec.feasible and rec.num_workers == 1
+
+    def test_unreachable_target_reports_infeasible_at_ceiling(self):
+        cost = self._cost()
+        kwargs = self._kwargs()
+        rec = recommend_workers(
+            cost, target_images_per_second=1e12, **kwargs
+        )
+        assert not rec.feasible
+        assert rec.num_workers == kwargs["num_cores"]
+        assert rec.as_dict()["feasible"] is False
+
+    def test_shared_memory_ceiling_caps_the_scan(self):
+        cost = self._cost()
+        # Memory-bound: the bus is shared, so no worker count reaches a
+        # target above the single-bus rate.
+        kwargs = dict(
+            compute_throughput_flops=1e14,
+            memory_bandwidth_bytes=cost.bytes_moved * 10.0,  # 10 img/s bus
+            num_cores=8,
+        )
+        rec = recommend_workers(
+            cost, target_images_per_second=20.0, **kwargs
+        )
+        assert not rec.feasible
+        assert rec.estimate.bottleneck == "memory"
+
+    def test_max_workers_bounds_the_recommendation(self):
+        cost = self._cost()
+        kwargs = self._kwargs()
+        serial = serving_estimate(cost, num_workers=1, **kwargs)
+        rec = recommend_workers(
+            cost,
+            target_images_per_second=6 * serial.images_per_second,
+            max_workers=2,
+            **kwargs,
+        )
+        assert not rec.feasible
+        assert rec.num_workers == 2
+
+    def test_validation(self):
+        cost = self._cost()
+        with pytest.raises(ValueError):
+            recommend_workers(
+                cost, target_images_per_second=0.0, **self._kwargs()
+            )
+        with pytest.raises(ValueError):
+            recommend_workers(
+                cost,
+                target_images_per_second=1.0,
+                max_workers=0,
+                **self._kwargs(),
+            )
+
+    def test_simulator_recommend_serving_workers(self):
+        simulator = EdgeDeviceSimulator(RASPBERRY_PI_4)
+        cost = self._cost()
+        serial = simulator.estimate_serving(cost, num_workers=1)
+        rec = simulator.recommend_serving_workers(
+            cost, target_images_per_second=1.5 * serial.images_per_second
+        )
+        assert rec.num_workers >= 2
+        assert rec.estimate.images_per_second >= rec.target_images_per_second
+
+
+class TestPredictionAccuracy:
+    """recommend_workers vs the autoscaler's converged pool size.
+
+    The serving loop is simulated *from the cost model itself*: an
+    observation reports a breaching p99 whenever the offered rate exceeds
+    the modelled throughput of the current pool, calm otherwise.  Driving
+    the real Autoscaler over that feedback must converge onto a worker
+    count within +/-1 of the model inversion's recommendation (the
+    documented tolerance: the loop steps conservatively and never
+    overshoots the bound, the model knows nothing about hysteresis).
+    ``seghdc autoscale-bench`` measures the same tolerance against a real
+    pool with a measured-serial-rate calibration.
+    """
+
+    def test_autoscaler_converges_onto_recommended_workers(self):
+        from repro.serving.autoscale import AutoscalePolicy, Autoscaler
+
+        cost = seghdc_cost(
+            64, 64, dimension=800, num_clusters=2, num_iterations=3
+        )
+        kwargs = dict(
+            compute_throughput_flops=1e8,
+            memory_bandwidth_bytes=1e12,
+            num_cores=8,
+        )
+        serial = serving_estimate(cost, num_workers=1, **kwargs)
+        offered = 3.4 * serial.images_per_second
+        recommendation = recommend_workers(
+            cost, target_images_per_second=offered, **kwargs
+        )
+        assert recommendation.feasible
+
+        slo = 1.0
+
+        class ModelActuator:
+            """Tracks the pool size the loop actuates."""
+
+            def __init__(self):
+                self.workers = 1
+
+            def current_workers(self):
+                return self.workers
+
+            def scale_to(self, workers):
+                self.workers = workers
+                return {"status": "swapped"}
+
+        actuator = ModelActuator()
+        clock = {"now": 0.0}
+        completed = {"count": 0}
+
+        def observe():
+            estimate = serving_estimate(
+                cost, num_workers=actuator.workers, **kwargs
+            )
+            utilization = offered / estimate.images_per_second
+            # Overloaded pools breach; comfortably sized ones sit in the
+            # hysteresis dead band; only genuinely idle ones look calm
+            # (the shape real queueing latency has, coarsely).
+            if utilization > 1.0:
+                p99 = 4 * slo
+            elif utilization > 0.6:
+                p99 = 0.7 * slo
+            else:
+                p99 = 0.2 * slo
+            completed["count"] += 50
+            return {
+                "latency": {"p99": p99, "count": 50},
+                "queue_depth": (
+                    10 * actuator.workers if utilization > 1.0 else 0
+                ),
+                "completed": completed["count"],
+                "failed": 0,
+                "num_workers": actuator.workers,
+            }
+
+        scaler = Autoscaler(
+            observe,
+            actuator,
+            AutoscalePolicy(
+                slo_p99_seconds=slo,
+                max_workers=8,
+                breach_rounds=2,
+                calm_rounds=5,
+                cooldown_seconds=0.0,
+            ),
+            clock=lambda: clock["now"],
+        )
+        for _ in range(40):
+            scaler.step()
+            clock["now"] += 1.0
+
+        converged = actuator.workers
+        assert abs(converged - recommendation.num_workers) <= 1, (
+            f"autoscaler converged on {converged} workers, model "
+            f"recommended {recommendation.num_workers}"
+        )
+        # And it is genuinely converged: enough capacity, no overshoot
+        # beyond one step past the recommendation.
+        final = serving_estimate(cost, num_workers=converged, **kwargs)
+        assert final.images_per_second >= offered
+
+    def test_predictor_seam_jumps_straight_to_recommendation(self):
+        from repro.serving.autoscale import AutoscalePolicy, Autoscaler
+
+        cost = seghdc_cost(
+            64, 64, dimension=800, num_clusters=2, num_iterations=3
+        )
+        kwargs = dict(
+            compute_throughput_flops=1e8,
+            memory_bandwidth_bytes=1e12,
+            num_cores=8,
+        )
+        serial = serving_estimate(cost, num_workers=1, **kwargs)
+        offered = 3.4 * serial.images_per_second
+        recommendation = recommend_workers(
+            cost, target_images_per_second=offered, **kwargs
+        )
+
+        class ModelActuator:
+            """Tracks the pool size the loop actuates."""
+
+            def __init__(self):
+                self.workers = 1
+
+            def current_workers(self):
+                return self.workers
+
+            def scale_to(self, workers):
+                self.workers = workers
+                return {"status": "swapped"}
+
+        actuator = ModelActuator()
+        clock = {"now": 0.0}
+
+        def observe():
+            estimate = serving_estimate(
+                cost, num_workers=actuator.workers, **kwargs
+            )
+            overloaded = offered > estimate.images_per_second
+            return {
+                "latency": {
+                    "p99": 4.0 if overloaded else 0.2,
+                    "count": 50,
+                },
+                "queue_depth": 0,
+                "completed": 0,
+                "failed": 0,
+                "num_workers": actuator.workers,
+            }
+
+        scaler = Autoscaler(
+            observe,
+            actuator,
+            AutoscalePolicy(
+                slo_p99_seconds=1.0,
+                max_workers=8,
+                breach_rounds=1,
+                cooldown_seconds=0.0,
+            ),
+            clock=lambda: clock["now"],
+            predictor=lambda obs: recommendation.num_workers,
+        )
+        scaler.step()
+        # One actuation lands exactly on the model's recommendation
+        # instead of stepping one worker at a time.
+        assert actuator.workers == recommendation.num_workers

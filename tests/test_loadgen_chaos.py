@@ -1,0 +1,105 @@
+"""Chaos regression: kills mid-run must not lose or duplicate responses.
+
+The satellite contract of the load/chaos harness: SIGKILL a process-pool
+worker during an open-loop run against an autoscaled control plane, and
+SIGKILL a replica subprocess during an open-loop run through the cluster
+gateway — in both cases every issued request gets exactly one response
+(an error *outcome* is a response; a missing one is a lost request), the
+failure is healed/failover'd, and service recovers within the run (ok
+responses after the kill, bounded p99 recovery rather than a wedged pool).
+
+These drive the same ``run_single_host_chaos`` / ``run_cluster_chaos``
+scenarios the ``seghdc loadgen`` CLI and the CI smoke run, in their quick
+(seconds-long) variant, so the test pins the exact code path that ships.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.loadgen.experiments import (
+    run_cluster_chaos,
+    run_single_host_chaos,
+)
+from repro.loadgen.results import ResultFolder
+
+
+def _kill_offset(summary: dict) -> float:
+    """The chaos event's actual fire offset within the run."""
+    events = summary["chaos"]
+    assert len(events) == 1
+    assert events[0]["outcome"] == "ok"
+    return events[0]["fired_at"]
+
+
+class TestWorkerKillChaos:
+    def test_worker_sigkill_heals_with_zero_lost_responses(self, tmp_path):
+        folder = ResultFolder(tmp_path, "chaos", timestamp="t0")
+        summary = run_single_host_chaos(folder, quick=True)
+
+        # Exactly-once: every issued request produced exactly one record.
+        assert summary["lost"] == 0
+        assert summary["duplicated"] == 0
+        assert summary["responses"] == summary["issued"]
+
+        # The SIGKILL actually landed on a live worker process.
+        kill_at = _kill_offset(summary)
+        assert summary["chaos"][0]["result"].get("killed_pid")
+
+        # The autoscaler's failure-delta heal rebuilt the broken pool.
+        assert summary["autoscaler"]["heals"] >= 1
+
+        # Recovery is bounded: requests dispatched well after the kill
+        # succeed again (the pool did not stay wedged).
+        requests = json.loads(
+            (folder.path / "run-01" / "requests.json").read_text()
+        )
+        late_ok = [
+            r
+            for r in requests
+            if r["status"] == "ok" and r["sent_at"] > kill_at + 1.5
+        ]
+        assert late_ok, "no successful responses after the worker kill healed"
+
+        # Whatever failed during the broken-pool window is taxonomy'd as
+        # serving errors, never silently dropped.
+        non_ok = {
+            status
+            for status in summary["by_status"]
+            if status not in ("ok", "serving_error", "timeout")
+        }
+        assert not non_ok, f"unexpected error classes under chaos: {non_ok}"
+
+
+class TestReplicaKillChaos:
+    def test_replica_sigkill_fails_over_with_zero_lost_responses(
+        self, tmp_path
+    ):
+        folder = ResultFolder(tmp_path, "chaos", timestamp="t0")
+        summary = run_cluster_chaos(folder, quick=True)
+
+        assert summary["lost"] == 0
+        assert summary["duplicated"] == 0
+        assert summary["responses"] == summary["issued"]
+
+        kill_at = _kill_offset(summary)
+        assert summary["chaos"][0]["result"].get("pid")
+
+        # The supervisor restarted the killed replica within its budget.
+        assert summary["fleet"]["replica-0"]["restarts"] >= 1
+
+        # Failover kept serving: successes continue after the kill.
+        requests = json.loads(
+            (folder.path / "run-01" / "requests.json").read_text()
+        )
+        late_ok = [
+            r
+            for r in requests
+            if r["status"] == "ok" and r["sent_at"] > kill_at + 1.0
+        ]
+        assert late_ok, "no successful responses after the replica kill"
+
+        # Bounded-failover contract: the in-flight requests on the dead
+        # replica were retried on the survivor, so the error rate under a
+        # single replica kill stays marginal.
+        assert summary["by_status"].get("ok", 0) >= 0.9 * summary["issued"]

@@ -843,3 +843,99 @@ class TestStatsSnapshotConsistency:
         stats = collector.snapshot(mode="thread", num_workers=1, queue_depth=0)
         assert stats.completed + stats.failed == 4 * per_thread
         assert stats.latency["count"] == 4 * per_thread
+
+
+class TestLatencyReservoir:
+    """Bounded-memory latency sampling with whole-run percentiles.
+
+    The regression pinned here: latency percentiles used to come from a
+    sliding window of the most recent samples, so a long run's reported
+    p99 silently forgot everything before the window while memory was the
+    only thing bounded.  The reservoir keeps memory capped at the same
+    ``latency_window`` parameter but samples uniformly over the *whole*
+    run (Algorithm R), and ``latency.count`` reports every recorded
+    sample, not the buffer occupancy.
+    """
+
+    def test_memory_stays_bounded_at_capacity(self):
+        from repro.serving.stats import LatencyReservoir
+
+        reservoir = LatencyReservoir(capacity=128, seed=0)
+        for i in range(100_000):
+            reservoir.add(float(i))
+        assert len(reservoir) == 128
+        assert len(reservoir.snapshot()) == 128
+        assert reservoir.total == 100_000
+        assert reservoir.capacity == 128
+
+    def test_percentiles_represent_the_whole_run_not_a_window(self):
+        """A bimodal run: fast first half, slow second half.
+
+        A sliding window of the last 1k samples would report p50 ~= the
+        slow mode only; the reservoir's uniform sample keeps both modes,
+        so the median lands between them.
+        """
+        from repro.serving.stats import (
+            LatencyReservoir,
+            latency_percentiles,
+        )
+
+        reservoir = LatencyReservoir(capacity=1_000, seed=1)
+        for _ in range(20_000):
+            reservoir.add(0.010)
+        for _ in range(20_000):
+            reservoir.add(0.100)
+        summary = latency_percentiles(
+            reservoir.snapshot(), total=reservoir.total
+        )
+        assert summary["count"] == 40_000
+        # Roughly half the kept samples come from each mode.
+        kept_slow = sum(1 for v in reservoir.snapshot() if v > 0.05)
+        assert 0.35 <= kept_slow / 1_000 <= 0.65
+        assert 0.010 <= summary["p50"] <= 0.100
+        assert summary["p99"] == pytest.approx(0.100)
+
+    def test_percentiles_are_stable_under_capacity(self):
+        """Below capacity the reservoir is exact: every sample kept."""
+        from repro.serving.stats import (
+            LatencyReservoir,
+            latency_percentiles,
+        )
+
+        reservoir = LatencyReservoir(capacity=4096, seed=0)
+        values = [i / 1000.0 for i in range(1000)]
+        for value in values:
+            reservoir.add(value)
+        summary = latency_percentiles(
+            reservoir.snapshot(), total=reservoir.total
+        )
+        assert summary["count"] == 1000
+        assert summary["p50"] == pytest.approx(np.percentile(values, 50))
+        assert summary["p99"] == pytest.approx(np.percentile(values, 99))
+
+    def test_seeded_reservoir_is_deterministic(self):
+        from repro.serving.stats import LatencyReservoir
+
+        a = LatencyReservoir(capacity=64, seed=9)
+        b = LatencyReservoir(capacity=64, seed=9)
+        for i in range(10_000):
+            a.add(float(i))
+            b.add(float(i))
+        assert a.snapshot() == b.snapshot()
+
+    def test_capacity_validation(self):
+        from repro.serving.stats import LatencyReservoir
+
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyReservoir(capacity=0)
+
+    def test_stats_collector_count_is_total_not_buffer_occupancy(self):
+        from repro.serving.stats import StatsCollector
+
+        collector = StatsCollector(latency_window=32)
+        for _ in range(500):
+            collector.record_submitted()
+            collector.record_completed(0.002)
+        stats = collector.snapshot(mode="thread", num_workers=1, queue_depth=0)
+        assert stats.latency["count"] == 500
+        assert stats.latency["p99"] == pytest.approx(0.002)
