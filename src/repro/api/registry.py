@@ -6,7 +6,7 @@ any algorithm from a declarative spec instead of importing concrete classes:
 
 >>> from repro.api import make_segmenter, available_segmenters
 >>> available_segmenters()
-['cnn_baseline', 'seghdc', 'threshold']
+['cnn_baseline', 'seghdc', 'threshold', 'tiled']
 >>> segmenter = make_segmenter({"segmenter": "seghdc",
 ...                             "config": {"dimension": 800}})
 
@@ -31,7 +31,7 @@ __all__ = [
     "segmenter_entry",
 ]
 
-_SPEC_KEYS = ("segmenter", "config", "options")
+_SPEC_KEYS = ("segmenter", "config", "options", "capabilities")
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,7 @@ def _ensure_builtins() -> None:
             import repro.baseline.segmenter  # noqa: F401 - registers "cnn_baseline"
             import repro.baseline.threshold  # noqa: F401 - registers "threshold"
             import repro.seghdc.pipeline  # noqa: F401 - registers "seghdc"
+            import repro.tiling.segmenter  # noqa: F401 - registers "tiled"
 
             _BUILTINS_LOADED = True
         finally:
@@ -152,11 +153,16 @@ def make_segmenter(spec, *, config=None, **options):
 
         {"segmenter": "seghdc",
          "config": {...},        # optional, validated against the config class
-         "options": {...}}       # optional extra factory kwargs
+         "options": {...},       # optional extra factory kwargs
+         "capabilities": {...}}  # optional, informational (ignored here)
 
     The dict form is what JSON run-spec files and process-pool initializers
     ship around; both forms raise with the available names on an unknown
-    segmenter and name the offending field on a malformed spec.
+    segmenter and name the offending field on a malformed spec.  A
+    ``"capabilities"`` entry — present when the spec came from a
+    ``describe()`` call — is accepted and ignored: capabilities are derived
+    metadata the rebuilt segmenter re-derives from its config, never an
+    input.
     """
     if isinstance(spec, Mapping):
         if config is not None:

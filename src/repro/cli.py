@@ -11,6 +11,8 @@ Examples::
     seghdc serve --port 8080 --mode process --workers 4
     seghdc cluster --replicas 2 --port 8080
     seghdc cluster-bench --replicas 2 --output results/cluster_bench.json
+    seghdc tile --height 384 --width 384 --tile 128x128 --check-parity
+    seghdc video-bench --frames 10 --output results/video_bench.json
     seghdc run --spec examples/run_spec.json
 """
 
@@ -436,7 +438,8 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument(
         "--mix",
         default="48x64:3,32x40:1",
-        help="weighted image shapes, HxW[:weight] comma-separated",
+        help="weighted image shapes, HxW[:weight] comma-separated, or a "
+        "scenario preset: @gigapixel / @video[:HxW]",
     )
     loadgen_parser.add_argument(
         "--slo",
@@ -455,6 +458,143 @@ def build_parser() -> argparse.ArgumentParser:
         help="parent directory for the timestamped result folder",
     )
     loadgen_parser.add_argument(
+        "--output", default=None, help="also write the BENCH JSON here"
+    )
+
+    tile_parser = subparsers.add_parser(
+        "tile",
+        help="tile a large synthetic image into fixed-shape tiles, fan them "
+        "through a runner, and stitch one seam-consistent segmentation",
+    )
+    tile_parser.add_argument("--height", type=int, default=512)
+    tile_parser.add_argument("--width", type=int, default=512)
+    tile_parser.add_argument(
+        "--tile",
+        default="128x128",
+        help="tile shape HxW; every tile of an image gets exactly this "
+        "shape, so the whole image costs one encoder-grid build",
+    )
+    tile_parser.add_argument(
+        "--overlap",
+        type=int,
+        default=0,
+        help="pixels of nominal overlap between adjacent tiles",
+    )
+    tile_parser.add_argument(
+        "--connectivity",
+        type=int,
+        default=4,
+        choices=(4, 8),
+        help="adjacency used when merging segments across tile seams",
+    )
+    tile_parser.add_argument(
+        "--base",
+        default="seghdc",
+        help="registered per-tile segmenter (anything except 'tiled')",
+    )
+    tile_parser.add_argument(
+        "--dimension",
+        type=int,
+        default=None,
+        help="hypervector dimension of a seghdc base (default 1024)",
+    )
+    tile_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="K-Means iterations of a seghdc base (default 10)",
+    )
+    _add_backend_option(tile_parser)
+    tile_parser.add_argument(
+        "--base-config-json",
+        default=None,
+        metavar="JSON",
+        help="inline JSON object of config overrides for the base "
+        "segmenter (works for any registered base)",
+    )
+    tile_parser.add_argument(
+        "--spacing",
+        type=int,
+        default=48,
+        help="blob lattice spacing of the synthetic image; keep it at or "
+        "below the tile shape so every tile sees both intensity modes "
+        "(the precondition for bit-exact tiled-vs-direct parity)",
+    )
+    tile_parser.add_argument("--seed", type=int, default=0)
+    tile_parser.add_argument(
+        "--runner",
+        default="serial",
+        choices=("serial", "server"),
+        help="serial: the base's own segment_batch in-process; server: fan "
+        "tiles through a local thread-mode SegmentationServer pool",
+    )
+    tile_parser.add_argument(
+        "--url",
+        default=None,
+        help="fan tiles through a running replica or cluster gateway at "
+        "HOST:PORT over the raw framed wire (overrides --runner)",
+    )
+    tile_parser.add_argument(
+        "--workers", type=int, default=4, help="--runner server pool size"
+    )
+    tile_parser.add_argument(
+        "--check-parity",
+        action="store_true",
+        help="also segment the whole image directly with the base and "
+        "compare the canonicalised cluster maps bit-for-bit (only "
+        "feasible on images small enough to segment in one piece)",
+    )
+    tile_parser.add_argument(
+        "--output", default=None, help="also write the BENCH JSON here"
+    )
+
+    video_parser = subparsers.add_parser(
+        "video-bench",
+        help="measure the warm-start iterations-per-frame cut: stream a "
+        "synthetic video through a cold and a warm temporal session and "
+        "compare mean K-Means iterations per frame",
+    )
+    video_parser.add_argument("--frames", type=int, default=10)
+    video_parser.add_argument("--height", type=int, default=48)
+    video_parser.add_argument("--width", type=int, default=48)
+    video_parser.add_argument(
+        "--blobs", type=int, default=3, help="number of drifting blobs"
+    )
+    video_parser.add_argument(
+        "--radius", type=float, default=9.0, help="blob Gaussian sigma"
+    )
+    video_parser.add_argument(
+        "--step",
+        type=float,
+        default=1.5,
+        help="pixels each blob drifts per frame (frame-to-frame delta)",
+    )
+    video_parser.add_argument(
+        "--noise", type=float, default=6.0, help="fixed noise field sigma"
+    )
+    video_parser.add_argument("--seed", type=int, default=0)
+    video_parser.add_argument(
+        "--dimension",
+        type=int,
+        default=512,
+        help="hypervector dimension (default 512)",
+    )
+    video_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=12,
+        help="K-Means iteration budget; early stop quits at the fixed "
+        "point, so this is the cold-start ceiling the warm start cuts",
+    )
+    video_parser.add_argument(
+        "--beta",
+        type=int,
+        default=4,
+        help="color sensitivity; soft gradients need a lower beta than "
+        "the paper's binary-threshold default",
+    )
+    _add_backend_option(video_parser)
+    video_parser.add_argument(
         "--output", default=None, help="also write the BENCH JSON here"
     )
 
@@ -1224,6 +1364,214 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     return 0 if summary["lost"] == 0 and summary["duplicated"] == 0 else 1
 
 
+def _run_tile(args: argparse.Namespace) -> int:
+    import contextlib
+
+    import numpy as np
+
+    from repro.api.result import SegmentationResult
+    from repro.imaging.image import to_grayscale
+    from repro.tiling import TiledConfig, TiledSegmenter, blob_field, canonical_labels
+
+    try:
+        tile_height_text, tile_width_text = args.tile.lower().split("x")
+        tile_shape = (int(tile_height_text), int(tile_width_text))
+    except ValueError:
+        raise SystemExit(
+            f"seghdc: error: --tile must be HxW, got {args.tile!r}"
+        ) from None
+    base_config = {}
+    if args.base_config_json:
+        try:
+            base_config = json.loads(args.base_config_json)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"seghdc: error: --base-config-json is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(base_config, dict):
+            raise SystemExit(
+                "seghdc: error: --base-config-json must be a JSON object"
+            )
+    if args.base == "seghdc":
+        base_config.setdefault(
+            "dimension", args.dimension if args.dimension is not None else 1024
+        )
+        base_config.setdefault(
+            "num_iterations",
+            args.iterations if args.iterations is not None else 10,
+        )
+        if args.backend is not None:
+            base_config.setdefault("backend", args.backend)
+    elif (
+        args.dimension is not None
+        or args.iterations is not None
+        or args.backend is not None
+    ):
+        raise SystemExit(
+            "seghdc: error: --dimension/--iterations/--backend configure a "
+            "seghdc base; use --base-config-json for other bases"
+        )
+    config = TiledConfig(
+        base=args.base,
+        base_config=base_config,
+        tile_height=tile_shape[0],
+        tile_width=tile_shape[1],
+        overlap=args.overlap,
+        connectivity=args.connectivity,
+    )
+    image = blob_field(
+        args.height, args.width, spacing=args.spacing, seed=args.seed
+    )
+    base_spec = {"segmenter": config.base, "config": dict(config.base_config)}
+
+    with contextlib.ExitStack() as stack:
+        runner = None
+        runner_name = "serial"
+        if args.url is not None:
+            from repro.serving.cluster import ReplicaClient
+
+            host, _, port_text = args.url.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise SystemExit(
+                    f"seghdc: error: --url must be HOST:PORT, got {args.url!r}"
+                )
+            client = stack.enter_context(
+                ReplicaClient("tile-target", host, int(port_text))
+            )
+            runner_name = f"url:{args.url}"
+
+            def runner(tiles):
+                label_maps = client.segment_raw(list(tiles))
+                return [
+                    SegmentationResult(
+                        labels=labels,
+                        elapsed_seconds=0.0,
+                        num_clusters=int(np.unique(labels).size),
+                    )
+                    for labels in label_maps
+                ]
+
+        elif args.runner == "server":
+            from repro.serving.server import SegmentationServer
+
+            server = stack.enter_context(
+                SegmentationServer(
+                    base_spec,
+                    mode="thread",
+                    num_workers=args.workers,
+                    max_batch_size=1,
+                )
+            )
+            runner_name = f"server:{args.workers}"
+
+            def runner(tiles):
+                ordered = [None] * len(tiles)
+                for index, result in server.map(tiles):
+                    ordered[index] = result
+                return ordered
+
+        segmenter = TiledSegmenter(config, tile_runner=runner)
+        result, stitched = segmenter.segment_instances(image)
+
+    tiling = result.workload["tiling"]
+    print(
+        f"tile {args.height}x{args.width} -> "
+        f"{tiling['grid_shape'][0]}x{tiling['grid_shape'][1]} tiles of "
+        f"{tiling['tile_shape'][0]}x{tiling['tile_shape'][1]} "
+        f"(overlap={config.overlap}, runner={runner_name})"
+    )
+    print(
+        f"stitched: {stitched.num_segments} segments from "
+        f"{tiling['pre_merge_components']} per-tile components "
+        f"({tiling['seam_merges']} seam merges, "
+        f"connectivity={config.connectivity})"
+    )
+    print(
+        f"timing: {result.elapsed_seconds:.2f}s wall "
+        f"({result.workload['tile_seconds']:.2f}s summed tile compute, "
+        f"{result.workload['stitch_seconds']:.3f}s stitch)"
+    )
+    parity = None
+    if args.check_parity:
+        direct = make_segmenter(base_spec).segment(image)
+        reference = canonical_labels(direct.labels, to_grayscale(image))
+        parity = bool(np.array_equal(result.labels, reference))
+        mismatched = int(np.count_nonzero(result.labels != reference))
+        print(
+            "parity vs direct whole-image run: "
+            + ("BIT-EXACT" if parity else f"MISMATCH ({mismatched} pixels)")
+        )
+    payload = {
+        "image_shape": [args.height, args.width],
+        "runner": runner_name,
+        "base_spec": base_spec,
+        "tiling": dict(tiling),
+        "num_segments": stitched.num_segments,
+        "elapsed_seconds": result.elapsed_seconds,
+        "tile_seconds": result.workload["tile_seconds"],
+        "stitch_seconds": result.workload["stitch_seconds"],
+        "parity_checked": bool(args.check_parity),
+        "parity_bit_exact": parity,
+    }
+    print("BENCH " + json.dumps(payload))
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"benchmark JSON written to {path}")
+    return 0 if parity is not False else 1
+
+
+def _run_video_bench(args: argparse.Namespace) -> int:
+    from repro.seghdc import synthetic_video, warm_start_cut
+
+    config_kwargs = {
+        "dimension": args.dimension,
+        "num_iterations": args.iterations,
+        "beta": args.beta,
+    }
+    if args.backend is not None:
+        config_kwargs["backend"] = args.backend
+    config = SegHDCConfig(**config_kwargs)
+    frames = synthetic_video(
+        args.frames,
+        args.height,
+        args.width,
+        num_blobs=args.blobs,
+        radius=args.radius,
+        step=args.step,
+        noise=args.noise,
+        seed=args.seed,
+    )
+    report = warm_start_cut(frames, config)
+    cold = report["cold"]
+    warm = report["warm"]
+    print(
+        f"video-bench {args.frames} frames {args.height}x{args.width} "
+        f"dim={args.dimension} budget={args.iterations} iters/frame"
+    )
+    print(
+        f"cold: mean {cold['mean_iterations']:.2f} iters/frame "
+        f"{cold['iterations_per_frame']}"
+    )
+    print(
+        f"warm: mean {warm['mean_iterations']:.2f} iters/frame "
+        f"{warm['iterations_per_frame']} "
+        f"({warm['frames_warm_started']}/{args.frames} frames warm-started)"
+    )
+    print(
+        f"cut: {report['iteration_cut']:.2f} iters/frame "
+        f"({report['iteration_cut_ratio']:.0%} of the cold budget)"
+    )
+    print("BENCH " + json.dumps(report))
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"benchmark JSON written to {path}")
+    return 0 if warm["mean_iterations"] < cold["mean_iterations"] else 1
+
+
 def _run_autoscale_bench(args: argparse.Namespace) -> int:
     import os as _os
     import signal as _signal
@@ -1465,6 +1813,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_cluster_bench(args)
     if args.command == "loadgen":
         return _run_loadgen(args)
+    if args.command == "tile":
+        return _run_tile(args)
+    if args.command == "video-bench":
+        return _run_video_bench(args)
     if args.command == "autoscale-bench":
         return _run_autoscale_bench(args)
     scale = ExperimentScale.from_name(args.scale)

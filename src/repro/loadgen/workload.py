@@ -21,6 +21,9 @@ __all__ = ["ShapeMix"]
 #: Multiplier decorrelating the per-index RNG streams from the seed.
 _INDEX_STRIDE = 1_000_003
 
+#: Names accepted by :meth:`ShapeMix.preset` / the ``@name`` parse form.
+_PRESET_NAMES = ("gigapixel", "video")
+
 
 class ShapeMix:
     """A weighted set of image shapes with deterministic per-index draws.
@@ -64,12 +67,67 @@ class ShapeMix:
             self._cumulative.append((acc, shape))
 
     @classmethod
+    def preset(
+        cls,
+        name: str,
+        *,
+        shape: "tuple[int, int] | None" = None,
+        seed: int = 0,
+    ) -> "ShapeMix":
+        """A named scenario mix (``"gigapixel"`` or ``"video"``).
+
+        ``"gigapixel"`` models tile fan-out traffic: a gigapixel image
+        tiled at one fixed shape floods the cluster with identical-shape
+        requests, with a minority of half- and quarter-size tiles from
+        concurrent jobs — per-entry weights 12:3:1, so one grid cache
+        entry absorbs most of the load.  ``shape`` overrides the dominant
+        tile shape (default 256x256).
+
+        ``"video"`` models a frame stream: every request shares one frame
+        shape (``shape``, default 48x48), the traffic pattern warm-started
+        temporal sessions see (:mod:`repro.seghdc.video`).
+        """
+        key = str(name).strip().lower()
+        if key == "gigapixel":
+            tile = shape or (256, 256)
+            height, width = int(tile[0]), int(tile[1])
+            entries = [
+                ((height, width), 12.0),
+                ((max(height // 2, 8), max(width // 2, 8)), 3.0),
+                ((max(height // 4, 8), max(width // 4, 8)), 1.0),
+            ]
+        elif key == "video":
+            frame = shape or (48, 48)
+            entries = [((int(frame[0]), int(frame[1])), 1.0)]
+        else:
+            raise ValueError(
+                f"unknown shape-mix preset {name!r}; available: "
+                f"{', '.join(_PRESET_NAMES)}"
+            )
+        return cls(entries, seed=seed)
+
+    @classmethod
     def parse(cls, text: str, *, seed: int = 0) -> "ShapeMix":
-        """Build from the CLI form ``"48x64:3,32x40:1"``.
+        """Build from the CLI form ``"48x64:3,32x40:1"`` or ``"@preset"``.
 
         Each comma-separated entry is ``HxW`` with an optional ``:weight``
-        (default 1).
+        (default 1).  A leading ``@`` selects a named scenario preset
+        instead — ``@gigapixel`` / ``@video``, optionally with a shape
+        override as ``@video:64x64`` (see :meth:`preset`).
         """
+        stripped = text.strip()
+        if stripped.startswith("@"):
+            name, _, dims = stripped[1:].partition(":")
+            shape = None
+            if dims:
+                try:
+                    height_text, width_text = dims.lower().split("x")
+                    shape = (int(height_text), int(width_text))
+                except ValueError:
+                    raise ValueError(
+                        f"bad preset shape {dims!r}; expected HxW"
+                    ) from None
+            return cls.preset(name, shape=shape, seed=seed)
         entries = []
         for chunk in text.split(","):
             chunk = chunk.strip()

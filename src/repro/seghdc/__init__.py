@@ -27,6 +27,7 @@ from repro.seghdc.pixel_producer import PixelHVProducer
 from repro.seghdc.clusterer import HDKMeans, ClusteringResult
 from repro.seghdc.engine import SegHDCEngine
 from repro.seghdc.pipeline import SegHDC, SegmentationResult
+from repro.seghdc.video import VideoSession, synthetic_video, warm_start_cut
 
 __all__ = [
     "BlockDecayPositionEncoder",
@@ -41,6 +42,9 @@ __all__ = [
     "SegHDCConfig",
     "SegmentationResult",
     "UniformPositionEncoder",
+    "VideoSession",
     "make_color_encoder",
     "make_position_encoder",
+    "synthetic_video",
+    "warm_start_cut",
 ]

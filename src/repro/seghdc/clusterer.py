@@ -8,7 +8,16 @@ A revised K-Means over pixel hypervectors:
 * the initial centroids are the pixels with the **largest color difference**
   (most extreme mean intensities), not random picks;
 * the loop runs for a fixed, preset number of iterations (10 by default in
-  the paper, 3 in the latency experiments).
+  the paper, 3 in the latency experiments); with ``early_stop=True`` the
+  loop additionally stops as soon as an assignment pass reproduces the
+  previous labels — a *true* fixed point (identical member sets bundle to
+  identical centroids, so every further iteration returns the same labels),
+  which makes early stopping bit-exact with the full run.
+
+The clusterer also exposes a **warm-start seam**: :meth:`HDKMeans.fit`
+accepts ``initial_centroids=`` to seed the loop from externally supplied
+centroids (e.g. the previous video frame's converged bundles) instead of
+the largest-color-difference pixels.
 
 The distance and bundling arithmetic is delegated to a
 :class:`repro.hdc.backend.HDCBackend`, so the same clusterer runs on dense
@@ -75,7 +84,11 @@ class ClusteringResult:
 
     ``labels`` has one entry per pixel (flattened).  ``history`` holds the
     label assignment after each iteration when history recording is enabled
-    (needed to reproduce Fig. 8).
+    (needed to reproduce Fig. 8).  ``iterations_run`` is the number of
+    assignment passes actually executed — equal to ``num_iterations``
+    unless early stopping cut the loop at a fixed point.
+    ``warm_started`` records whether the run was seeded from externally
+    supplied centroids instead of the intensity-extreme pixels.
     """
 
     labels: np.ndarray
@@ -83,6 +96,7 @@ class ClusteringResult:
     iterations_run: int
     history: list[np.ndarray] = field(default_factory=list)
     inertia: float = 0.0
+    warm_started: bool = False
 
 
 class HDKMeans:
@@ -99,6 +113,15 @@ class HDKMeans:
         pixel-to-centroid similarities, bounding peak memory for large images.
     record_history:
         When true, the label vector after every iteration is kept.
+    early_stop:
+        When true, the loop breaks as soon as an assignment pass returns
+        the same labels as the previous pass.  Unchanged labels mean
+        unchanged cluster member sets, whose bundles are the exact same
+        centroids, so every subsequent iteration would reproduce the same
+        assignment — the cut is a true fixed point and the final labels and
+        centroids are bit-identical to the full ``num_iterations`` run.
+        Off by default to preserve the paper's fixed-iteration semantics
+        (and the historical per-iteration timing profile).
     backend:
         Compute backend (name or instance) used for the similarity and
         bundling kernels.  Defaults to the dense uint8 backend.  When
@@ -113,6 +136,7 @@ class HDKMeans:
         *,
         chunk_size: int = 8192,
         record_history: bool = False,
+        early_stop: bool = False,
         backend: str | HDCBackend | None = None,
     ) -> None:
         if num_clusters < 2:
@@ -127,17 +151,26 @@ class HDKMeans:
         self.num_iterations = int(num_iterations)
         self.chunk_size = int(chunk_size)
         self.record_history = bool(record_history)
+        self.early_stop = bool(early_stop)
         self.backend = make_backend(backend) if backend is not None else DenseBackend()
 
     def fit(
-        self, pixel_hvs: np.ndarray | HVStorage, intensities: np.ndarray
+        self,
+        pixel_hvs: np.ndarray | HVStorage,
+        intensities: np.ndarray,
+        *,
+        initial_centroids: np.ndarray | None = None,
     ) -> ClusteringResult:
         """Cluster ``pixel_hvs`` (shape ``(n, d)``) into ``num_clusters`` groups.
 
         ``pixel_hvs`` may be a raw uint8 matrix or backend storage produced
         by :meth:`HDCBackend.pack` / the pixel producer.  ``intensities``
         supplies the per-pixel mean color values used to seed the centroids
-        with the largest-color-difference pixels.
+        with the largest-color-difference pixels.  ``initial_centroids``
+        (shape ``(num_clusters, dimension)``) overrides that seeding — the
+        warm-start seam: a video session passes the previous frame's
+        converged centroid bundles so the loop starts next to the fixed
+        point instead of at the intensity extremes.
         """
         if isinstance(pixel_hvs, HVStorage):
             storage = pixel_hvs
@@ -178,26 +211,50 @@ class HDKMeans:
             raise ValueError(
                 f"cannot form {self.num_clusters} clusters from {num_pixels} pixels"
             )
-        seed_indices = select_initial_centroid_indices(
-            flat_intensity, self.num_clusters
-        )
-        centroids = backend.unpack(storage, seed_indices).astype(np.float64)
+        warm_started = initial_centroids is not None
+        if warm_started:
+            centroids = np.array(initial_centroids, dtype=np.float64, copy=True)
+            expected = (self.num_clusters, storage.dimension)
+            if centroids.shape != expected:
+                raise ValueError(
+                    f"initial_centroids must have shape {expected}, "
+                    f"got {centroids.shape}"
+                )
+        else:
+            seed_indices = select_initial_centroid_indices(
+                flat_intensity, self.num_clusters
+            )
+            centroids = backend.unpack(storage, seed_indices).astype(np.float64)
         labels = np.zeros(num_pixels, dtype=np.int32)
+        previous_labels: np.ndarray | None = None
         history: list[np.ndarray] = []
         inertia = 0.0
+        iterations_run = 0
         for _ in range(self.num_iterations):
             labels, inertia = backend.assign(
                 storage, centroids, chunk_size=self.chunk_size
             )
-            centroids = self._update_centroids(backend, storage, labels, centroids)
+            iterations_run += 1
             if self.record_history:
                 history.append(labels.copy())
+            if (
+                self.early_stop
+                and previous_labels is not None
+                and np.array_equal(labels, previous_labels)
+            ):
+                # Fixed point: the members of every cluster are unchanged,
+                # so the centroid update below would rebuild the exact
+                # centroids this assignment just used; skip it and stop.
+                break
+            centroids = self._update_centroids(backend, storage, labels, centroids)
+            previous_labels = labels
         return ClusteringResult(
             labels=labels,
             centroids=centroids,
-            iterations_run=self.num_iterations,
+            iterations_run=iterations_run,
             history=history,
             inertia=inertia,
+            warm_started=warm_started,
         )
 
     def _update_centroids(

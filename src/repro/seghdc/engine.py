@@ -139,6 +139,12 @@ class SegHDCEngine:
         # Shape keys whose bundle arrived via import_shared_grids rather than
         # a local build; lookups landing on them count as shared_hits.
         self._imported_keys: set = set()
+        # Temporal (video) mode: per-shape converged centroid bundles from
+        # the most recent segmentation, used to seed the next same-shape
+        # clustering run when ``config.warm_start`` is set.  Guarded by the
+        # same lock as the grid cache; never pickled (history-dependent
+        # state must not leak across process boundaries).
+        self._warm_centroids: dict = {}
         self._lock = threading.RLock()
         self._counters = {
             "hits": 0,
@@ -162,6 +168,7 @@ class SegHDCEngine:
         state["_lock"] = None
         state["_cache"] = OrderedDict()
         state["_imported_keys"] = set()
+        state["_warm_centroids"] = {}
         state["_counters"] = {key: 0 for key in self._counters}
         return state
 
@@ -193,6 +200,16 @@ class SegHDCEngine:
         with self._lock:
             self._cache.clear()
             self._imported_keys.clear()
+
+    def reset_warm_state(self) -> None:
+        """Forget the per-shape warm-start centroids (temporal mode).
+
+        The next segmentation of every shape seeds from the intensity
+        extremes again, exactly like a cold engine — the seam a video
+        session uses at a scene cut or between independent sequences.
+        """
+        with self._lock:
+            self._warm_centroids.clear()
 
     def warm(self, height: int, width: int, channels: int = 1) -> None:
         """Eagerly build (or touch) the encoder grids for one image shape.
@@ -381,9 +398,20 @@ class SegHDCEngine:
             config.num_clusters,
             config.num_iterations,
             record_history=config.record_history,
+            early_stop=config.early_stop,
             backend=self.backend,
         )
-        clustering = clusterer.fit(pixel_storage, intensities)
+        shape_key = (height, width, channels)
+        initial_centroids = None
+        if config.warm_start:
+            with self._lock:
+                initial_centroids = self._warm_centroids.get(shape_key)
+        clustering = clusterer.fit(
+            pixel_storage, intensities, initial_centroids=initial_centroids
+        )
+        if config.warm_start:
+            with self._lock:
+                self._warm_centroids[shape_key] = clustering.centroids
         elapsed = time.perf_counter() - start
 
         labels = clustering.labels.reshape(height, width)
@@ -395,6 +423,8 @@ class SegHDCEngine:
             "dimension": config.dimension,
             "num_clusters": config.num_clusters,
             "num_iterations": config.num_iterations,
+            "iterations_run": clustering.iterations_run,
+            "warm_started": clustering.warm_started,
             "num_pixels": height * width,
             "backend": self.backend.name,
             "backend_capabilities": self.backend.capabilities(),

@@ -64,12 +64,31 @@ class SegHDC:
         """The underlying engine (cache counters, batch API)."""
         return self._engine
 
+    def capabilities(self) -> dict:
+        """Workload metadata (see :func:`repro.api.segmenter_capabilities`).
+
+        SegHDC always supports the validated ``warm_start`` config field;
+        it is *stateful* only when that field is on (the engine then
+        remembers per-shape centroids across calls).  Input size is
+        unbounded — huge shapes just fall out of the grid-cache byte
+        budget — so tiling is a front-end choice, not a hard limit.
+        """
+        from repro.api.protocol import normalize_capabilities
+
+        return normalize_capabilities(
+            {
+                "stateful": self._config.warm_start,
+                "supports_warm_start": True,
+            }
+        )
+
     def describe(self) -> dict:
         """Spec dict that :func:`make_segmenter` turns back into an
         equivalent (cold-cache) SegHDC."""
         spec = {"segmenter": "seghdc", "config": self._config.to_dict()}
         if self._engine_kwargs:
             spec["options"] = dict(self._engine_kwargs)
+        spec["capabilities"] = self.capabilities()
         return spec
 
     def __reduce__(self):

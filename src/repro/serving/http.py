@@ -113,6 +113,7 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.api.protocol import segmenter_capabilities
 from repro.api.registry import available_segmenters, segmenter_entry
 from repro.api.spec import ServingOptions
 from repro.hdc.backend import available_backends, make_backend
@@ -1019,12 +1020,22 @@ class SegmentationHTTPServer:
             fields = []
             if hasattr(config_cls, "__dataclass_fields__"):
                 fields = sorted(config_cls.__dataclass_fields__)
+            try:
+                # Default-config capabilities: building a default instance
+                # is cheap for every registered segmenter (no grids are
+                # built until the first segment call).
+                capabilities = segmenter_capabilities(entry.build(None))
+            except Exception:
+                # A segmenter whose default config cannot instantiate still
+                # gets listed — introspection must not 500 the endpoint.
+                capabilities = None
             segmenters.append(
                 {
                     "name": entry.name,
                     "description": entry.description,
                     "config_class": config_cls.__name__,
                     "config_fields": fields,
+                    "capabilities": capabilities,
                 }
             )
         backends = [

@@ -516,6 +516,12 @@ class SegmentationServer:
         :class:`repro.api.Segmenter` instance (which must be thread-safe in
         thread mode and spec-picklable — ``describe()`` — in process mode).
         ``None`` serves a default-config SegHDC.
+    config:
+        **Deprecated** alias for ``segmenter`` (the first parameter was
+        named ``config`` when the server only wrapped SegHDC).  Using it
+        emits :class:`DeprecationWarning`; it will be removed in a future
+        release — pass the config positionally or use
+        :meth:`from_options`.
     mode:
         ``"thread"`` (shared engine, GIL-releasing kernels) or ``"process"``
         (one engine per worker process; see the module docstring).
@@ -583,6 +589,16 @@ class SegmentationServer:
                     "pass either segmenter or config (deprecated alias), "
                     "not both"
                 )
+            import warnings
+
+            warnings.warn(
+                "SegmentationServer(config=...) is deprecated and will be "
+                "removed in a future release; pass the config as the first "
+                "(segmenter) argument, a registered spec dict, or use "
+                "SegmentationServer.from_options",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             segmenter = config
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -716,6 +732,18 @@ class SegmentationServer:
         if self.mode != "thread":
             return None
         return getattr(self._segmenter, "engine", None)
+
+    def capabilities(self) -> dict:
+        """Normalised capabilities of the served segmenter.
+
+        See :func:`repro.api.segmenter_capabilities`; note that a stateful
+        segmenter only actually shares its state across requests in thread
+        mode — process-mode workers each rebuild from the spec and keep
+        private state.
+        """
+        from repro.api.protocol import segmenter_capabilities
+
+        return segmenter_capabilities(self._segmenter)
 
     def __enter__(self) -> "SegmentationServer":
         return self

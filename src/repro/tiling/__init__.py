@@ -1,0 +1,43 @@
+"""Gigapixel workloads: fixed-shape tiling + seam-consistent stitching.
+
+The pieces, bottom-up:
+
+* :class:`TileGrid` — covers an image with tiles of exactly one shape
+  (edge tiles shift inward instead of shrinking), each with an ownership
+  rectangle; the partition the stitcher assembles output from.
+* :func:`canonical_labels` / :func:`partition_components` /
+  :func:`stitch_tiles` — per-tile label canonicalisation (clusters by
+  ascending mean intensity), connected components of a full label
+  partition, and the union-find seam merge producing one global cluster
+  map + segment map.
+* :class:`TiledSegmenter` (registered as ``"tiled"``) — the
+  :class:`repro.api.Segmenter` that wires it all behind the standard
+  protocol, with a pluggable tile runner for serving/cluster fan-out.
+* :func:`blob_field` — deterministic synthetic gigapixel imagery whose
+  every tile contains both intensity modes (the precondition for
+  bit-exact tiled-vs-direct parity).
+"""
+
+from repro.tiling.grid import TileBox, TileGrid
+from repro.tiling.segmenter import TiledConfig, TiledSegmenter
+from repro.tiling.stitch import (
+    StitchResult,
+    UnionFind,
+    canonical_labels,
+    partition_components,
+    stitch_tiles,
+)
+from repro.tiling.synthetic import blob_field
+
+__all__ = [
+    "StitchResult",
+    "TileBox",
+    "TileGrid",
+    "TiledConfig",
+    "TiledSegmenter",
+    "UnionFind",
+    "blob_field",
+    "canonical_labels",
+    "partition_components",
+    "stitch_tiles",
+]

@@ -1,0 +1,102 @@
+"""Deterministic synthetic fields for tiling benchmarks and parity tests.
+
+A tiled-vs-direct parity check needs images with one specific property:
+**every tile must contain both intensity modes**.  K-Means with ``k = 2``
+on a tile that is all background fabricates a split inside the background
+noise, and no stitcher can reconcile that with the whole-image run — so
+the generator places bright blobs on a regular jittered lattice whose
+spacing is bounded by the tile size, guaranteeing foreground in every
+tile, and draws from exactly two intensity values (wide gap, optional
+small symmetric jitter) so per-tile and whole-image clusterings agree on
+which pixel belongs to which mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["blob_field"]
+
+
+def blob_field(
+    height: int,
+    width: int,
+    *,
+    spacing: int = 32,
+    radius: "tuple[int, int]" = (4, 9),
+    background: int = 40,
+    foreground: int = 215,
+    noise: int = 0,
+    seed: int = 0,
+) -> np.ndarray:
+    """A uint8 image of bright disks on a dark field, one per lattice cell.
+
+    Parameters
+    ----------
+    height, width:
+        Image size — arbitrarily large; generation is O(pixels).
+    spacing:
+        Lattice pitch: one blob is centred (with jitter) in every
+        ``spacing x spacing`` cell.  Choose ``spacing <= tile size`` so
+        every tile of a :class:`repro.tiling.grid.TileGrid` contains
+        foreground.
+    radius:
+        Inclusive ``(min, max)`` blob radius in pixels, drawn per blob.
+        Radii are clamped below ``spacing`` so neighbouring blobs can touch
+        across tile seams (that is what the seam tests want) but blobs stay
+        distinguishable.
+    background, foreground:
+        The two intensity modes.  Keep the gap wide (the default spans
+        175 levels) so clustering is unambiguous on every tile.
+    noise:
+        Optional +/- uniform jitter applied per pixel to both modes
+        (clipped to keep the modes separated by at least half the gap).
+        Zero by default — bit-exact parity tests want two-valued images.
+    seed:
+        Seeds blob jitter, radii, and noise; the same arguments always
+        produce the same pixels.
+    """
+    if height < 1 or width < 1:
+        raise ValueError(f"image size must be positive, got {height}x{width}")
+    if spacing < 4:
+        raise ValueError(f"spacing must be at least 4, got {spacing}")
+    lo, hi = int(radius[0]), int(radius[1])
+    if lo < 1 or hi < lo:
+        raise ValueError(f"radius must be a (min, max) pair >= 1, got {radius}")
+    if not (0 <= background < foreground <= 255):
+        raise ValueError(
+            f"need 0 <= background < foreground <= 255, got "
+            f"{background}/{foreground}"
+        )
+    rng = np.random.default_rng(seed)
+    image = np.full((height, width), background, dtype=np.uint8)
+    half = spacing // 2
+    max_radius = min(hi, spacing - 1)
+    for cell_row in range(half, height, spacing):
+        for cell_col in range(half, width, spacing):
+            jitter = spacing // 4
+            center_row = cell_row + int(rng.integers(-jitter, jitter + 1))
+            center_col = cell_col + int(rng.integers(-jitter, jitter + 1))
+            blob_radius = int(rng.integers(lo, max_radius + 1))
+            row0 = max(center_row - blob_radius, 0)
+            row1 = min(center_row + blob_radius + 1, height)
+            col0 = max(center_col - blob_radius, 0)
+            col1 = min(center_col + blob_radius + 1, width)
+            if row0 >= row1 or col0 >= col1:
+                continue
+            rows = np.arange(row0, row1)[:, None] - center_row
+            cols = np.arange(col0, col1)[None, :] - center_col
+            disk = rows * rows + cols * cols <= blob_radius * blob_radius
+            window = image[row0:row1, col0:col1]
+            window[disk] = foreground
+    if noise:
+        gap = foreground - background
+        amplitude = min(int(noise), max(gap // 4 - 1, 0))
+        if amplitude:
+            jitter = rng.integers(
+                -amplitude, amplitude + 1, size=image.shape, dtype=np.int16
+            )
+            image = np.clip(
+                image.astype(np.int16) + jitter, 0, 255
+            ).astype(np.uint8)
+    return image

@@ -513,3 +513,64 @@ class TestExecuteRunSpec:
         path.write_text(json.dumps(data))
         from_path = execute_run_spec(path)
         assert from_dict["per_image"][0]["iou"] == from_path["per_image"][0]["iou"]
+
+
+class TestCapabilities:
+    def test_defaults_and_unknown_keys(self):
+        from repro.api import DEFAULT_CAPABILITIES, normalize_capabilities
+
+        assert normalize_capabilities() == DEFAULT_CAPABILITIES
+        assert normalize_capabilities() is not DEFAULT_CAPABILITIES  # a copy
+        with pytest.raises(ValueError, match="unknown capabilit"):
+            normalize_capabilities({"supports_flight": True})
+
+    def test_shape_fields_normalise_to_lists(self):
+        from repro.api import normalize_capabilities
+
+        caps = normalize_capabilities(
+            {"max_shape": (4096, 4096), "preferred_tile_shape": [64, 64]}
+        )
+        assert caps["max_shape"] == [4096, 4096]
+        assert caps["preferred_tile_shape"] == [64, 64]
+        with pytest.raises(ValueError, match="max_shape"):
+            normalize_capabilities({"max_shape": (0, 10)})
+
+    def test_segmenter_capabilities_falls_back_to_defaults(self):
+        from repro.api import DEFAULT_CAPABILITIES, segmenter_capabilities
+
+        class Bare:
+            def segment(self, image):  # pragma: no cover - protocol stub
+                raise NotImplementedError
+
+        assert segmenter_capabilities(Bare()) == DEFAULT_CAPABILITIES
+
+    @pytest.mark.parametrize(
+        "name", ["seghdc", "cnn_baseline", "threshold", "tiled"]
+    )
+    def test_every_builtin_describes_capabilities(self, name):
+        from repro.api import normalize_capabilities
+
+        spec = make_segmenter(name).describe()
+        caps = spec["capabilities"]
+        # Normalising a describe()'d capability dict is a no-op: describe
+        # output is already in canonical form.
+        assert normalize_capabilities(caps) == caps
+
+    def test_seghdc_statefulness_follows_warm_start(self):
+        cold = make_segmenter("seghdc", config=SegHDCConfig())
+        warm = make_segmenter(
+            "seghdc", config=SegHDCConfig(warm_start=True)
+        )
+        assert cold.capabilities()["stateful"] is False
+        assert warm.capabilities()["stateful"] is True
+        assert cold.capabilities()["supports_warm_start"] is True
+
+    def test_describe_with_capabilities_round_trips(self):
+        # make_segmenter must accept (and ignore) the capabilities entry a
+        # describe() spec carries — capabilities are derived, not input.
+        segmenter = make_segmenter("seghdc", config=SegHDCConfig(dimension=256))
+        spec = segmenter.describe()
+        assert "capabilities" in spec
+        rebuilt = make_segmenter(json.loads(json.dumps(spec)))
+        assert rebuilt.config == segmenter.config
+        assert rebuilt.capabilities() == segmenter.capabilities()

@@ -469,3 +469,87 @@ class TestMain:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "backend=packed" in out
+
+
+class TestTileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["tile"])
+        assert args.tile == "128x128"
+        assert args.runner == "serial"
+        assert args.check_parity is False
+
+    def test_tile_serial_with_parity_and_json(self, capsys, tmp_path):
+        import json as json_module
+
+        out_path = tmp_path / "tile.json"
+        code = main(
+            [
+                "tile",
+                "--height", "96", "--width", "96",
+                "--tile", "48x48",
+                "--spacing", "32",
+                "--dimension", "1024",
+                "--iterations", "10",
+                "--check-parity",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BIT-EXACT" in out
+        assert "BENCH " in out
+        payload = json_module.loads(out_path.read_text())
+        assert payload["parity_bit_exact"] is True
+        assert payload["tiling"]["grid_shape"] == [2, 2]
+        assert payload["tiling"]["tile_shape"] == [48, 48]
+
+    def test_tile_threshold_base_via_config_json(self, capsys):
+        code = main(
+            [
+                "tile",
+                "--height", "64", "--width", "64",
+                "--tile", "32x32",
+                "--base", "threshold",
+                "--spacing", "32",
+            ]
+        )
+        assert code == 0
+        assert "stitched:" in capsys.readouterr().out
+
+    def test_seghdc_flags_rejected_for_other_bases(self):
+        with pytest.raises(SystemExit, match="seghdc base"):
+            main(["tile", "--base", "threshold", "--dimension", "256"])
+
+    def test_bad_tile_shape_errors(self):
+        with pytest.raises(SystemExit, match="--tile must be HxW"):
+            main(["tile", "--tile", "64by64"])
+
+
+class TestVideoBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["video-bench"])
+        assert args.frames == 10
+        assert args.dimension == 512
+        assert args.beta == 4
+
+    def test_video_bench_reports_a_cut(self, capsys, tmp_path):
+        import json as json_module
+
+        out_path = tmp_path / "video.json"
+        code = main(
+            [
+                "video-bench",
+                "--frames", "6",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cut:" in out
+        assert "BENCH " in out
+        report = json_module.loads(out_path.read_text())
+        assert (
+            report["warm"]["mean_iterations"]
+            < report["cold"]["mean_iterations"]
+        )
+        assert report["warm"]["frames_warm_started"] == 5

@@ -499,6 +499,9 @@ class TestDispatch:
         assert "seghdc" in names and "cnn_baseline" in names
         seghdc = next(e for e in payload["segmenters"] if e["name"] == "seghdc")
         assert "dimension" in seghdc["config_fields"]
+        assert seghdc["capabilities"]["supports_warm_start"] is True
+        tiled = next(e for e in payload["segmenters"] if e["name"] == "tiled")
+        assert tiled["capabilities"]["preferred_tile_shape"] == [64, 64]
         backends = {entry["name"]: entry for entry in payload["backends"]}
         assert backends["packed"]["capabilities"]["storage"] == "uint64"
         assert payload["serving"]["segmenter"]["segmenter"] == "seghdc"

@@ -472,3 +472,43 @@ class TestTargets:
         assert stats["num_workers"] == 1  # only the alive replica counts
         assert stats["latency"]["p99"] == 0.25
         assert stats["queue_depth"] == 0
+
+
+class TestShapeMixPresets:
+    def test_gigapixel_preset_is_tile_shaped_and_weighted(self):
+        mix = ShapeMix.parse("@gigapixel")
+        spec = mix.describe()
+        assert spec["entries"][0] == {"shape": [256, 256], "weight": 12.0}
+        assert [e["shape"] for e in spec["entries"]] == [
+            [256, 256], [128, 128], [64, 64]
+        ]
+        # The dominant tile shape must absorb most of the traffic (one
+        # grid-cache entry serves the bulk of a tiled fan-out).
+        weights = [e["weight"] for e in spec["entries"]]
+        assert weights[0] > sum(weights[1:])
+
+    def test_gigapixel_shape_override_scales_the_pyramid(self):
+        spec = ShapeMix.parse("@gigapixel:128x96").describe()
+        assert [e["shape"] for e in spec["entries"]] == [
+            [128, 96], [64, 48], [32, 24]
+        ]
+
+    def test_video_preset_is_single_shape(self):
+        assert ShapeMix.parse("@video").describe()["entries"] == [
+            {"shape": [48, 48], "weight": 1.0}
+        ]
+        assert ShapeMix.parse("@video:64x80").describe()["entries"] == [
+            {"shape": [64, 80], "weight": 1.0}
+        ]
+
+    def test_preset_seed_threads_through(self):
+        a = ShapeMix.parse("@gigapixel", seed=1)
+        b = ShapeMix.parse("@gigapixel", seed=1)
+        assert np.array_equal(a.image_for(7), b.image_for(7))
+        assert a.shape_for(7) == b.shape_for(7)
+
+    def test_unknown_preset_and_bad_shape_error(self):
+        with pytest.raises(ValueError, match="available: gigapixel, video"):
+            ShapeMix.parse("@nope")
+        with pytest.raises(ValueError, match="expected HxW"):
+            ShapeMix.parse("@video:64by64")
